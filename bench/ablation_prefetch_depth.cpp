@@ -1,0 +1,44 @@
+// Design-choice ablation: prefetch depth. The paper's host buffers hold
+// three subgroups (flushing / updating / prefetching) — prefetch_ahead 1.
+// This harness measures what deeper prefetching buys: diminishing returns
+// as the pipeline saturates the storage channels, at the cost of more
+// pinned host memory.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace mlpo;
+  bench::print_header(
+      "Ablation - prefetch depth (70B, Testbed-1, MLP-Offload)",
+      "one outstanding prefetch (the paper's 3-buffer budget) already hides "
+      "most fetch latency; deeper pipelines trade host memory for little");
+
+  const auto& model = paper_model("70B");
+  TablePrinter table({"CPU speed", "Prefetch ahead", "Host buffers",
+                      "Update (s)", "Total (s)"});
+  // Two compute regimes: the Testbed-1 CPU (update is I/O-bound, so
+  // prefetch depth barely matters) and a hypothetical 8x slower CPU where
+  // update compute is comparable to fetch time — there the fetch/compute
+  // overlap that prefetching provides becomes visible.
+  for (const bool slow_cpu : {false, true}) {
+    auto testbed = TestbedSpec::testbed1();
+    if (slow_cpu) testbed.cpu_update_rate_node /= 8;
+    for (const u32 ahead : {0u, 1u, 2u, 4u}) {
+      auto opts = EngineOptions::mlp_offload();
+      opts.prefetch_ahead = ahead;
+      auto cfg = bench::scenario(model, testbed, opts);
+      const auto result = bench::run_scenario(cfg);
+      table.add_row({slow_cpu ? "1/8x" : "nominal", std::to_string(ahead),
+                     std::to_string(ahead + 2),
+                     TablePrinter::num(result.avg.update_seconds, 1),
+                     TablePrinter::num(result.avg.iteration_seconds(), 1)});
+    }
+  }
+  table.print();
+  std::printf("\nWith the nominal CPU the update is I/O-bound and depth is "
+              "marginal; with a\nslow CPU, prefetch_ahead >= 1 hides fetch "
+              "time behind the update kernel.\nEither way the paper's "
+              "3-buffer budget (ahead=1) captures the benefit.\n");
+  return 0;
+}

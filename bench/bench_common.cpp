@@ -1,0 +1,74 @@
+#include "bench_common.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace mlpo::bench {
+
+namespace {
+f64 env_f64(const char* name, f64 def) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::atof(v) : def;
+}
+u32 env_u32(const char* name, u32 def) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? static_cast<u32>(std::atoi(v)) : def;
+}
+}  // namespace
+
+f64 env_time_scale() { return env_f64("MLPO_TIME_SCALE", 500.0); }
+u32 env_iters() { return env_u32("MLPO_BENCH_ITERS", 3); }
+u32 env_warmup() { return env_u32("MLPO_BENCH_WARMUP", 1); }
+
+u64 elem_scale_for(u64 params) {
+  // Keep whole-model real footprint around tens of MB: params/scale real
+  // elements across all subgroups, 12 bytes each plus serialized copies.
+  u64 scale = 1;
+  while (params / scale > 2'000'000ull) scale *= 2;
+  return scale;
+}
+
+TrainerConfig scenario(const ModelConfig& model, const TestbedSpec& testbed,
+                       const EngineOptions& engine, u32 nodes) {
+  TrainerConfig cfg;
+  cfg.model = model;
+  cfg.testbed = testbed;
+  cfg.engine = engine;
+  cfg.nodes = nodes;
+  cfg.elem_scale = elem_scale_for(model.parameters());
+  cfg.time_scale = env_time_scale();
+  cfg.attach_pfs = true;
+  return cfg;
+}
+
+ScenarioResult run_scenario(const TrainerConfig& cfg) {
+  Trainer trainer(cfg);
+  trainer.initialize();
+  const auto reports = trainer.run(env_iters(), env_warmup());
+  ScenarioResult result;
+  result.avg = average_reports(reports);
+  result.distribution = trainer.distribution();
+  return result;
+}
+
+void print_header(const std::string& id, const std::string& paper_claim) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", id.c_str());
+  std::printf("Paper: %s\n", paper_claim.c_str());
+  std::printf("(scaled-time emulation; compare shapes/ratios, not absolutes)\n");
+  std::printf("================================================================\n");
+}
+
+std::string gb_per_s(f64 bytes_per_vsec) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f", bytes_per_vsec / GB);
+  return buf;
+}
+
+std::string gib(u64 bytes) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.0fG", static_cast<f64>(bytes) / 1e9);
+  return buf;
+}
+
+}  // namespace mlpo::bench

@@ -1,0 +1,50 @@
+// Shared plumbing for the paper-figure benchmark harnesses.
+//
+// Every bench binary regenerates one table or figure from the paper's
+// evaluation: same workload, same parameter sweep, same reported rows. The
+// substrate is the scaled-time emulation described in DESIGN.md, so the
+// reproduction targets are the *shapes* (who wins, by what factor, where
+// the crossovers sit), not the authors' absolute testbed numbers — each
+// harness prints the paper's reference values alongside for comparison.
+//
+// Environment knobs:
+//   MLPO_TIME_SCALE    virtual seconds per real second (default 500)
+//   MLPO_BENCH_ITERS   iterations per scenario          (default 3)
+//   MLPO_BENCH_WARMUP  of which warmup                  (default 1)
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "runtime/trainer.hpp"
+#include "telemetry/table_printer.hpp"
+
+namespace mlpo::bench {
+
+f64 env_time_scale();
+u32 env_iters();
+u32 env_warmup();
+
+/// Pick an element scale that keeps real memory modest for `params`.
+u64 elem_scale_for(u64 params);
+
+struct ScenarioResult {
+  IterationReport avg;                      ///< averaged post-warmup report
+  OffloadEngine::Distribution distribution; ///< end-of-run placement
+};
+
+/// Build a TrainerConfig for a standard paper scenario.
+TrainerConfig scenario(const ModelConfig& model, const TestbedSpec& testbed,
+                       const EngineOptions& engine, u32 nodes = 1);
+
+/// Run the scenario and average the measured iterations.
+ScenarioResult run_scenario(const TrainerConfig& cfg);
+
+/// Banner: figure/table id, what the paper shows, what we measure.
+void print_header(const std::string& id, const std::string& paper_claim);
+
+/// Formatters.
+std::string gb_per_s(f64 bytes_per_vsec);
+std::string gib(u64 bytes);
+
+}  // namespace mlpo::bench

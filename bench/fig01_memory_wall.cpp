@@ -1,0 +1,87 @@
+// Figure 1: model parameters vs GPU memory growth, 2018-2024.
+// The paper's motivating trend: transformer sizes grow ~450x every 2 years
+// while GPU memory grows ~2x every 2 years. This harness regenerates the
+// two series and fits their growth rates.
+#include <cmath>
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+namespace {
+
+struct ModelPoint {
+  int year;
+  const char* name;
+  double params_b;  // billions
+};
+
+struct GpuPoint {
+  int year;
+  const char* name;
+  double mem_gb;
+};
+
+// The models/GPUs annotated in the paper's Figure 1.
+const ModelPoint kModels[] = {
+    {2018, "GPT-1", 0.117},      {2019, "Megatron", 8.3},
+    {2020, "T-NLG", 17.0},       {2020, "GPT-3", 175.0},
+    {2021, "Switch-T", 1600.0},  {2022, "Google PaLM", 540.0},
+    {2023, "OpenAI GPT-4", 1800.0}, {2024, "OpenAI O3", 2000.0},
+};
+
+const GpuPoint kGpus[] = {
+    {2018, "V100", 32},  {2020, "A100-40", 40},  {2021, "A100-80", 80},
+    {2022, "H100", 80},  {2023, "H100e", 96},    {2024, "H200", 140},
+};
+
+// Least-squares fit of log2(value) vs year -> growth factor per 2 years.
+template <typename T, std::size_t N>
+double growth_per_2yr(const T (&pts)[N], double (*get)(const T&)) {
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  for (const auto& p : pts) {
+    const double x = p.year;
+    const double y = std::log2(get(p));
+    sx += x;
+    sy += y;
+    sxx += x * x;
+    sxy += x * y;
+  }
+  const double n = static_cast<double>(N);
+  const double slope = (n * sxy - sx * sy) / (n * sxx - sx * sx);
+  return std::pow(2.0, slope * 2.0);
+}
+
+}  // namespace
+
+int main() {
+  using namespace mlpo;
+  bench::print_header(
+      "Figure 1 - Model vs GPU memory growth",
+      "transformer sizes ~450x / 2 years vs GPU memory ~2x / 2 years");
+
+  TablePrinter models({"Year", "Model", "Params (B)"});
+  for (const auto& m : kModels) {
+    models.add_row({std::to_string(m.year), m.name,
+                    TablePrinter::num(m.params_b, 3)});
+  }
+  models.print();
+  std::printf("\n");
+
+  TablePrinter gpus({"Year", "GPU", "Memory (GB)"});
+  for (const auto& g : kGpus) {
+    gpus.add_row({std::to_string(g.year), g.name, TablePrinter::num(g.mem_gb, 0)});
+  }
+  gpus.print();
+
+  const double model_growth = growth_per_2yr(
+      kModels, +[](const ModelPoint& p) { return p.params_b; });
+  const double gpu_growth =
+      growth_per_2yr(kGpus, +[](const GpuPoint& p) { return p.mem_gb; });
+
+  std::printf("\nFitted growth per 2 years: models %.0fx, GPU memory %.1fx\n",
+              model_growth, gpu_growth);
+  std::printf("Paper's annotation:        models 450x, GPU memory 2x\n");
+  std::printf("Gap factor per 2 years:    %.0fx -> the \"GPU memory wall\"\n",
+              model_growth / gpu_growth);
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Figure 11: weak scaling on Testbed-2 — model size grows with node count
+// (40B/1, 70B/2, 100B/3, 130B/4, plus the text's 280B/8), TP intra-node +
+// DP inter-node, one shared Lustre PFS. Paper: MLP-Offload stays up to 2x
+// faster than DeepSpeed ZeRO-3 at scale; also the §4.4 cost-effectiveness
+// argument (70B offloaded on 8 GPUs vs GPU-only on ~80).
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+namespace {
+struct Config {
+  const char* model;
+  mlpo::u32 nodes;
+  double paper_ds;
+  double paper_ours;
+};
+const Config kConfigs[] = {
+    {"40B", 1, 242.3, 111.0},
+    {"70B", 2, 178.0, 68.3},
+    {"100B", 3, 167.5, 85.7},
+    {"130B", 4, 155.6, 79.4},
+    {"280B", 8, 0.0, 0.0},  // §4.4 text configuration; no figure reference
+};
+}  // namespace
+
+int main() {
+  using namespace mlpo;
+  bench::print_header(
+      "Figure 11 - Weak scaling iteration time (Testbed-2, TP+DP)",
+      "iteration time falls with node count; MLP-Offload keeps a ~2x lead "
+      "over DeepSpeed ZeRO-3 at every scale");
+
+  TablePrinter table({"Model [GPUs]", "Engine", "Fwd (s)", "Bwd (s)",
+                      "Update (s)", "Total (s)", "Speedup", "Paper"});
+  f64 ours_70b_total = 0;
+  for (const auto& c : kConfigs) {
+    const auto& model = paper_model(c.model);
+    f64 totals[2] = {0, 0};
+    IterationReport reports[2];
+    for (const int mlp : {0, 1}) {
+      auto cfg = bench::scenario(model, TestbedSpec::testbed2(),
+                                 mlp ? EngineOptions::mlp_offload()
+                                     : EngineOptions::deepspeed_zero3(),
+                                 c.nodes);
+      if (!mlp) cfg.attach_pfs = false;
+      const auto result = bench::run_scenario(cfg);
+      reports[mlp] = result.avg;
+      totals[mlp] = result.avg.iteration_seconds();
+    }
+    if (std::string(c.model) == "70B") ours_70b_total = totals[1];
+    const std::string label = std::string(c.model) + " [" +
+                              std::to_string(c.nodes * 4) + "]";
+    for (const int mlp : {0, 1}) {
+      const auto& r = reports[mlp];
+      const f64 paper = mlp ? c.paper_ours : c.paper_ds;
+      table.add_row(
+          {label, mlp ? "MLP-Offload" : "DeepSpeed ZeRO-3",
+           TablePrinter::num(r.forward_seconds, 2),
+           TablePrinter::num(r.backward_seconds, 1),
+           TablePrinter::num(r.update_seconds, 1),
+           TablePrinter::num(r.iteration_seconds(), 1),
+           mlp ? TablePrinter::num(totals[0] / totals[1], 2) + "x" : "1.00x",
+           paper > 0 ? TablePrinter::num(paper, 1) : "-"});
+    }
+  }
+  table.print();
+
+  // §4.4 cost-effectiveness: GPU-only 70B takes ~24 s/iter on ~80 A100s.
+  std::printf("\nCost-effectiveness (paper §4.4): 70B GPU-only needs ~80 "
+              "A100-40GB and runs 24 s/iter.\nOffloaded on 8 GPUs (10x "
+              "fewer): ours %.1f s/iter = %.1fx slower -> %.1fx better "
+              "cost-efficiency\n(paper: 4.8x slower, ~2x better).\n",
+              ours_70b_total, ours_70b_total / 24.0,
+              10.0 / (ours_70b_total / 24.0));
+  return 0;
+}

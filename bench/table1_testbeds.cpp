@@ -1,0 +1,86 @@
+// Table 1: testbed configurations — the hardware spec the emulation is
+// parameterised by, plus a microbenchmark verifying each emulated device
+// actually delivers its nominal read/write throughput (the paper's B_i
+// seeding procedure, §3.3).
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "tiers/throttled_tier.hpp"
+
+namespace {
+
+using namespace mlpo;
+
+// Measure single-stream throughput of an emulated tier.
+struct Measured {
+  f64 read_bps;
+  f64 write_bps;
+};
+
+Measured measure(StorageTier& tier, const SimClock& clock) {
+  constexpr u64 kSim = 4ull * GiB;
+  std::vector<u8> payload(1024, 0xAB);
+
+  const f64 w0 = clock.now();
+  for (int i = 0; i < 4; ++i) {
+    tier.write("bench/" + std::to_string(i), payload, kSim);
+  }
+  const f64 w1 = clock.now();
+
+  std::vector<u8> out(1024);
+  const f64 r0 = clock.now();
+  for (int i = 0; i < 4; ++i) {
+    tier.read("bench/" + std::to_string(i), out, kSim);
+  }
+  const f64 r1 = clock.now();
+  return {4.0 * kSim / (r1 - r0), 4.0 * kSim / (w1 - w0)};
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Table 1 - Testbed configurations",
+                      "Testbed-1 (JLSE H100) and Testbed-2 (Polaris A100) "
+                      "specs; emulated devices must match the listed rates");
+
+  TablePrinter spec({"Feature", "Testbed-1", "Testbed-2"});
+  const auto t1 = TestbedSpec::testbed1();
+  const auto t2 = TestbedSpec::testbed2();
+  spec.add_row({"GPUs", "4x H100-80GB", "4x A100-40GB"});
+  spec.add_row({"Pinned D<->H B/W (GB/s)", bench::gb_per_s(t1.d2h_bandwidth),
+                bench::gb_per_s(t2.d2h_bandwidth)});
+  spec.add_row({"CPU cores", std::to_string(t1.cpu_cores),
+                std::to_string(t2.cpu_cores)});
+  spec.add_row({"Host memory (GB)", bench::gib(t1.host_memory_bytes),
+                bench::gib(t2.host_memory_bytes)});
+  spec.add_row({"NVMe R|W (GB/s)",
+                bench::gb_per_s(t1.nvme_read_bw) + " | " + bench::gb_per_s(t1.nvme_write_bw),
+                bench::gb_per_s(t2.nvme_read_bw) + " | " + bench::gb_per_s(t2.nvme_write_bw)});
+  spec.add_row({"PFS", "VAST FS", "Lustre FS"});
+  spec.add_row({"PFS R|W (GB/s)",
+                bench::gb_per_s(t1.pfs_read_bw) + " | " + bench::gb_per_s(t1.pfs_write_bw),
+                bench::gb_per_s(t2.pfs_read_bw) + " | " + bench::gb_per_s(t2.pfs_write_bw)});
+  spec.print();
+
+  std::printf("\nEmulated-device microbenchmark (single stream):\n\n");
+  TablePrinter measured({"Device", "Spec R|W (GB/s)", "Measured R|W (GB/s)"});
+  const SimClock clock(bench::env_time_scale());
+  const auto bench_tier = [&](const std::string& name,
+                              std::shared_ptr<ThrottledTier> tier, f64 r, f64 w) {
+    const auto m = measure(*tier, clock);
+    measured.add_row({name, bench::gb_per_s(r) + " | " + bench::gb_per_s(w),
+                      bench::gb_per_s(m.read_bps) + " | " +
+                          bench::gb_per_s(m.write_bps)});
+  };
+  bench_tier("T1 NVMe", t1.make_nvme_tier(clock, "t1nvme"), t1.nvme_read_bw,
+             t1.nvme_write_bw);
+  bench_tier("T1 PFS (VAST)", t1.make_pfs_tier(clock, "t1pfs"), t1.pfs_read_bw,
+             t1.pfs_write_bw);
+  bench_tier("T2 NVMe", t2.make_nvme_tier(clock, "t2nvme"), t2.nvme_read_bw,
+             t2.nvme_write_bw);
+  bench_tier("T2 PFS (Lustre)", t2.make_pfs_tier(clock, "t2pfs"), t2.pfs_read_bw,
+             t2.pfs_write_bw);
+  measured.print();
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Ablation explorer: toggle MLP-Offload's four design principles from the
+// command line and see the iteration-time impact on any Table-2 model.
+//
+// Usage:
+//   ablation_explorer [model] [+|-multipath] [+|-cache] [+|-delayed] [+|-locking]
+// Examples:
+//   ablation_explorer 70B +multipath +cache -delayed -locking
+//   ablation_explorer 40B            (defaults: everything on)
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "runtime/trainer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mlpo;
+
+  std::string model_name = "40B";
+  EngineOptions opts = EngineOptions::mlp_offload();
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const bool enable = arg.size() > 1 && arg[0] == '+';
+    const bool disable = arg.size() > 1 && arg[0] == '-';
+    const std::string flag = enable || disable ? arg.substr(1) : arg;
+    if (flag == "multipath") {
+      opts.multipath = enable;
+    } else if (flag == "cache") {
+      opts.cache_friendly_order = enable;
+    } else if (flag == "delayed") {
+      opts.delayed_grad_conversion = enable;
+    } else if (flag == "locking") {
+      opts.tier_exclusive_locking = enable;
+    } else if (flag == "help" || flag == "h") {
+      std::printf("usage: %s [model] [+|-multipath] [+|-cache] [+|-delayed] "
+                  "[+|-locking]\n", argv[0]);
+      return 0;
+    } else {
+      model_name = flag;
+    }
+  }
+
+  TrainerConfig cfg;
+  try {
+    cfg.model = paper_model(model_name);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "unknown model '%s' (try 40B..280B)\n",
+                 model_name.c_str());
+    return 1;
+  }
+  cfg.testbed = TestbedSpec::testbed1();
+  cfg.engine = opts;
+  cfg.elem_scale = 65536;
+  cfg.time_scale = 1000.0;
+
+  std::printf("Model %s | multipath=%d cache_friendly_order=%d "
+              "delayed_grad_conversion=%d tier_exclusive_locking=%d\n\n",
+              cfg.model.name.c_str(), opts.multipath,
+              opts.cache_friendly_order, opts.delayed_grad_conversion,
+              opts.tier_exclusive_locking);
+
+  Trainer trainer(cfg);
+  trainer.initialize();
+  const auto avg = average_reports(trainer.run(4, 1));
+  std::printf("fwd %.2f s | bwd %.1f s | update %.1f s | total %.1f s | "
+              "%.0f Mparam/s | %u cache hits/iter\n",
+              avg.forward_seconds, avg.backward_seconds, avg.update_seconds,
+              avg.iteration_seconds(), avg.update_throughput_mparams(),
+              avg.host_cache_hits);
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Checkpoint pre-staging (paper §3.3): because the performance model keeps
+// a bandwidth-proportional share of the optimizer state on the persistent
+// PFS path, a checkpoint only needs to flush the host- and NVMe-resident
+// remainder. This example trains a few iterations, then checkpoints each
+// worker's shard and reports how many bytes pre-staging saved — comparing
+// MLP-Offload against the NVMe-only baseline, which must flush everything.
+#include <cstdio>
+
+#include "core/checkpoint.hpp"
+#include "runtime/node.hpp"
+#include "telemetry/table_printer.hpp"
+#include "tiers/memory_tier.hpp"
+
+int main() {
+  using namespace mlpo;
+  std::printf("Checkpoint pre-staging via multi-path placement (70B, "
+              "Testbed-1)\n\n");
+
+  TablePrinter table({"Engine", "Total (GB)", "Pre-staged (GB)",
+                      "Flushed (GB)", "Saved", "Ckpt time (s)"});
+  for (const int mlp : {0, 1}) {
+    SimClock clock(1000.0);
+    NodeConfig cfg;
+    cfg.model = paper_model("70B");
+    cfg.testbed = TestbedSpec::testbed1();
+    cfg.engine_opts = mlp ? EngineOptions::mlp_offload()
+                          : EngineOptions::deepspeed_zero3();
+    cfg.engine_opts.elem_scale = 65536;
+    cfg.attach_pfs = true;  // the checkpoint store needs the path to exist
+
+    NodeSim node(clock, cfg);
+    node.initialize();
+    node.run(2, 0);
+
+    // Checkpoint every worker's shard into a dedicated persistent store.
+    MemoryTier ckpt_store("checkpoint-store");
+    CheckpointReport total;
+    for (u32 w = 0; w < node.worker_count(); ++w) {
+      const auto r = checkpoint_prestage(node.worker(w).engine(), ckpt_store);
+      total.total_sim_bytes += r.total_sim_bytes;
+      total.prestaged_sim_bytes += r.prestaged_sim_bytes;
+      total.flushed_sim_bytes += r.flushed_sim_bytes;
+      total.seconds += r.seconds;
+    }
+    table.add_row({mlp ? "MLP-Offload" : "DeepSpeed ZeRO-3 (NVMe only)",
+                   TablePrinter::num(static_cast<f64>(total.total_sim_bytes) / 1e9, 0),
+                   TablePrinter::num(static_cast<f64>(total.prestaged_sim_bytes) / 1e9, 0),
+                   TablePrinter::num(static_cast<f64>(total.flushed_sim_bytes) / 1e9, 0),
+                   TablePrinter::pct(total.prestaged_fraction()),
+                   TablePrinter::num(total.seconds, 1)});
+  }
+  table.print();
+  std::printf("\nPre-staged bytes integrate with DataStates-style "
+              "asynchronous checkpointing:\nonly the non-persistent "
+              "remainder needs flushing during fwd/bwd.\n");
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Memory planning: check whether a model/testbed configuration satisfies
+// the paper's §4.1 feasibility constraints before running it — the same
+// arithmetic DeepSpeed's memory estimator exposes.
+//
+// Usage: memory_planning [model] [gpu_gb] [world]
+//   memory_planning 120B            (defaults: 80 GB GPUs, one node)
+//   memory_planning 280B 40 32      (A100-40GB, 32 ranks)
+#include <cstdio>
+#include <cstdlib>
+
+#include "runtime/memory_planner.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mlpo;
+
+  PlannerInput input;
+  input.testbed = TestbedSpec::testbed1();
+  std::string model_name = argc > 1 ? argv[1] : "120B";
+  try {
+    input.model = model_name == "20B" ? baseline_20b() : paper_model(model_name);
+  } catch (const std::exception&) {
+    std::fprintf(stderr, "unknown model '%s'\n", model_name.c_str());
+    return 1;
+  }
+  if (argc > 2) input.gpu_memory_bytes = std::strtoull(argv[2], nullptr, 10) * GiB;
+  if (argc > 3) input.total_world = static_cast<u32>(std::atoi(argv[3]));
+
+  const auto plan = plan_memory(input);
+  std::printf("Feasibility plan for %s (%u ranks, %.0f GB GPUs):\n\n",
+              input.model.name.c_str(),
+              input.total_world ? input.total_world
+                                : input.testbed.gpus_per_node,
+              static_cast<f64>(input.gpu_memory_bytes) / 1e9);
+  std::printf("%s\n", plan.to_string().c_str());
+  std::printf("Verdict: %s\n",
+              plan.feasible() ? "configuration fits"
+                              : "configuration DOES NOT fit");
+  return plan.feasible() ? 0 : 2;
+}

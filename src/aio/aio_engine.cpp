@@ -1,0 +1,99 @@
+#include "aio/aio_engine.hpp"
+
+#include <exception>
+
+namespace mlpo {
+
+AioEngine::AioEngine(std::size_t io_threads, std::size_t queue_depth)
+    : queue_(queue_depth) {
+  if (io_threads == 0) io_threads = 1;
+  threads_.reserve(io_threads);
+  for (std::size_t i = 0; i < io_threads; ++i) {
+    threads_.emplace_back([this] { io_loop(); });
+  }
+}
+
+AioEngine::~AioEngine() {
+  queue_.close();
+  for (auto& t : threads_) t.join();
+}
+
+void AioEngine::io_loop() {
+  for (;;) {
+    auto task = queue_.pop();
+    if (!task.has_value()) return;
+    auto& t = **task;
+    try {
+      t.fn();
+      t.done.set_value();
+    } catch (...) {
+      t.done.set_exception(std::current_exception());
+    }
+    // Bump under the drain mutex so a concurrent drain() cannot miss the
+    // wakeup between its predicate check and its wait.
+    {
+      std::lock_guard lk(drain_mutex_);
+      completed_.fetch_add(1, std::memory_order_release);
+    }
+    drain_cv_.notify_all();
+  }
+}
+
+std::future<void> AioEngine::submit(std::function<void()> fn) {
+  auto task = std::make_unique<Task>();
+  task->fn = std::move(fn);
+  auto fut = task->done.get_future();
+  submitted_.fetch_add(1, std::memory_order_acq_rel);
+  if (!queue_.push(std::move(task))) {
+    // Engine is shutting down; surface as a broken operation instead of
+    // silently dropping the promise.
+    std::promise<void> p;
+    p.set_exception(std::make_exception_ptr(
+        std::runtime_error("AioEngine: submit after shutdown")));
+    {
+      std::lock_guard lk(drain_mutex_);
+      completed_.fetch_add(1, std::memory_order_release);
+    }
+    drain_cv_.notify_all();
+    return p.get_future();
+  }
+  return fut;
+}
+
+std::future<void> AioEngine::submit_read(StorageTier& tier, std::string key,
+                                         std::span<u8> out, u64 sim_bytes) {
+  return submit([&tier, key = std::move(key), out, sim_bytes] {
+    tier.read(key, out, sim_bytes);
+  });
+}
+
+std::future<void> AioEngine::submit_write(StorageTier& tier, std::string key,
+                                          std::span<const u8> data,
+                                          u64 sim_bytes) {
+  return submit([&tier, key = std::move(key), data, sim_bytes] {
+    tier.write(key, data, sim_bytes);
+  });
+}
+
+void AioEngine::drain() {
+  std::unique_lock lock(drain_mutex_);
+  drain_cv_.wait(lock, [this] {
+    return completed_.load(std::memory_order_acquire) >=
+           submitted_.load(std::memory_order_acquire);
+  });
+}
+
+void IoBatch::wait_all() {
+  std::exception_ptr first_error;
+  for (auto& fut : futures_) {
+    try {
+      fut.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  futures_.clear();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace mlpo

@@ -1,0 +1,55 @@
+#include "comm/collectives.hpp"
+
+#include <cmath>
+
+namespace mlpo {
+
+namespace {
+inline f64 ring_fraction(u32 ranks) {
+  return static_cast<f64>(ranks - 1) / static_cast<f64>(ranks);
+}
+}  // namespace
+
+f64 allreduce_seconds(const Interconnect& net, u32 ranks, u64 bytes) {
+  if (ranks <= 1 || bytes == 0) return 0.0;
+  return 2.0 * ring_fraction(ranks) * static_cast<f64>(bytes) / net.bandwidth +
+         2.0 * static_cast<f64>(ranks - 1) * net.latency;
+}
+
+f64 allgather_seconds(const Interconnect& net, u32 ranks, u64 bytes) {
+  if (ranks <= 1 || bytes == 0) return 0.0;
+  return ring_fraction(ranks) * static_cast<f64>(bytes) / net.bandwidth +
+         static_cast<f64>(ranks - 1) * net.latency;
+}
+
+f64 reduce_scatter_seconds(const Interconnect& net, u32 ranks, u64 bytes) {
+  return allgather_seconds(net, ranks, bytes);  // symmetric ring cost
+}
+
+f64 broadcast_seconds(const Interconnect& net, u32 ranks, u64 bytes) {
+  if (ranks <= 1 || bytes == 0) return 0.0;
+  return static_cast<f64>(bytes) / net.bandwidth +
+         std::log2(static_cast<f64>(ranks)) * net.latency;
+}
+
+Zero3CommCost zero3_comm_cost(const Interconnect& net, u32 dp_ranks,
+                              u64 fp16_param_bytes) {
+  // Forward: one allgather to reconstruct each layer's FP16 parameters.
+  // Backward: parameters are gathered again (they were released after the
+  // forward) and gradients are reduce-scattered back to their owner ranks.
+  Zero3CommCost cost{};
+  cost.forward_seconds = allgather_seconds(net, dp_ranks, fp16_param_bytes);
+  cost.backward_seconds = allgather_seconds(net, dp_ranks, fp16_param_bytes) +
+                          reduce_scatter_seconds(net, dp_ranks, fp16_param_bytes);
+  return cost;
+}
+
+f64 tensor_parallel_seconds(const Interconnect& net, u32 tp_ranks,
+                            u32 num_layers, u64 activation_bytes) {
+  if (tp_ranks <= 1) return 0.0;
+  // Megatron TP: 2 allreduces per layer forward + 2 backward = 4 per layer.
+  return 4.0 * static_cast<f64>(num_layers) *
+         allreduce_seconds(net, tp_ranks, activation_bytes);
+}
+
+}  // namespace mlpo

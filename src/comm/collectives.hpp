@@ -1,0 +1,58 @@
+// Alpha-beta cost models for the collectives ZeRO-3 training issues:
+// allgather/scatter of FP16 parameters during fwd/bwd (parameter
+// reconstruction), reduce-scatter of gradients, and tensor-parallel
+// allreduces. Used by the weak-scaling runtime (paper §4.4) to charge
+// communication time on the virtual clock.
+//
+// Model: ring algorithms on p ranks moving n bytes cost
+//   allreduce:      2(p-1)/p * n / B + 2(p-1) * alpha
+//   allgather:       (p-1)/p * n / B +  (p-1) * alpha
+//   reduce-scatter:  (p-1)/p * n / B +  (p-1) * alpha
+//   broadcast:               n / B   + log2(p) * alpha   (tree)
+// with link bandwidth B (bytes/s) and per-message latency alpha.
+#pragma once
+
+#include <string>
+
+#include "util/common.hpp"
+
+namespace mlpo {
+
+/// One interconnect domain (NVLink island, node-level IB/Slingshot fabric).
+struct Interconnect {
+  std::string name;
+  f64 bandwidth;      ///< bytes per (virtual) second per rank pair direction
+  f64 latency = 5e-6; ///< alpha, seconds per message
+
+  /// NVLink-class intra-node fabric (A100 NVSwitch ~ 300 GB/s usable).
+  static Interconnect nvlink() { return {"nvlink", 300.0 * GB, 2e-6}; }
+  /// Slingshot/IB-class inter-node fabric (~25 GB/s per NIC).
+  static Interconnect slingshot() { return {"slingshot", 25.0 * GB, 5e-6}; }
+};
+
+/// Cost (virtual seconds) of each collective over `bytes` on `ranks` ranks.
+/// All return 0 for ranks <= 1 (no communication needed).
+f64 allreduce_seconds(const Interconnect& net, u32 ranks, u64 bytes);
+f64 allgather_seconds(const Interconnect& net, u32 ranks, u64 bytes);
+f64 reduce_scatter_seconds(const Interconnect& net, u32 ranks, u64 bytes);
+f64 broadcast_seconds(const Interconnect& net, u32 ranks, u64 bytes);
+
+/// ZeRO-3 per-iteration communication volume model (paper §2: ZeRO-3 incurs
+/// ~1.5x the communication of plain data parallelism). For a model with
+/// `params` parameters in FP16:
+///   fwd: allgather of params; bwd: allgather of params + reduce-scatter of
+///   grads. Returns the per-phase costs so the runtime can attribute them.
+struct Zero3CommCost {
+  f64 forward_seconds;
+  f64 backward_seconds;
+};
+Zero3CommCost zero3_comm_cost(const Interconnect& net, u32 dp_ranks,
+                              u64 fp16_param_bytes);
+
+/// Tensor-parallel activation allreduce cost per layer pair (Megatron-style:
+/// two allreduces per layer in fwd, two in bwd) over hidden activations of
+/// `activation_bytes`.
+f64 tensor_parallel_seconds(const Interconnect& net, u32 tp_ranks,
+                            u32 num_layers, u64 activation_bytes);
+
+}  // namespace mlpo

@@ -1,0 +1,67 @@
+#include "core/checkpoint.hpp"
+
+#include <string>
+#include <vector>
+
+namespace mlpo {
+
+CheckpointReport checkpoint_prestage(OffloadEngine& engine,
+                                     StorageTier& store) {
+  CheckpointReport report;
+  const f64 start = engine.clock().now();
+
+  for (u32 id = 0; id < engine.num_subgroups(); ++id) {
+    const Subgroup snapshot = engine.snapshot_subgroup(id);
+    const u64 sim = snapshot.sim_state_bytes();
+    report.total_sim_bytes += sim;
+
+    std::vector<u8> buf(snapshot.serialized_bytes());
+    snapshot.serialize(buf);
+    const std::string key = "ckpt/" + std::to_string(engine.rank()) + "/" +
+                            std::to_string(id);
+    if (engine.on_persistent_path(id)) {
+      // Already durable where it lives: snapshot it in place (a server-side
+      // copy / object clone on the PFS) so later training cannot overwrite
+      // the checkpointed version. No client-network bytes are charged —
+      // that is exactly the pre-staging saving.
+      store.write(key, buf, /*sim_bytes=*/1);
+      report.prestaged_sim_bytes += sim;
+      continue;
+    }
+    store.write(key, buf, sim);
+    report.flushed_sim_bytes += sim;
+  }
+  report.seconds = engine.clock().now() - start;
+  return report;
+}
+
+u32 checkpoint_restore(OffloadEngine& engine, StorageTier& store) {
+  u32 from_store = 0;
+  for (u32 id = 0; id < engine.num_subgroups(); ++id) {
+    const std::string key = "ckpt/" + std::to_string(engine.rank()) + "/" +
+                            std::to_string(id);
+    if (store.exists(key)) {
+      std::vector<u8> buf(store.object_size(key));
+      store.read(key, buf);
+      engine.restore_state(id, buf);
+      ++from_store;
+      continue;
+    }
+    // Pre-staged at checkpoint time: the persistent tier copy *is* the
+    // checkpoint. It must still be there and still persistent.
+    if (!engine.on_persistent_path(id)) {
+      throw std::runtime_error(
+          "checkpoint_restore: subgroup " + std::to_string(id) +
+          " is neither in the checkpoint store nor on a persistent path");
+    }
+    // Re-anchor the host view: the tier copy is authoritative. Loading it
+    // through restore_state also normalises the placement bookkeeping.
+    const Subgroup snapshot = engine.snapshot_subgroup(id);
+    std::vector<u8> buf(snapshot.serialized_bytes());
+    snapshot.serialize(buf);
+    engine.restore_state(id, buf);
+  }
+  return from_store;
+}
+
+}  // namespace mlpo

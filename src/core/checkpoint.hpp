@@ -1,0 +1,46 @@
+// Checkpoint pre-staging (paper §3.3, last paragraph).
+//
+// A side benefit of multi-path offloading: subgroups that the performance
+// model placed on *persistent* paths (PFS, object store) are already
+// durable — a checkpoint only needs to persist the remainder (host-cached
+// subgroups and those on non-persistent node-local NVMe). This integrates
+// with DataStates-style asynchronous checkpointing engines; here we provide
+// the flush itself plus an accounting report of how many bytes pre-staging
+// saved.
+#pragma once
+
+#include "core/offload_engine.hpp"
+#include "tiers/storage_tier.hpp"
+
+namespace mlpo {
+
+struct CheckpointReport {
+  u64 total_sim_bytes = 0;      ///< full optimizer-state footprint
+  u64 prestaged_sim_bytes = 0;  ///< already durable on persistent paths
+  u64 flushed_sim_bytes = 0;    ///< written by this checkpoint
+  f64 seconds = 0;              ///< virtual time spent flushing
+
+  f64 prestaged_fraction() const {
+    return total_sim_bytes
+        ? static_cast<f64>(prestaged_sim_bytes) / static_cast<f64>(total_sim_bytes)
+        : 0;
+  }
+};
+
+/// Persist `engine`'s optimizer state into `store` (a persistent tier).
+/// Subgroups already resident on a persistent VirtualTier path are counted
+/// as pre-staged and skipped; everything else (host-cached subgroups,
+/// NVMe-resident subgroups) is serialized and written under
+/// "ckpt/<rank>/<id>" keys.
+CheckpointReport checkpoint_prestage(OffloadEngine& engine,
+                                     StorageTier& store);
+
+/// Restore the engine's optimizer state from a checkpoint taken with
+/// checkpoint_prestage. Subgroups present in `store` are loaded from it;
+/// subgroups that were pre-staged (skipped by the checkpoint) are loaded
+/// from their persistent VirtualTier path. Throws if a subgroup can be
+/// recovered from neither source. Returns the number of subgroups loaded
+/// from `store` (the rest were recovered in place).
+u32 checkpoint_restore(OffloadEngine& engine, StorageTier& store);
+
+}  // namespace mlpo

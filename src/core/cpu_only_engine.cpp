@@ -1,0 +1,105 @@
+#include "core/cpu_only_engine.hpp"
+
+#include <stdexcept>
+
+namespace mlpo {
+
+namespace {
+inline u64 splitmix64(u64 x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+}  // namespace
+
+CpuOnlyEngine::CpuOnlyEngine(const SimClock& clock, const GradSource& grads,
+                             const ShardLayout& layout, const Options& opts,
+                             ThreadPool* cpu_pool, RateLimiter* d2h)
+    : clock_(&clock), grads_(&grads), layout_(layout), opts_(opts),
+      cpu_pool_(cpu_pool), d2h_(d2h) {
+  std::vector<u64> accum_elems;
+  for (std::size_t i = 0; i < layout_.subgroup_sizes.size(); ++i) {
+    subgroups_.push_back(std::make_unique<Subgroup>(
+        static_cast<u32>(i), layout_.subgroup_sizes[i], opts_.elem_scale));
+    accum_elems.push_back(subgroups_.back()->real_elems());
+  }
+  accum_ = std::make_unique<GradAccumulator>(accum_elems);
+}
+
+void CpuOnlyEngine::initialize() {
+  if (initialized_) throw std::logic_error("CpuOnlyEngine: double initialize");
+  for (auto& sg : subgroups_) {
+    // Same deterministic init scheme as OffloadEngine (rank 0 namespace) so
+    // cross-engine state comparisons are meaningful.
+    const u64 base = splitmix64(0xC0FFEEull ^ (static_cast<u64>(layout_.rank)
+                                               << 40) ^
+                                (static_cast<u64>(sg->id()) << 8));
+    auto params = sg->params();
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      const u64 h = splitmix64(base + i);
+      const f64 unit = static_cast<f64>(h >> 11) * 0x1.0p-53;
+      params[i] = static_cast<f32>((unit - 0.5) * 0.04);
+    }
+  }
+  initialized_ = true;
+}
+
+void CpuOnlyEngine::deposit_gradients(u64 sample_index, bool first_micro_step) {
+  for (auto& sg : subgroups_) {
+    if (d2h_ != nullptr) d2h_->acquire(sg->sim_params() * kFp16Bytes);
+    std::vector<u16> grads(sg->real_elems());
+    grads_->generate_fp16(layout_.rank, sg->id(), sample_index, grads);
+    if (first_micro_step) {
+      accum_->store(sg->id(), grads);
+    } else {
+      accum_->accumulate(sg->id(), grads, cpu_pool_);
+    }
+  }
+}
+
+IterationReport CpuOnlyEngine::run_update(u64 iteration) {
+  if (!initialized_) {
+    throw std::logic_error("CpuOnlyEngine: run_update before initialize");
+  }
+  const f64 start = clock_->now();
+  IterationReport report;
+  report.iteration = iteration;
+
+  std::vector<f32> grads_fp32;
+  for (auto& sg_ptr : subgroups_) {
+    Subgroup& sg = *sg_ptr;
+    SimTimer kernel_timer(*clock_);
+    grads_fp32.resize(sg.real_elems());
+    accum_->upscale_into(sg.id(), grads_fp32, cpu_pool_);
+    clock_->sleep_for(opts_.convert.seconds_for_params(sg.sim_params()));
+
+    sg.set_step(sg.step() + 1);
+    adam_update(opts_.adam, sg.params(), sg.momentum(), sg.variance(),
+                grads_fp32, sg.step(), cpu_pool_);
+    const f64 budget =
+        static_cast<f64>(sg.sim_params()) / opts_.cpu_update_rate;
+    const f64 real = kernel_timer.elapsed();
+    if (budget > real) clock_->sleep_for(budget - real);
+
+    SubgroupTrace trace{};
+    trace.subgroup_id = sg.id();
+    trace.compute_seconds = std::max(budget, real);
+    trace.host_cache_hit = true;  // always host-resident
+    report.traces.push_back(trace);
+    report.update_compute_seconds += trace.compute_seconds;
+    ++report.subgroups_processed;
+  }
+  report.params_updated = layout_.shard_params;
+  report.host_cache_hits = report.subgroups_processed;
+  report.update_seconds = clock_->now() - start;
+  return report;
+}
+
+u64 CpuOnlyEngine::state_checksum() const {
+  u64 sum = 0;
+  for (const auto& sg : subgroups_) sum += sg->checksum();
+  return sum;
+}
+
+}  // namespace mlpo

@@ -1,0 +1,62 @@
+// Host-memory-resident update engine — the paper's 20B reference point
+// (Fig. 3, "20B CPU"): the full FP32 optimizer state fits in host RAM, so
+// the update phase is pure CPU compute with zero third-level I/O.
+//
+// Shares the subgroup/Adam/gradient machinery with OffloadEngine so the two
+// are numerically comparable; only the data movement differs.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "telemetry/iteration_report.hpp"
+#include "train/adam.hpp"
+#include "train/grad_accum.hpp"
+#include "train/grad_source.hpp"
+#include "train/mixed_precision.hpp"
+#include "train/sharding.hpp"
+#include "train/subgroup.hpp"
+#include "util/rate_limiter.hpp"
+#include "util/sim_clock.hpp"
+#include "util/thread_pool.hpp"
+
+namespace mlpo {
+
+class CpuOnlyEngine {
+ public:
+  struct Options {
+    f64 cpu_update_rate = 2000e6;  ///< simulated params per vsecond
+    ConvertCost convert;
+    AdamConfig adam;
+    u64 elem_scale = 1;
+  };
+
+  CpuOnlyEngine(const SimClock& clock, const GradSource& grads,
+                const ShardLayout& layout, const Options& opts,
+                ThreadPool* cpu_pool = nullptr, RateLimiter* d2h = nullptr);
+
+  void initialize();
+
+  /// Deposit FP16 gradients for one micro-step (D2H charge + accumulate).
+  void deposit_gradients(u64 sample_index, bool first_micro_step);
+
+  /// Pure-compute update phase over all subgroups.
+  IterationReport run_update(u64 iteration);
+
+  u32 num_subgroups() const { return static_cast<u32>(subgroups_.size()); }
+  const Subgroup& subgroup(u32 id) const { return *subgroups_.at(id); }
+  u64 state_checksum() const;
+
+ private:
+  const SimClock* clock_;
+  const GradSource* grads_;
+  ShardLayout layout_;
+  Options opts_;
+  ThreadPool* cpu_pool_;
+  RateLimiter* d2h_;
+  std::vector<std::unique_ptr<Subgroup>> subgroups_;
+  std::unique_ptr<GradAccumulator> accum_;
+  bool initialized_ = false;
+};
+
+}  // namespace mlpo

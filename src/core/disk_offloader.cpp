@@ -1,0 +1,49 @@
+#include "core/disk_offloader.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mlpo {
+
+std::future<void> DiskOffloader::async_write(const std::string& key,
+                                             std::span<const f32> data,
+                                             u64 sim_bytes) {
+  const std::span<const u8> bytes(reinterpret_cast<const u8*>(data.data()),
+                                  data.size() * sizeof(f32));
+  auto fut = aio_->submit_write(*tier_, key, bytes, sim_bytes);
+  // Keep a copy in the drain set; share completion with the caller.
+  auto shared = fut.share();
+  pending_.add(std::async(std::launch::deferred, [shared] { shared.get(); }));
+  return std::async(std::launch::deferred, [shared] { shared.get(); });
+}
+
+std::future<void> DiskOffloader::async_read(const std::string& key,
+                                            std::span<f32> data,
+                                            u64 sim_bytes) {
+  const std::span<u8> bytes(reinterpret_cast<u8*>(data.data()),
+                            data.size() * sizeof(f32));
+  auto shared = aio_->submit_read(*tier_, key, bytes, sim_bytes).share();
+  pending_.add(std::async(std::launch::deferred, [shared] { shared.get(); }));
+  return std::async(std::launch::deferred, [shared] { shared.get(); });
+}
+
+void DiskOffloader::synchronize() { pending_.wait_all(); }
+
+std::vector<std::size_t> split_tensors_by_bandwidth(
+    const std::vector<DiskOffloader*>& offloaders, std::size_t tensor_count) {
+  if (offloaders.empty()) {
+    throw std::invalid_argument("split_tensors_by_bandwidth: no offloaders");
+  }
+  std::vector<f64> bandwidths;
+  bandwidths.reserve(offloaders.size());
+  for (const auto* off : offloaders) {
+    const auto& tier = const_cast<DiskOffloader*>(off)->tier();
+    bandwidths.push_back(
+        std::min(tier.read_bandwidth(), tier.write_bandwidth()));
+  }
+  const auto quotas =
+      eq1_subgroup_quotas(static_cast<u32>(tensor_count), bandwidths);
+  return interleaved_placement(quotas);
+}
+
+}  // namespace mlpo

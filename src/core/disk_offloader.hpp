@@ -1,0 +1,59 @@
+// TensorNVMe-style offloading facade (paper §3.5): "the core principles of
+// MLP-Offload make it extensible to other training runtimes, such as
+// TensorNVMe in Colossal-AI, by specifying multiple DiskOffloader objects
+// to create the virtual third-level tier, on each of which the
+// corresponding subgroups dictated by our performance model can be
+// offloaded."
+//
+// This adapter mirrors TensorNVMe's per-tensor async API (async_write /
+// async_read / synchronize) over one storage tier, and provides the Eq.-1
+// splitter that distributes a tensor set across several DiskOffloaders —
+// the exact integration recipe the paper describes.
+#pragma once
+
+#include <future>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "aio/aio_engine.hpp"
+#include "core/perf_model.hpp"
+#include "tiers/storage_tier.hpp"
+
+namespace mlpo {
+
+class DiskOffloader {
+ public:
+  /// @param tier the backing storage (one path of the virtual tier)
+  /// @param aio shared async I/O engine
+  DiskOffloader(StorageTier& tier, AioEngine& aio)
+      : tier_(&tier), aio_(&aio) {}
+
+  /// Asynchronously persist `data` under `key`. The span must stay alive
+  /// until synchronize() (TensorNVMe's contract).
+  std::future<void> async_write(const std::string& key,
+                                std::span<const f32> data, u64 sim_bytes = 0);
+
+  /// Asynchronously load `key` into `data` (sizes must match the write).
+  std::future<void> async_read(const std::string& key, std::span<f32> data,
+                               u64 sim_bytes = 0);
+
+  /// Drain every operation issued through this offloader.
+  void synchronize();
+
+  StorageTier& tier() { return *tier_; }
+
+ private:
+  StorageTier* tier_;
+  AioEngine* aio_;
+  IoBatch pending_;
+};
+
+/// Split `tensor_sim_bytes.size()` tensors across `offloaders` proportional
+/// to each backing tier's min(read,write) bandwidth — Eq. 1 applied to the
+/// Colossal-AI integration. Returns tensor index -> offloader index, using
+/// the same interleaved spread as the subgroup placement.
+std::vector<std::size_t> split_tensors_by_bandwidth(
+    const std::vector<DiskOffloader*>& offloaders, std::size_t tensor_count);
+
+}  // namespace mlpo

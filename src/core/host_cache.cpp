@@ -1,0 +1,40 @@
+#include "core/host_cache.hpp"
+
+namespace mlpo {
+
+void HostCache::touch(u32 id) {
+  const auto it = index_.find(id);
+  if (it == index_.end()) return;
+  lru_.splice(lru_.end(), lru_, it->second);
+}
+
+std::optional<u32> HostCache::insert(u32 id) {
+  if (capacity_ == 0) return id;
+  const auto it = index_.find(id);
+  if (it != index_.end()) {
+    lru_.splice(lru_.end(), lru_, it->second);
+    return std::nullopt;
+  }
+  std::optional<u32> evicted;
+  if (lru_.size() >= capacity_) {
+    evicted = lru_.front();
+    index_.erase(lru_.front());
+    lru_.pop_front();
+  }
+  lru_.push_back(id);
+  index_[id] = std::prev(lru_.end());
+  return evicted;
+}
+
+void HostCache::erase(u32 id) {
+  const auto it = index_.find(id);
+  if (it == index_.end()) return;
+  lru_.erase(it->second);
+  index_.erase(it);
+}
+
+std::vector<u32> HostCache::resident() const {
+  return {lru_.begin(), lru_.end()};
+}
+
+}  // namespace mlpo

@@ -1,0 +1,50 @@
+// Host-memory residency tracker for optimizer subgroups.
+//
+// The host memory left over after runtime buffers holds a limited number of
+// subgroups between iterations. This class tracks which — an LRU set with a
+// hard capacity. Eviction is decided here; the *flush* of an evicted (dirty)
+// subgroup is the engine's job, so the cache stays a pure bookkeeping
+// structure.
+#pragma once
+
+#include <list>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace mlpo {
+
+class HostCache {
+ public:
+  /// @param capacity maximum resident subgroups; 0 disables caching
+  ///        entirely (insert() immediately returns the inserted id).
+  explicit HostCache(u32 capacity) : capacity_(capacity) {}
+
+  u32 capacity() const { return capacity_; }
+  u32 size() const { return static_cast<u32>(lru_.size()); }
+
+  bool contains(u32 id) const { return index_.count(id) > 0; }
+
+  /// Mark `id` most-recently-used (no-op if absent).
+  void touch(u32 id);
+
+  /// Insert `id` as most-recently-used. Returns the evicted id when the
+  /// cache was full (the caller must flush it), or `id` itself when
+  /// capacity is 0, or nullopt when there was room.
+  std::optional<u32> insert(u32 id);
+
+  /// Remove `id` without eviction bookkeeping (e.g. explicitly flushed).
+  void erase(u32 id);
+
+  /// Resident ids, least-recently-used first.
+  std::vector<u32> resident() const;
+
+ private:
+  u32 capacity_;
+  std::list<u32> lru_;  // front = LRU victim, back = most recent
+  std::unordered_map<u32, std::list<u32>::iterator> index_;
+};
+
+}  // namespace mlpo

@@ -1,0 +1,546 @@
+#include "core/offload_engine.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <deque>
+#include <limits>
+#include <optional>
+#include <stdexcept>
+
+#include "core/update_order.hpp"
+#include "util/logging.hpp"
+
+namespace mlpo {
+
+namespace {
+
+inline u64 splitmix64(u64 x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+// Deterministic parameter initialisation: small centred values, identical
+// for every engine configuration so end-state digests are comparable.
+void init_params(int rank, u32 id, std::span<f32> params) {
+  const u64 base = splitmix64(0xC0FFEEull ^ (static_cast<u64>(rank) << 40) ^
+                              (static_cast<u64>(id) << 8));
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    const u64 h = splitmix64(base + i);
+    const f64 unit = static_cast<f64>(h >> 11) * 0x1.0p-53;
+    params[i] = static_cast<f32>((unit - 0.5) * 0.04);
+  }
+}
+
+}  // namespace
+
+EngineOptions EngineOptions::deepspeed_zero3() {
+  EngineOptions o;
+  o.multipath = false;
+  o.cache_friendly_order = false;
+  o.delayed_grad_conversion = false;
+  o.tier_exclusive_locking = false;
+  return o;
+}
+
+EngineOptions EngineOptions::mlp_offload() { return EngineOptions{}; }
+
+struct OffloadEngine::UpdateSlot {
+  u32 id = 0;
+  bool cache_hit = false;
+  std::future<void> fetch_done;
+  f64 fetch_seconds = 0;
+  u64 fetch_sim_bytes = 0;
+  std::vector<f32> grads_fp32;
+};
+
+OffloadEngine::OffloadEngine(const EngineContext& ctx,
+                             const EngineOptions& opts,
+                             const ShardLayout& layout)
+    : ctx_(ctx), opts_(opts), layout_(layout),
+      cache_(opts.cache_friendly_order ? opts.host_cache_subgroups : 0) {
+  if (ctx_.clock == nullptr || ctx_.vtier == nullptr || ctx_.aio == nullptr ||
+      ctx_.grads == nullptr) {
+    throw std::invalid_argument(
+        "OffloadEngine: clock, vtier, aio, and grads are required");
+  }
+  if (ctx_.vtier->path_count() == 0) {
+    throw std::invalid_argument("OffloadEngine: virtual tier has no paths");
+  }
+  if (opts_.cpu_update_rate <= 0) {
+    throw std::invalid_argument("OffloadEngine: cpu_update_rate must be > 0");
+  }
+  // A cached subgroup is touched (made MRU) when its prefetch slot is
+  // issued, up to prefetch_ahead positions before it is processed. The
+  // cache must be deep enough that the insertions from those intervening
+  // positions cannot evict it again, or the hit would consume poisoned
+  // state mid-flush.
+  if (opts_.cache_friendly_order && opts_.host_cache_subgroups > 0 &&
+      opts_.host_cache_subgroups < opts_.prefetch_ahead + 1) {
+    throw std::invalid_argument(
+        "OffloadEngine: host_cache_subgroups must be 0 or >= prefetch_ahead+1");
+  }
+
+  subgroups_.reserve(layout_.subgroup_sizes.size());
+  std::vector<u64> accum_elems;
+  accum_elems.reserve(layout_.subgroup_sizes.size());
+  for (std::size_t i = 0; i < layout_.subgroup_sizes.size(); ++i) {
+    subgroups_.push_back(std::make_unique<Subgroup>(
+        static_cast<u32>(i), layout_.subgroup_sizes[i], opts_.elem_scale));
+    accum_elems.push_back(subgroups_.back()->real_elems());
+  }
+  host_valid_.assign(subgroups_.size(), 0);
+  accum_ = std::make_unique<GradAccumulator>(accum_elems);
+
+  // The performance model spans all paths under multipath, or just the
+  // primary (NVMe) path for the single-path baseline.
+  std::vector<f64> bws = ctx_.vtier->path_bandwidths();
+  if (!opts_.multipath) bws.resize(1);
+  perf_ = std::make_unique<PerfModel>(std::move(bws),
+                                      static_cast<u32>(subgroups_.size()));
+}
+
+OffloadEngine::~OffloadEngine() {
+  try {
+    wait_gradient_io();
+  } catch (...) {
+    // Destruction must not throw; outstanding failures were the caller's to
+    // collect via wait_gradient_io().
+  }
+}
+
+std::string OffloadEngine::state_key(u32 id) const {
+  return Subgroup::key(ctx_.rank, id);
+}
+
+std::string OffloadEngine::grad_key(u32 id) const {
+  return "grad/" + std::to_string(ctx_.rank) + "/" + std::to_string(id);
+}
+
+void OffloadEngine::poison_host_state(Subgroup& sg) {
+  // Evicted host copies are poisoned so that any code path consuming stale
+  // state (instead of re-fetching) fails loudly in tests.
+  const f32 nan = std::numeric_limits<f32>::quiet_NaN();
+  for (auto& v : sg.params()) v = nan;
+  for (auto& v : sg.momentum()) v = nan;
+  for (auto& v : sg.variance()) v = nan;
+}
+
+void OffloadEngine::initialize() {
+  if (initialized_) throw std::logic_error("OffloadEngine: double initialize");
+  IoBatch batch;
+  for (auto& sg_ptr : subgroups_) {
+    Subgroup& sg = *sg_ptr;
+    init_params(ctx_.rank, sg.id(), sg.params());
+    const std::size_t path = perf_->path_for(sg.id());
+    auto buf = std::make_shared<std::vector<u8>>(sg.serialized_bytes());
+    sg.serialize(std::span<u8>(*buf));
+    poison_host_state(sg);
+    const u64 sim = sg.sim_state_bytes();
+    const std::string key = state_key(sg.id());
+    batch.add(ctx_.aio->submit([this, buf, path, sim, key] {
+      ctx_.vtier->write_to(path, key, std::span<const u8>(*buf), sim);
+    }));
+  }
+  batch.wait_all();
+  initialized_ = true;
+}
+
+void OffloadEngine::deposit_gradients_async(u64 sample_index, u32 subgroup_id,
+                                            bool first_micro_step,
+                                            bool final_micro_step) {
+  Subgroup& sg = *subgroups_.at(subgroup_id);
+  const u64 sim_params = sg.sim_params();
+  const u64 real_elems = sg.real_elems();
+
+  gradient_io_.add(ctx_.aio->submit([this, sample_index, subgroup_id,
+                                     first_micro_step, final_micro_step,
+                                     sim_params, real_elems] {
+    // (a) D2H transfer of the FP16 gradients produced on the GPU.
+    if (ctx_.d2h != nullptr) {
+      ctx_.d2h->acquire(sim_params * kFp16Bytes);
+    }
+    std::vector<u16> grads(real_elems);
+    ctx_.grads->generate_fp16(ctx_.rank, subgroup_id, sample_index, grads);
+    if (first_micro_step) {
+      accum_->store(subgroup_id, grads);
+    } else {
+      accum_->accumulate(subgroup_id, grads, ctx_.cpu_pool);
+    }
+
+    // (b)+(c) Baseline path only: upscale to FP32 on the host and flush the
+    // FP32 gradients to third-level storage during the backward pass.
+    // MLP-Offload skips this entirely (design principle 4).
+    if (!opts_.delayed_grad_conversion && final_micro_step) {
+      ctx_.clock->sleep_for(opts_.convert.seconds_for_params(sim_params));
+      std::vector<f32> fp32(real_elems);
+      accum_->upscale_into(subgroup_id, fp32, ctx_.cpu_pool);
+
+      const std::size_t path = perf_->path_for(subgroup_id);
+      std::optional<TierLock::Guard> guard;
+      if (opts_.tier_exclusive_locking) {
+        guard.emplace(ctx_.vtier->path_write_lock(path)->lock(ctx_.worker_id));
+      }
+      const std::span<const u8> bytes(
+          reinterpret_cast<const u8*>(fp32.data()), fp32.size() * sizeof(f32));
+      ctx_.vtier->write_to(path, grad_key(subgroup_id), bytes,
+                           sim_params * kFp32Bytes);
+    }
+  }));
+}
+
+void OffloadEngine::wait_gradient_io() { gradient_io_.wait_all(); }
+
+void OffloadEngine::fetch_subgroup(UpdateSlot& slot) {
+  Subgroup& sg = *subgroups_[slot.id];
+  const f64 t0 = ctx_.clock->now();
+
+  const std::string key = state_key(slot.id);
+  const std::size_t loc = ctx_.vtier->locate(key);
+  if (loc == VirtualTier::npos) {
+    throw std::runtime_error("OffloadEngine: subgroup " + key +
+                             " not found on any tier");
+  }
+  std::optional<TierLock::Guard> guard;
+  if (opts_.tier_exclusive_locking) {
+    guard.emplace(ctx_.vtier->path_read_lock(loc)->lock(ctx_.worker_id));
+  }
+
+  std::vector<u8> staging(sg.serialized_bytes());
+  ctx_.vtier->read(key, staging, sg.sim_state_bytes());
+  sg.deserialize(staging);
+  u64 sim_read = sg.sim_state_bytes();
+
+  if (!opts_.delayed_grad_conversion) {
+    // DeepSpeed behaviour: the FP32 gradients flushed during the backward
+    // pass ride back with the subgroup (16 B/param total fetch payload).
+    slot.grads_fp32.resize(sg.real_elems());
+    std::span<u8> bytes(reinterpret_cast<u8*>(slot.grads_fp32.data()),
+                        slot.grads_fp32.size() * sizeof(f32));
+    const u64 grad_sim = sg.sim_params() * kFp32Bytes;
+    ctx_.vtier->read(grad_key(slot.id), bytes, grad_sim);
+    ctx_.vtier->erase(grad_key(slot.id));
+    sim_read += grad_sim;
+  }
+  guard.reset();
+
+  const f64 elapsed = ctx_.clock->now() - t0;
+  slot.fetch_seconds = elapsed;
+  slot.fetch_sim_bytes = sim_read;
+  if (opts_.adaptive_placement) {
+    perf_->observe(loc < perf_->path_count() ? loc : 0, sim_read, elapsed);
+  }
+}
+
+std::future<void> OffloadEngine::flush_subgroup_async(
+    u32 id, std::vector<SubgroupTrace>* traces) {
+  Subgroup& sg = *subgroups_[id];
+  auto buf = std::make_shared<std::vector<u8>>(sg.serialized_bytes());
+  sg.serialize(std::span<u8>(*buf));
+  poison_host_state(sg);
+  host_valid_[id] = 0;
+  cache_.erase(id);
+
+  const std::size_t path = perf_->path_for(id);  // new tier t (Alg. 1 l.9)
+  const u64 sim = sg.sim_state_bytes();
+  const std::string key = state_key(id);
+  return ctx_.aio->submit([this, id, buf, path, sim, key, traces] {
+    const f64 t0 = ctx_.clock->now();
+    std::optional<TierLock::Guard> guard;
+    if (opts_.tier_exclusive_locking) {
+      guard.emplace(ctx_.vtier->path_write_lock(path)->lock(ctx_.worker_id));
+    }
+    ctx_.vtier->write_to(path, key, std::span<const u8>(*buf), sim);
+    guard.reset();
+    const f64 elapsed = ctx_.clock->now() - t0;
+    if (opts_.adaptive_placement) perf_->observe(path, sim, elapsed);
+    if (traces != nullptr) {
+      (*traces)[id].write_seconds += elapsed;
+      (*traces)[id].sim_bytes_written += sim;
+    }
+  });
+}
+
+f64 OffloadEngine::charge_update_compute(u64 sim_params,
+                                         f64 real_kernel_vseconds) {
+  const f64 budget = static_cast<f64>(sim_params) / opts_.cpu_update_rate;
+  if (budget > real_kernel_vseconds) {
+    ctx_.clock->sleep_for(budget - real_kernel_vseconds);
+  }
+  // Accounting uses the calibrated cost model: wall-clock noise from the
+  // emulation host (scheduler preemption amplified by the time scale) stays
+  // in the phase wall time instead of being misattributed to compute.
+  return budget;
+}
+
+IterationReport OffloadEngine::run_update(u64 iteration) {
+  if (!initialized_) {
+    throw std::logic_error("OffloadEngine: run_update before initialize");
+  }
+  const f64 phase_start = ctx_.clock->now();
+  const u32 n = num_subgroups();
+
+  if (opts_.adaptive_placement) perf_->rebalance();
+  const std::vector<u32> order =
+      update_order(n, iteration, opts_.cache_friendly_order);
+
+  std::vector<SubgroupTrace> traces(n);
+  for (u32 id = 0; id < n; ++id) traces[id].subgroup_id = id;
+
+  std::vector<UpdateSlot> slots(n);
+  // Host I/O buffers are a hard budget (paper §3.1: "three subgroups at a
+  // time: one prefetched, one actively updated, one flushed back"). A new
+  // prefetch may only be issued once the oldest outstanding flush has
+  // drained and freed its buffer — this backpressure is what couples the
+  // read stream to the slow write stream and produces the oscillating
+  // effective-throughput pattern of Fig. 5.
+  std::deque<std::future<void>> inflight_flushes;
+  const std::size_t max_inflight_flushes = 1;
+
+  u32 next_issue = 0;
+  const auto issue = [&](u32 pos) {
+    UpdateSlot& slot = slots[pos];
+    slot.id = order[pos];
+    if (opts_.cache_friendly_order && host_valid_[slot.id] &&
+        cache_.contains(slot.id)) {
+      slot.cache_hit = true;
+      cache_.touch(slot.id);
+      return;
+    }
+    slot.cache_hit = false;
+    while (inflight_flushes.size() > max_inflight_flushes) {
+      inflight_flushes.front().get();
+      inflight_flushes.pop_front();
+    }
+    slot.fetch_done =
+        ctx_.aio->submit([this, &slot] { fetch_subgroup(slot); });
+  };
+
+  // Prime the pipeline: the subgroup being updated plus prefetch_ahead
+  // outstanding fetches (the paper's three host buffers: one flushing, one
+  // updating, one prefetching, for prefetch_ahead == 1).
+  const u32 window = 1 + opts_.prefetch_ahead;
+  while (next_issue < n && next_issue < window) issue(next_issue++);
+
+  IoBatch flush_batch;
+  IoBatch h2d_batch;
+  IterationReport report;
+  report.iteration = iteration;
+
+  // Exception safety: fetch/flush tasks capture pointers into `slots` and
+  // `traces`. If the pipeline throws we must drain every outstanding task
+  // before unwinding, or the I/O threads would write through dangling
+  // pointers.
+  const auto drain_outstanding = [&]() noexcept {
+    for (auto& s : slots) {
+      if (s.fetch_done.valid()) {
+        try {
+          s.fetch_done.get();
+        } catch (...) {
+        }
+      }
+    }
+    for (auto& f : inflight_flushes) {
+      if (f.valid()) {
+        try {
+          f.get();
+        } catch (...) {
+        }
+      }
+    }
+    inflight_flushes.clear();
+    try {
+      flush_batch.wait_all();
+    } catch (...) {
+    }
+    try {
+      h2d_batch.wait_all();
+    } catch (...) {
+    }
+  };
+
+  const auto pipeline = [&] {
+  for (u32 pos = 0; pos < n; ++pos) {
+    UpdateSlot& slot = slots[pos];
+    Subgroup& sg = *subgroups_[slot.id];
+    SubgroupTrace& trace = traces[slot.id];
+
+    if (slot.cache_hit) {
+      if (!host_valid_[slot.id]) {
+        // Guarded against by the constructor's capacity check; a violation
+        // here would mean consuming a poisoned, mid-flush subgroup.
+        throw std::logic_error(
+            "OffloadEngine: cached subgroup evicted before use");
+      }
+      trace.host_cache_hit = true;
+      ++report.host_cache_hits;
+      if (!opts_.delayed_grad_conversion) {
+        // The optimizer state was cached, but the baseline gradient path
+        // flushed this subgroup's FP32 gradients to storage during the
+        // backward pass — they still have to come back (4 B/param).
+        const f64 t0 = ctx_.clock->now();
+        const std::string gkey = grad_key(slot.id);
+        const std::size_t loc = ctx_.vtier->locate(gkey);
+        if (loc == VirtualTier::npos) {
+          throw std::runtime_error("OffloadEngine: gradients missing for " +
+                                   gkey);
+        }
+        std::optional<TierLock::Guard> guard;
+        if (opts_.tier_exclusive_locking) {
+          guard.emplace(ctx_.vtier->path_read_lock(loc)->lock(ctx_.worker_id));
+        }
+        slot.grads_fp32.resize(sg.real_elems());
+        std::span<u8> bytes(reinterpret_cast<u8*>(slot.grads_fp32.data()),
+                            slot.grads_fp32.size() * sizeof(f32));
+        const u64 grad_sim = sg.sim_params() * kFp32Bytes;
+        ctx_.vtier->read(gkey, bytes, grad_sim);
+        ctx_.vtier->erase(gkey);
+        guard.reset();
+        trace.read_seconds = ctx_.clock->now() - t0;
+        trace.sim_bytes_read = grad_sim;
+      }
+    } else {
+      slot.fetch_done.get();  // f2h_prefetch_wait_subgrp (Alg. 1 l.5)
+      host_valid_[slot.id] = 1;
+      trace.read_seconds = slot.fetch_seconds;
+      trace.sim_bytes_read = slot.fetch_sim_bytes;
+    }
+
+    // Gradients: delayed in-place FP16->FP32 conversion (Alg. 1 l.6), or,
+    // for the baseline, the FP32 gradients arrived with the fetch.
+    SimTimer kernel_timer(*ctx_.clock);
+    if (opts_.delayed_grad_conversion) {
+      slot.grads_fp32.resize(sg.real_elems());
+      accum_->upscale_into(slot.id, slot.grads_fp32, ctx_.cpu_pool);
+      ctx_.clock->sleep_for(
+          opts_.convert.seconds_for_params(sg.sim_params()));
+    }
+
+    // cpu_update_kernel (Alg. 1 l.7): the real Adam math on the
+    // scale-reduced arrays, then the residual simulated compute charge.
+    sg.set_step(sg.step() + 1);
+    adam_update(opts_.adam, sg.params(), sg.momentum(), sg.variance(),
+                slot.grads_fp32, sg.step(), ctx_.cpu_pool);
+    trace.compute_seconds =
+        charge_update_compute(sg.sim_params(), kernel_timer.elapsed());
+
+    // async_h2d_transfer of the downscaled FP16 parameters (Alg. 1 l.8).
+    // Only the link time is modelled; the GPU-side copy has no observable
+    // state in this library.
+    if (ctx_.h2d != nullptr) {
+      const u64 h2d_bytes = sg.sim_fp16_param_bytes();
+      h2d_batch.add(ctx_.aio->submit(
+          [this, h2d_bytes] { ctx_.h2d->acquire(h2d_bytes); }));
+    }
+
+    // Lazy flush through the host cache (Alg. 1 l.9-10) or eager flush for
+    // the thrashing baseline.
+    if (opts_.cache_friendly_order) {
+      host_valid_[slot.id] = 1;
+      if (const auto evicted = cache_.insert(slot.id)) {
+        inflight_flushes.push_back(flush_subgroup_async(*evicted, &traces));
+      }
+    } else {
+      inflight_flushes.push_back(flush_subgroup_async(slot.id, &traces));
+    }
+
+    // async_f2h_prefetch of the next subgroup (Alg. 1 l.11).
+    if (next_issue < n) issue(next_issue++);
+  }
+
+  while (!inflight_flushes.empty()) {
+    inflight_flushes.front().get();
+    inflight_flushes.pop_front();
+  }
+  flush_batch.wait_all();
+  h2d_batch.wait_all();
+  };  // pipeline
+
+  try {
+    pipeline();
+  } catch (...) {
+    drain_outstanding();
+    throw;
+  }
+
+  report.subgroups_processed = n;
+  report.params_updated = layout_.shard_params;
+  report.traces.reserve(n);
+  for (u32 pos = 0; pos < n; ++pos) {
+    const SubgroupTrace& t = traces[order[pos]];
+    report.traces.push_back(t);
+    report.sim_bytes_fetched += t.sim_bytes_read;
+    report.sim_bytes_flushed += t.sim_bytes_written;
+    report.fetch_seconds += t.read_seconds;
+    report.flush_seconds += t.write_seconds;
+    report.update_compute_seconds += t.compute_seconds;
+  }
+  report.update_seconds = ctx_.clock->now() - phase_start;
+  return report;
+}
+
+Subgroup OffloadEngine::snapshot_subgroup(u32 id) const {
+  const Subgroup& sg = *subgroups_.at(id);
+  if (host_valid_[id]) return sg;
+  Subgroup copy(sg.id(), sg.sim_params(), sg.elem_scale());
+  std::vector<u8> staging(copy.serialized_bytes());
+  const std::string key = Subgroup::key(ctx_.rank, id);
+  const std::size_t loc = ctx_.vtier->locate(key);
+  if (loc == VirtualTier::npos) {
+    throw std::runtime_error("snapshot_subgroup: " + key + " not on any tier");
+  }
+  // Untimed inspection read: bypass the throttle via the tier's peek path.
+  ctx_.vtier->peek(key, staging);
+  copy.deserialize(staging);
+  return copy;
+}
+
+u64 OffloadEngine::state_checksum() const {
+  u64 sum = 0;
+  for (u32 id = 0; id < num_subgroups(); ++id) {
+    sum += snapshot_subgroup(id).checksum();  // commutative on purpose
+  }
+  return sum;
+}
+
+OffloadEngine::Distribution OffloadEngine::distribution() const {
+  Distribution dist;
+  dist.path_sim_bytes.assign(ctx_.vtier->path_count(), 0);
+  for (u32 id = 0; id < num_subgroups(); ++id) {
+    const Subgroup& sg = *subgroups_[id];
+    if (host_valid_[id]) {
+      dist.host_sim_bytes += sg.sim_state_bytes();
+      continue;
+    }
+    const std::size_t loc = ctx_.vtier->locate(state_key(id));
+    if (loc != VirtualTier::npos) {
+      dist.path_sim_bytes[loc] += sg.sim_state_bytes();
+    }
+  }
+  return dist;
+}
+
+std::vector<u32> OffloadEngine::host_resident() const {
+  return cache_.resident();
+}
+
+bool OffloadEngine::on_persistent_path(u32 id) const {
+  if (host_valid_[id]) return false;
+  const std::size_t loc = ctx_.vtier->locate(Subgroup::key(ctx_.rank, id));
+  return loc != VirtualTier::npos && ctx_.vtier->path(loc).persistent();
+}
+
+void OffloadEngine::restore_state(u32 id, std::span<const u8> serialized) {
+  Subgroup& sg = *subgroups_.at(id);
+  sg.deserialize(serialized);  // validates header identity
+  // Write through to the assigned path; the restored image becomes the
+  // authoritative copy and any cached state is dropped.
+  const std::size_t path = perf_->path_for(id);
+  ctx_.vtier->write_to(path, state_key(id), serialized, sg.sim_state_bytes());
+  poison_host_state(sg);
+  host_valid_[id] = 0;
+  cache_.erase(id);
+}
+
+}  // namespace mlpo

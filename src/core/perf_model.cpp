@@ -1,0 +1,122 @@
+#include "core/perf_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace mlpo {
+
+std::vector<u32> eq1_subgroup_quotas(u32 num_subgroups,
+                                     const std::vector<f64>& bandwidths) {
+  if (bandwidths.empty()) {
+    throw std::invalid_argument("eq1_subgroup_quotas: no paths");
+  }
+  f64 total_bw = 0;
+  for (const f64 b : bandwidths) {
+    if (b <= 0) throw std::invalid_argument("eq1_subgroup_quotas: bw <= 0");
+    total_bw += b;
+  }
+
+  // Eq. 1 with the "adjusted such that sum(T_i) == M" clause implemented as
+  // the largest-remainder method: start from floor(exact share), then award
+  // the leftover units to the paths with the largest fractional remainders.
+  // Guarantees every quota is floor(exact) or ceil(exact), i.e. within one
+  // subgroup of perfect proportionality.
+  const std::size_t n = bandwidths.size();
+  std::vector<u32> quotas(n);
+  std::vector<f64> remainder(n);
+  u64 sum = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const f64 exact =
+        static_cast<f64>(num_subgroups) * bandwidths[i] / total_bw;
+    quotas[i] = static_cast<u32>(std::floor(exact));
+    remainder[i] = exact - std::floor(exact);
+    sum += quotas[i];
+  }
+  u64 leftover = num_subgroups - sum;
+  while (leftover > 0) {
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < n; ++i) {
+      if (remainder[i] > remainder[best]) best = i;
+    }
+    ++quotas[best];
+    remainder[best] = -1.0;  // each path gains at most one extra unit
+    --leftover;
+  }
+  return quotas;
+}
+
+std::vector<std::size_t> interleaved_placement(const std::vector<u32>& quotas) {
+  u64 total = 0;
+  for (const u32 q : quotas) total += q;
+  std::vector<std::size_t> placement;
+  placement.reserve(total);
+
+  // Bresenham spread: each step, award the slot to the path with the
+  // highest accumulated credit (quota share), then charge it one unit.
+  std::vector<f64> credit(quotas.size(), 0.0);
+  std::vector<u32> used(quotas.size(), 0);
+  for (u64 s = 0; s < total; ++s) {
+    std::size_t best = quotas.size();
+    f64 best_credit = -1.0;
+    for (std::size_t i = 0; i < quotas.size(); ++i) {
+      if (used[i] >= quotas[i]) continue;
+      credit[i] += static_cast<f64>(quotas[i]) / static_cast<f64>(total);
+      if (credit[i] > best_credit) {
+        best_credit = credit[i];
+        best = i;
+      }
+    }
+    ++used[best];
+    credit[best] -= 1.0;
+    placement.push_back(best);
+  }
+  return placement;
+}
+
+PerfModel::PerfModel(std::vector<f64> nominal_bw, u32 num_subgroups,
+                     f64 ema_alpha)
+    : nominal_(std::move(nominal_bw)), estimate_(nominal_),
+      observed_(nominal_.size(), false), num_subgroups_(num_subgroups),
+      ema_alpha_(ema_alpha) {
+  if (nominal_.empty()) throw std::invalid_argument("PerfModel: no paths");
+  quotas_ = eq1_subgroup_quotas(num_subgroups_, estimate_);
+  placement_ = interleaved_placement(quotas_);
+}
+
+void PerfModel::observe(std::size_t path, u64 sim_bytes, f64 seconds) {
+  if (seconds <= 0 || sim_bytes == 0) return;
+  const f64 bw = static_cast<f64>(sim_bytes) / seconds;
+  std::lock_guard lock(mutex_);
+  if (path >= estimate_.size()) return;
+  if (!observed_[path]) {
+    // First observation replaces the microbenchmark seed outright.
+    estimate_[path] = bw;
+    observed_[path] = true;
+  } else {
+    estimate_[path] = (1.0 - ema_alpha_) * estimate_[path] + ema_alpha_ * bw;
+  }
+}
+
+std::vector<f64> PerfModel::bandwidths() const {
+  std::lock_guard lock(mutex_);
+  return estimate_;
+}
+
+void PerfModel::rebalance() {
+  std::lock_guard lock(mutex_);
+  quotas_ = eq1_subgroup_quotas(num_subgroups_, estimate_);
+  placement_ = interleaved_placement(quotas_);
+}
+
+std::vector<u32> PerfModel::quotas() const {
+  std::lock_guard lock(mutex_);
+  return quotas_;
+}
+
+std::size_t PerfModel::path_for(u32 idx) const {
+  std::lock_guard lock(mutex_);
+  return placement_.at(idx);
+}
+
+}  // namespace mlpo

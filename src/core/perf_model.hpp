@@ -1,0 +1,70 @@
+// I/O performance model for subgroup allocation (paper §3.3, Eq. 1).
+//
+// Given M subgroups and N alternative storages with bandwidths B_i, allocate
+//   T_i = ceil(M * B_i / sum(B)) subgroups to storage i,
+// adjusted so sum(T_i) == M. Subgroups on different paths then fetch/flush
+// in parallel and finish at roughly the same time, so no path straggles.
+//
+// Bandwidths are seeded from microbenchmarks (the tiers' nominal rates) and
+// re-estimated after every observed transfer with an exponential moving
+// average, so the allocation adapts when, e.g., the PFS slows down under
+// interference from other jobs.
+#pragma once
+
+#include <mutex>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace mlpo {
+
+/// Eq. 1: number of subgroups per path. Guarantees sum == M, every entry
+/// >= 0, and at least one subgroup on the fastest path when M > 0.
+std::vector<u32> eq1_subgroup_quotas(u32 num_subgroups,
+                                     const std::vector<f64>& bandwidths);
+
+/// Expand quotas into an interleaved subgroup -> path assignment using a
+/// largest-remainder (Bresenham-style) spread: a 2:1 quota becomes the
+/// pattern 0,0,1,0,0,1,... so that consecutive subgroups in the update
+/// order hit different paths and their transfers overlap.
+std::vector<std::size_t> interleaved_placement(
+    const std::vector<u32>& quotas);
+
+class PerfModel {
+ public:
+  /// @param nominal_bw per-path B_i = min(read_bw, write_bw) measured by
+  ///        microbenchmarks; @param ema_alpha weight of a new observation.
+  PerfModel(std::vector<f64> nominal_bw, u32 num_subgroups,
+            f64 ema_alpha = 0.2);
+
+  std::size_t path_count() const { return nominal_.size(); }
+  u32 num_subgroups() const { return num_subgroups_; }
+
+  /// Record an observed transfer (either direction) on `path`.
+  void observe(std::size_t path, u64 sim_bytes, f64 seconds);
+
+  /// Current bandwidth estimates (nominal until observations arrive).
+  std::vector<f64> bandwidths() const;
+
+  /// Recompute quotas/placement from the current estimates. Called at the
+  /// start of each update phase (Algorithm 1 line 9 consults the result).
+  void rebalance();
+
+  /// Per-path quota after the last rebalance.
+  std::vector<u32> quotas() const;
+
+  /// Path for subgroup `idx` after the last rebalance.
+  std::size_t path_for(u32 idx) const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<f64> nominal_;
+  std::vector<f64> estimate_;
+  std::vector<bool> observed_;
+  u32 num_subgroups_;
+  f64 ema_alpha_;
+  std::vector<u32> quotas_;
+  std::vector<std::size_t> placement_;
+};
+
+}  // namespace mlpo

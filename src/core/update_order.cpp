@@ -1,0 +1,18 @@
+#include "core/update_order.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace mlpo {
+
+std::vector<u32> update_order(u32 num_subgroups, u64 iteration,
+                              bool alternate) {
+  std::vector<u32> order(num_subgroups);
+  std::iota(order.begin(), order.end(), 0u);
+  if (alternate && (iteration % 2 == 1)) {
+    std::reverse(order.begin(), order.end());
+  }
+  return order;
+}
+
+}  // namespace mlpo

@@ -1,0 +1,23 @@
+// Cache-friendly ordering of subgroup updates (paper §3.2).
+//
+// Adam updates are element-wise independent across subgroups, so any
+// processing order yields bit-identical results. MLP-Offload exploits this:
+// iteration k processes subgroups ascending, k+1 descending, k+2 ascending,
+// ... so the subgroups that ended iteration k resident in host memory are
+// exactly the ones iteration k+1 starts with — cache hits instead of
+// thrashing.
+#pragma once
+
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace mlpo {
+
+/// Subgroup processing order for `iteration` (0-based).
+/// @param alternate when false, always ascending (DeepSpeed ZeRO-3
+///        behaviour); when true, ascending on even iterations and
+///        descending on odd ones.
+std::vector<u32> update_order(u32 num_subgroups, u64 iteration, bool alternate);
+
+}  // namespace mlpo

@@ -1,0 +1,97 @@
+#include "runtime/cluster.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace mlpo {
+
+ClusterSim::ClusterSim(const SimClock& clock, const ClusterConfig& cfg)
+    : clock_(&clock), cfg_(cfg) {
+  const u32 gpus = cfg_.node.testbed.gpus_per_node;
+  if (cfg_.node.attach_pfs) {
+    // One PFS fabric serves the whole cluster; every node funnels its
+    // client channel into it. Its aggregate capacity bounds total PFS
+    // traffic — the shared-tier contention the paper flags for future
+    // study emerges when pfs_aggregate_factor < node count.
+    pfs_ = cfg_.node.testbed.make_pfs_fabric(clock, "pfs-fabric");
+  }
+  for (u32 n = 0; n < cfg_.nodes; ++n) {
+    NodeConfig node_cfg = cfg_.node;
+    node_cfg.total_world = cfg_.nodes * gpus;
+    node_cfg.first_rank = static_cast<int>(n * gpus);
+    node_cfg.dp_nodes = cfg_.nodes;
+    nodes_.push_back(std::make_unique<NodeSim>(clock, node_cfg, pfs_));
+  }
+}
+
+void ClusterSim::initialize() {
+  std::vector<std::thread> threads;
+  std::exception_ptr error;
+  std::mutex error_mutex;
+  for (auto& node : nodes_) {
+    threads.emplace_back([&node, &error, &error_mutex] {
+      try {
+        node->initialize();
+      } catch (...) {
+        std::lock_guard lock(error_mutex);
+        if (!error) error = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  if (error) std::rethrow_exception(error);
+}
+
+IterationReport ClusterSim::run_iteration(u64 iteration) {
+  std::vector<IterationReport> reports(nodes_.size());
+  std::vector<std::exception_ptr> errors(nodes_.size());
+  std::vector<std::thread> threads;
+  for (std::size_t n = 0; n < nodes_.size(); ++n) {
+    threads.emplace_back([&, n] {
+      try {
+        reports[n] = nodes_[n]->run_iteration(iteration);
+      } catch (...) {
+        errors[n] = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (auto& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+
+  // Synchronous data parallelism: the iteration ends when the slowest node
+  // finishes each phase; counters aggregate across the cluster.
+  IterationReport merged;
+  merged.iteration = iteration;
+  for (const auto& r : reports) {
+    merged.forward_seconds = std::max(merged.forward_seconds, r.forward_seconds);
+    merged.backward_seconds =
+        std::max(merged.backward_seconds, r.backward_seconds);
+    merged.update_seconds = std::max(merged.update_seconds, r.update_seconds);
+    merged.params_updated += r.params_updated;
+    merged.sim_bytes_fetched += r.sim_bytes_fetched;
+    merged.sim_bytes_flushed += r.sim_bytes_flushed;
+    merged.fetch_seconds += r.fetch_seconds;
+    merged.flush_seconds += r.flush_seconds;
+    merged.update_compute_seconds += r.update_compute_seconds;
+    merged.host_cache_hits += r.host_cache_hits;
+    merged.subgroups_processed += r.subgroups_processed;
+    merged.traces.insert(merged.traces.end(), r.traces.begin(),
+                         r.traces.end());
+  }
+  return merged;
+}
+
+std::vector<IterationReport> ClusterSim::run(u32 iterations, u32 warmup) {
+  std::vector<IterationReport> kept;
+  for (u32 i = 0; i < iterations; ++i) {
+    IterationReport r = run_iteration(i);
+    if (i >= warmup) kept.push_back(std::move(r));
+  }
+  return kept;
+}
+
+}  // namespace mlpo

@@ -1,0 +1,42 @@
+// Multi-node weak-scaling simulation (paper §4.4): tensor parallelism
+// inside each node, data parallelism across nodes, node-local NVMe per
+// node, and one PFS shared — and therefore contended — by all nodes.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "runtime/node.hpp"
+#include "util/sim_clock.hpp"
+
+namespace mlpo {
+
+struct ClusterConfig {
+  NodeConfig node;      ///< per-node template (dp/world/rank fields filled in)
+  u32 nodes = 1;
+};
+
+class ClusterSim {
+ public:
+  ClusterSim(const SimClock& clock, const ClusterConfig& cfg);
+
+  void initialize();
+
+  /// One synchronous data-parallel iteration across all nodes. The report
+  /// takes phase walls from the slowest node and sums the counters.
+  IterationReport run_iteration(u64 iteration);
+
+  std::vector<IterationReport> run(u32 iterations, u32 warmup);
+
+  u32 node_count() const { return static_cast<u32>(nodes_.size()); }
+  NodeSim& node(u32 i) { return *nodes_.at(i); }
+  StorageTier* shared_pfs() { return pfs_.get(); }
+
+ private:
+  const SimClock* clock_;
+  ClusterConfig cfg_;
+  std::shared_ptr<StorageTier> pfs_;
+  std::vector<std::unique_ptr<NodeSim>> nodes_;
+};
+
+}  // namespace mlpo

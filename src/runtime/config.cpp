@@ -1,0 +1,67 @@
+#include <stdexcept>
+
+#include "runtime/trainer.hpp"
+
+namespace mlpo {
+
+namespace {
+
+TestbedSpec testbed_by_name(const std::string& name) {
+  if (name == "testbed1") return TestbedSpec::testbed1();
+  if (name == "testbed2") return TestbedSpec::testbed2();
+  throw std::invalid_argument("config: unknown testbed '" + name + "'");
+}
+
+EngineOptions engine_from_json(const json::Value& section) {
+  // "enabled": false selects the DeepSpeed ZeRO-3 baseline preset; the four
+  // per-principle flags then override individually (ablation configs).
+  EngineOptions opts = section.bool_or("enabled", true)
+      ? EngineOptions::mlp_offload()
+      : EngineOptions::deepspeed_zero3();
+  opts.multipath = section.bool_or("multipath", opts.multipath);
+  opts.cache_friendly_order =
+      section.bool_or("cache_friendly_order", opts.cache_friendly_order);
+  opts.delayed_grad_conversion =
+      section.bool_or("delayed_grad_conversion", opts.delayed_grad_conversion);
+  opts.tier_exclusive_locking =
+      section.bool_or("tier_exclusive_locking", opts.tier_exclusive_locking);
+  opts.adaptive_placement =
+      section.bool_or("adaptive_placement", opts.adaptive_placement);
+  if (section.contains("prefetch_ahead")) {
+    opts.prefetch_ahead = static_cast<u32>(section.at("prefetch_ahead").as_int());
+  }
+  return opts;
+}
+
+}  // namespace
+
+TrainerConfig trainer_config_from_json(const json::Value& doc) {
+  if (!doc.is_object()) {
+    throw std::invalid_argument("config: document must be a JSON object");
+  }
+  TrainerConfig cfg;
+  if (doc.contains("model")) cfg.model = paper_model(doc.at("model").as_string());
+  if (doc.contains("testbed")) {
+    cfg.testbed = testbed_by_name(doc.at("testbed").as_string());
+  }
+  cfg.nodes = static_cast<u32>(doc.int_or("nodes", cfg.nodes));
+  cfg.microbatch = static_cast<u32>(doc.int_or("microbatch", cfg.microbatch));
+  cfg.accum_steps = static_cast<u32>(doc.int_or("accum_steps", cfg.accum_steps));
+  cfg.subgroup_params = static_cast<u64>(
+      doc.int_or("subgroup_params", static_cast<i64>(cfg.subgroup_params)));
+  cfg.elem_scale =
+      static_cast<u64>(doc.int_or("elem_scale", static_cast<i64>(cfg.elem_scale)));
+  cfg.time_scale = doc.number_or("time_scale", cfg.time_scale);
+  if (doc.contains("attach_pfs")) cfg.attach_pfs = doc.at("attach_pfs").as_bool();
+  if (doc.contains("mlp_offload")) {
+    cfg.engine = engine_from_json(doc.at("mlp_offload"));
+  }
+  if (!cfg.attach_pfs) cfg.engine.multipath = false;
+  return cfg;
+}
+
+TrainerConfig trainer_config_from_json(const std::string& text) {
+  return trainer_config_from_json(json::parse(text));
+}
+
+}  // namespace mlpo

@@ -1,0 +1,5 @@
+#include "runtime/gpu_cost.hpp"
+
+// Header-only cost model; translation unit anchors the target.
+
+namespace mlpo {}  // namespace mlpo

@@ -1,0 +1,69 @@
+// Memory feasibility planning — the constraints the paper's methodology
+// section (§4.1) enforces before every run:
+//
+//   GPU memory must hold (1) the FP16 model parameters of this rank's
+//   working set, (2) activation checkpoints for one micro-batch, and
+//   (3) the FP16 gradients of at least one subgroup in flight;
+//
+//   host memory must hold the ZeRO-3 runtime buffers, the FP16 gradient
+//   accumulation reservation, and at least three subgroups' worth of
+//   pinned I/O buffers (flush / update / prefetch).
+//
+// The planner reports every component, the verdict, and the derived
+// host-cache budget, so a user can check a configuration before paying for
+// a run — the same arithmetic DeepSpeed's memory estimator exposes.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/offload_engine.hpp"
+#include "runtime/testbed.hpp"
+#include "train/model_config.hpp"
+
+namespace mlpo {
+
+struct MemoryPlan {
+  struct Item {
+    std::string name;
+    u64 bytes;
+  };
+
+  // --- per-GPU ---
+  std::vector<Item> gpu_items;
+  u64 gpu_required = 0;
+  u64 gpu_capacity = 0;
+  bool gpu_fits = false;
+
+  // --- per-node host ---
+  std::vector<Item> host_items;
+  u64 host_required = 0;   ///< hard requirements (excluding cache)
+  u64 host_capacity = 0;
+  bool host_fits = false;
+
+  /// Host bytes left for caching subgroups after hard requirements.
+  u64 cache_budget_bytes = 0;
+  /// Subgroups per worker that budget supports.
+  u32 cache_subgroups_per_worker = 0;
+
+  bool feasible() const { return gpu_fits && host_fits; }
+
+  /// Human-readable multi-line report.
+  std::string to_string() const;
+};
+
+struct PlannerInput {
+  ModelConfig model;
+  TestbedSpec testbed;
+  u64 gpu_memory_bytes = 80ull * GiB;  ///< per GPU (H100-80GB default)
+  u32 total_world = 0;                 ///< ranks; 0 = one node's GPUs
+  u64 subgroup_params = kDefaultSubgroupParams;
+  u32 microbatch = 1;
+  /// Activation checkpointing on (paper's configuration): only per-layer
+  /// boundary activations are kept.
+  bool activation_checkpointing = true;
+};
+
+MemoryPlan plan_memory(const PlannerInput& input);
+
+}  // namespace mlpo

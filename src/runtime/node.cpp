@@ -1,0 +1,226 @@
+#include "runtime/node.hpp"
+
+#include <barrier>
+#include <exception>
+#include <stdexcept>
+#include <thread>
+
+#include "train/sharding.hpp"
+#include "util/logging.hpp"
+
+namespace mlpo {
+
+u64 host_cache_budget_bytes(const TestbedSpec& testbed, u64 model_params) {
+  // ZeRO-3 runtime structures (parameter partitions, all-reduce buckets,
+  // communication staging — paper cites 250-350 GB) plus the FP16
+  // gradient-accumulation buffer for the whole node's shard.
+  const u64 runtime_base = 280 * GiB;
+  const u64 grad_reserve = model_params * kFp16Bytes;
+  const u64 reserved = runtime_base + grad_reserve;
+  return testbed.host_memory_bytes > reserved
+      ? testbed.host_memory_bytes - reserved
+      : 0;
+}
+
+NodeSim::NodeSim(const SimClock& clock, const NodeConfig& cfg,
+                 std::shared_ptr<StorageTier> pfs)
+    : clock_(&clock), cfg_(cfg) {
+  const u32 gpus = cfg_.testbed.gpus_per_node;
+  const u32 world = cfg_.total_world ? cfg_.total_world : gpus;
+  if (world % gpus != 0 && cfg_.total_world != 0) {
+    throw std::invalid_argument("NodeSim: total_world not a multiple of node size");
+  }
+
+  nvme_ = cfg_.testbed.make_nvme_tier(clock, "nvme");
+  vtier_ = std::make_unique<VirtualTier>();
+  vtier_->add_path(nvme_);
+  if (cfg_.attach_pfs) {
+    // `pfs` is the cluster-shared fabric (aggregate capacity); each node
+    // accesses it through its own NIC-limited client channel.
+    pfs_ = cfg_.testbed.make_pfs_tier(clock, "pfs", std::move(pfs));
+    vtier_->add_path(pfs_);
+  }
+
+  cpu_pool_ = std::make_unique<ThreadPool>(
+      std::min<u32>(cfg_.testbed.cpu_cores, 8));
+  grads_ = std::make_unique<GradSource>();
+
+  // Per-worker engine options: CPU rate and cache budget are node resources
+  // divided between the workers.
+  EngineOptions opts = cfg_.engine_opts;
+  opts.cpu_update_rate =
+      cfg_.testbed.cpu_update_rate_node / static_cast<f64>(gpus);
+  if (cfg_.host_cache_override > 0) {
+    opts.host_cache_subgroups = cfg_.host_cache_override;
+  } else {
+    const u64 budget = host_cache_budget_bytes(cfg_.testbed,
+                                               cfg_.model.parameters());
+    const u64 per_worker = budget / gpus;
+    const u64 subgroup_bytes =
+        cfg_.subgroup_params * kOptimStateBytesPerParam;
+    opts.host_cache_subgroups =
+        static_cast<u32>(per_worker / subgroup_bytes);
+    // Below the pipeline minimum caching cannot work safely; disable it.
+    if (opts.host_cache_subgroups < opts.prefetch_ahead + 1) {
+      opts.host_cache_subgroups = 0;
+    }
+  }
+
+  for (u32 w = 0; w < gpus; ++w) {
+    const int rank = cfg_.first_rank + static_cast<int>(w);
+    const ShardLayout layout = make_shard_layout(
+        cfg_.model.parameters(), world, rank, cfg_.subgroup_params);
+    workers_.push_back(std::make_unique<Worker>(
+        clock, *vtier_, cpu_pool_.get(), *grads_, cfg_.testbed,
+        static_cast<int>(w), rank, opts, layout));
+  }
+
+  // Phase cost constants. With tensor parallelism the node is one model
+  // replica, so forward/backward compute charge the whole model once.
+  const u64 params = cfg_.model.parameters();
+  f64 fwd_comm = 0, bwd_comm = 0;
+  if (cfg_.dp_nodes > 1) {
+    // Weak scaling: TP intra-node + DP across nodes.
+    const Zero3CommCost dp = zero3_comm_cost(
+        cfg_.inter_node, cfg_.dp_nodes, cfg_.model.fp16_param_bytes());
+    const u64 act_bytes = static_cast<u64>(cfg_.microbatch) *
+                          cfg_.model.seq_length * cfg_.model.hidden_dim *
+                          kFp16Bytes;
+    const f64 tp = tensor_parallel_seconds(cfg_.intra_node, gpus,
+                                           cfg_.model.num_layers, act_bytes);
+    fwd_comm = dp.forward_seconds + tp / 2;
+    bwd_comm = dp.backward_seconds + tp / 2;
+  } else {
+    // Single node: ZeRO-3 data parallelism across the node's GPUs over
+    // NVLink (parameter allgather + gradient reduce-scatter).
+    const Zero3CommCost dp = zero3_comm_cost(cfg_.intra_node, gpus,
+                                             cfg_.model.fp16_param_bytes());
+    fwd_comm = dp.forward_seconds;
+    bwd_comm = dp.backward_seconds;
+  }
+  fwd_seconds_ = cfg_.gpu_cost.forward_seconds(params, cfg_.microbatch) + fwd_comm;
+  bwd_seconds_ = cfg_.gpu_cost.backward_seconds(params, cfg_.microbatch) + bwd_comm;
+}
+
+void NodeSim::initialize() {
+  // Initial distribution runs in parallel across workers (one-off setup).
+  std::vector<std::thread> threads;
+  std::exception_ptr error;
+  std::mutex error_mutex;
+  for (auto& w : workers_) {
+    threads.emplace_back([&w, &error, &error_mutex] {
+      try {
+        w->initialize();
+      } catch (...) {
+        std::lock_guard lock(error_mutex);
+        if (!error) error = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  if (error) std::rethrow_exception(error);
+}
+
+IterationReport NodeSim::run_iteration(u64 iteration) {
+  const u32 num_workers = worker_count();
+  // Workers + the coordinating thread; the coordinator only takes phase
+  // timestamps at the barriers.
+  std::barrier sync(num_workers + 1);
+
+  std::vector<IterationReport> update_reports(num_workers);
+  std::vector<std::exception_ptr> errors(num_workers);
+  constexpr int kPhases = 3;  // start->fwd+bwd done->update done->iteration end
+
+  const auto body = [&](u32 w) {
+    Worker& worker = *workers_[w];
+    // Forward + backward for every accumulation micro-step. Forward is a
+    // pure compute+comm charge; backward interleaves gradient deposits.
+    for (u32 m = 0; m < cfg_.accum_steps; ++m) {
+      const u64 sample = iteration * cfg_.accum_steps + m;
+      clock_->sleep_for(fwd_seconds_);
+      worker.run_backward_micro(sample, m == 0, m + 1 == cfg_.accum_steps,
+                                bwd_seconds_);
+    }
+  };
+
+  std::vector<std::thread> threads;
+  for (u32 w = 0; w < num_workers; ++w) {
+    threads.emplace_back([&, w] {
+      int phases_done = 0;
+      try {
+        sync.arrive_and_wait();  // iteration start
+        body(w);
+        sync.arrive_and_wait();  // fwd+bwd done
+        ++phases_done;
+        update_reports[w] = workers_[w]->run_update(iteration);
+        sync.arrive_and_wait();  // update done
+        ++phases_done;
+        sync.arrive_and_wait();  // iteration end
+        ++phases_done;
+      } catch (...) {
+        errors[w] = std::current_exception();
+        // Keep the barrier protocol alive so no thread deadlocks.
+        for (; phases_done < kPhases; ++phases_done) sync.arrive_and_wait();
+      }
+    });
+  }
+
+  sync.arrive_and_wait();
+  const f64 t_start = clock_->now();
+  sync.arrive_and_wait();
+  const f64 t_fb = clock_->now();
+  sync.arrive_and_wait();
+  const f64 t_update = clock_->now();
+  sync.arrive_and_wait();
+  for (auto& t : threads) t.join();
+  for (auto& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+
+  // Merge: phase walls from the barrier clock; forward attributed
+  // analytically (fwd and bwd interleave across micro-steps).
+  IterationReport report;
+  report.iteration = iteration;
+  report.forward_seconds = fwd_seconds_ * cfg_.accum_steps;
+  report.backward_seconds =
+      std::max(0.0, (t_fb - t_start) - report.forward_seconds);
+  report.update_seconds = t_update - t_fb;
+  for (const auto& r : update_reports) {
+    report.params_updated += r.params_updated;
+    report.sim_bytes_fetched += r.sim_bytes_fetched;
+    report.sim_bytes_flushed += r.sim_bytes_flushed;
+    report.fetch_seconds += r.fetch_seconds;
+    report.flush_seconds += r.flush_seconds;
+    report.update_compute_seconds += r.update_compute_seconds;
+    report.host_cache_hits += r.host_cache_hits;
+    report.subgroups_processed += r.subgroups_processed;
+    report.traces.insert(report.traces.end(), r.traces.begin(),
+                         r.traces.end());
+  }
+  ++iterations_run_;
+  return report;
+}
+
+std::vector<IterationReport> NodeSim::run(u32 iterations, u32 warmup) {
+  std::vector<IterationReport> kept;
+  for (u32 i = 0; i < iterations; ++i) {
+    IterationReport r = run_iteration(i);
+    if (i >= warmup) kept.push_back(std::move(r));
+  }
+  return kept;
+}
+
+OffloadEngine::Distribution NodeSim::node_distribution() const {
+  OffloadEngine::Distribution total;
+  total.path_sim_bytes.assign(vtier_->path_count(), 0);
+  for (const auto& w : workers_) {
+    const auto d = w->engine().distribution();
+    total.host_sim_bytes += d.host_sim_bytes;
+    for (std::size_t p = 0; p < d.path_sim_bytes.size(); ++p) {
+      total.path_sim_bytes[p] += d.path_sim_bytes[p];
+    }
+  }
+  return total;
+}
+
+}  // namespace mlpo

@@ -1,0 +1,100 @@
+// Compute-node simulation: gpus_per_node workers sharing host memory, a
+// node-local NVMe tier, optional access to a (cluster-shared) PFS path, and
+// the node's CPU cores — the unit the paper's single-node experiments run
+// on, and the building block of the weak-scaling cluster.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "comm/collectives.hpp"
+#include "core/offload_engine.hpp"
+#include "runtime/gpu_cost.hpp"
+#include "runtime/testbed.hpp"
+#include "runtime/worker.hpp"
+#include "telemetry/iteration_report.hpp"
+#include "train/model_config.hpp"
+
+namespace mlpo {
+
+struct NodeConfig {
+  ModelConfig model;
+  TestbedSpec testbed = TestbedSpec::testbed1();
+  /// Template engine options; the node fills in per-worker cpu_update_rate
+  /// and host_cache_subgroups (unless host_cache_override is set).
+  EngineOptions engine_opts;
+  GpuCostModel gpu_cost;
+  u64 subgroup_params = kDefaultSubgroupParams;
+  u32 microbatch = 1;
+  u32 accum_steps = 1;
+
+  /// Total ranks across the job; 0 means single-node (= gpus_per_node).
+  u32 total_world = 0;
+  /// This node's first global rank (node_index * gpus_per_node).
+  int first_rank = 0;
+  /// Data-parallel width across nodes (weak scaling); 1 = single node.
+  u32 dp_nodes = 1;
+  Interconnect intra_node = Interconnect::nvlink();
+  Interconnect inter_node = Interconnect::slingshot();
+
+  /// Per-worker host-cache subgroups; 0 derives the budget from the
+  /// testbed's host memory minus runtime overheads.
+  u32 host_cache_override = 0;
+
+  /// Attach the PFS path to the virtual tier (the engine additionally needs
+  /// engine_opts.multipath to place subgroups there).
+  bool attach_pfs = true;
+};
+
+/// Host-memory budget model: free bytes available for caching subgroups
+/// after the ZeRO-3 runtime structures (~250 GB base, paper §4.3) and the
+/// node's FP16 gradient-accumulation reservation (2 bytes/param) are carved
+/// out of host memory.
+u64 host_cache_budget_bytes(const TestbedSpec& testbed, u64 model_params);
+
+class NodeSim {
+ public:
+  /// @param pfs cluster-shared PFS *fabric* (see TestbedSpec); the node
+  ///        wraps it in its own per-client channel. nullptr builds a
+  ///        private backend (single-node experiments).
+  NodeSim(const SimClock& clock, const NodeConfig& cfg,
+          std::shared_ptr<StorageTier> pfs = nullptr);
+
+  void initialize();
+
+  /// One full training iteration across all workers (forward, accum_steps x
+  /// backward micro-steps, update), with workers synchronised at phase
+  /// boundaries. Returns the node-merged report.
+  IterationReport run_iteration(u64 iteration);
+
+  /// Run `iterations`, discarding the first `warmup` (paper methodology:
+  /// 10 iterations, first 2 warmup).
+  std::vector<IterationReport> run(u32 iterations, u32 warmup);
+
+  u32 worker_count() const { return static_cast<u32>(workers_.size()); }
+  Worker& worker(u32 i) { return *workers_.at(i); }
+  VirtualTier& vtier() { return *vtier_; }
+  const NodeConfig& config() const { return cfg_; }
+
+  /// Node-wide optimizer-state distribution (Fig. 10): host + per path.
+  OffloadEngine::Distribution node_distribution() const;
+
+  /// Per-phase cost constants (for reporting/verification).
+  f64 forward_cost_seconds() const { return fwd_seconds_; }
+  f64 backward_compute_seconds() const { return bwd_seconds_; }
+
+ private:
+  const SimClock* clock_;
+  NodeConfig cfg_;
+  std::shared_ptr<StorageTier> nvme_;
+  std::shared_ptr<StorageTier> pfs_;
+  std::unique_ptr<VirtualTier> vtier_;
+  std::unique_ptr<ThreadPool> cpu_pool_;
+  std::unique_ptr<GradSource> grads_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  f64 fwd_seconds_ = 0;  ///< per micro-step fwd compute+comm per worker
+  f64 bwd_seconds_ = 0;  ///< per micro-step bwd compute+comm per worker
+  u64 iterations_run_ = 0;
+};
+
+}  // namespace mlpo

@@ -1,0 +1,98 @@
+#include "runtime/testbed.hpp"
+
+#include "tiers/memory_tier.hpp"
+
+namespace mlpo {
+
+TestbedSpec TestbedSpec::testbed1() {
+  TestbedSpec s;
+  s.name = "Testbed-1 (JLSE 4xH100-80GB)";
+  s.gpus_per_node = 4;
+  s.d2h_bandwidth = 55.0 * GB;
+  s.cpu_cores = 96;
+  s.cpu_update_rate_node = 8000e6;
+  s.nvme_read_bw = 6.9 * GB;
+  s.nvme_write_bw = 5.3 * GB;
+  s.pfs_read_bw = 3.6 * GB;  // VAST
+  s.pfs_write_bw = 3.6 * GB;
+  return s;
+}
+
+TestbedSpec TestbedSpec::testbed2() {
+  TestbedSpec s;
+  s.name = "Testbed-2 (Polaris 4xA100-40GB)";
+  s.gpus_per_node = 4;
+  s.d2h_bandwidth = 25.0 * GB;
+  s.cpu_cores = 32;
+  // Fewer (and slower-aggregate) cores than Testbed-1, scaled by core count.
+  s.cpu_update_rate_node = 8000e6 * 32.0 / 96.0;
+  s.nvme_read_bw = 13.5 * GB;
+  s.nvme_write_bw = 4.8 * GB;
+  s.pfs_read_bw = 6.9 * GB;  // Lustre (HPE ClusterStor E1000)
+  s.pfs_write_bw = 13.7 * GB;
+  return s;
+}
+
+std::shared_ptr<ThrottledTier> TestbedSpec::make_nvme_tier(
+    const SimClock& clock, const std::string& name) const {
+  ThrottleSpec spec;
+  spec.read_bw = nvme_read_bw;
+  spec.write_bw = nvme_write_bw;
+  spec.request_latency = 100e-6;  // block-layer + device latency per request
+  spec.duplex_penalty = nvme_duplex_penalty;
+  spec.multi_actor_penalty = nvme_multi_actor_penalty;
+  return std::make_shared<ThrottledTier>(
+      name, std::make_shared<MemoryTier>(name + "/backend"), clock, spec,
+      /*persistent=*/false);
+}
+
+std::shared_ptr<ThrottledTier> TestbedSpec::make_pfs_fabric(
+    const SimClock& clock, const std::string& name) const {
+  ThrottleSpec spec;
+  spec.read_bw = pfs_read_bw * pfs_aggregate_factor;
+  spec.write_bw = pfs_write_bw * pfs_aggregate_factor;
+  // The fabric's own request cost is folded into the client channel.
+  return std::make_shared<ThrottledTier>(
+      name, std::make_shared<MemoryTier>(name + "/backend"), clock, spec,
+      /*persistent=*/true);
+}
+
+std::shared_ptr<ThrottledTier> TestbedSpec::make_pfs_tier(
+    const SimClock& clock, const std::string& name,
+    std::shared_ptr<StorageTier> fabric) const {
+  ThrottleSpec spec;
+  spec.read_bw = pfs_read_bw;
+  spec.write_bw = pfs_write_bw;
+  spec.request_latency = 500e-6;  // network round-trip + metadata
+  spec.duplex_penalty = pfs_duplex_penalty;
+  spec.multi_actor_penalty = pfs_multi_actor_penalty;
+  if (!fabric) fabric = std::make_shared<MemoryTier>(name + "/backend");
+  return std::make_shared<ThrottledTier>(name, std::move(fabric), clock, spec,
+                                         /*persistent=*/true);
+}
+
+std::shared_ptr<ThrottledTier> TestbedSpec::make_object_store_tier(
+    const SimClock& clock, const std::string& name, f64 read_bw,
+    f64 write_bw) const {
+  ThrottleSpec spec;
+  spec.read_bw = read_bw;
+  spec.write_bw = write_bw;
+  spec.request_latency = 2e-3;  // object GET/PUT round-trip
+  spec.duplex_penalty = 0.05;
+  return std::make_shared<ThrottledTier>(
+      name, std::make_shared<MemoryTier>(name + "/backend"), clock, spec,
+      /*persistent=*/true);
+}
+
+std::shared_ptr<ThrottledTier> TestbedSpec::make_cxl_tier(
+    const SimClock& clock, const std::string& name, f64 bandwidth) {
+  ThrottleSpec spec;
+  spec.read_bw = bandwidth;
+  spec.write_bw = bandwidth;
+  spec.request_latency = 2e-6;  // load/store-class access
+  return std::make_shared<ThrottledTier>(
+      name, std::make_shared<MemoryTier>(name + "/backend"), clock, spec,
+      /*persistent=*/false);
+}
+
+}  // namespace mlpo

@@ -1,0 +1,82 @@
+// Testbed hardware descriptions (paper Table 1) and the tier/channel
+// factories that turn them into emulated devices.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "tiers/throttled_tier.hpp"
+#include "util/common.hpp"
+#include "util/sim_clock.hpp"
+
+namespace mlpo {
+
+struct TestbedSpec {
+  std::string name;
+  u32 gpus_per_node = 4;
+  f64 d2h_bandwidth;        ///< pinned D<->H GB-per-second, per GPU link
+  u32 cpu_cores;
+  /// Aggregate CPU update throughput of the node in simulated params per
+  /// vsecond when the state is host-resident (paper §4.2 quotes ~8000
+  /// Mparams/s for Testbed-1's 96 cores).
+  f64 cpu_update_rate_node;
+  f64 nvme_read_bw;
+  f64 nvme_write_bw;
+  f64 pfs_read_bw;
+  f64 pfs_write_bw;
+  u64 host_memory_bytes = 512 * GiB;
+
+  /// Contention parameters of the NVMe device (see ThrottleSpec). The PFS
+  /// is network-attached with deep request queues and many OSTs, so its
+  /// per-client channel sees duplex interference but no multi-actor
+  /// penalty (client contention is modelled by the shared fabric below).
+  f64 nvme_duplex_penalty = 0.35;
+  f64 nvme_multi_actor_penalty = 0.12;
+  f64 pfs_duplex_penalty = 0.10;
+  f64 pfs_multi_actor_penalty = 0.0;
+
+  /// Aggregate PFS fabric bandwidth as a multiple of the per-client rate.
+  /// Table 1's PFS numbers are what one node measures through its NIC; the
+  /// backing store (VAST DNodes / 160 Lustre OSTs) serves many clients at
+  /// that rate concurrently. 8x covers the paper's largest run (8 nodes);
+  /// lowering it emulates a PFS under external I/O pressure — the shared-
+  /// tier contention the paper flags for future study.
+  f64 pfs_aggregate_factor = 8.0;
+
+  /// Testbed-1 (ANL JLSE): 4x H100-80GB, 96 cores, VAST PFS.
+  static TestbedSpec testbed1();
+  /// Testbed-2 (ALCF Polaris): 4x A100-40GB, 32 cores, Lustre PFS.
+  static TestbedSpec testbed2();
+
+  /// Build the node-local NVMe as a throttled in-memory tier.
+  std::shared_ptr<ThrottledTier> make_nvme_tier(const SimClock& clock,
+                                                const std::string& name) const;
+
+  /// Build the cluster-wide PFS fabric: the aggregate capacity all client
+  /// channels draw from (pfs_aggregate_factor x per-client rates).
+  std::shared_ptr<ThrottledTier> make_pfs_fabric(const SimClock& clock,
+                                                 const std::string& name) const;
+
+  /// Build one node's PFS access path at the per-client (NIC-limited)
+  /// Table-1 rates, layered over `fabric` (or a private backend when
+  /// fabric is null — single-node setups). Persistent.
+  std::shared_ptr<ThrottledTier> make_pfs_tier(
+      const SimClock& clock, const std::string& name,
+      std::shared_ptr<StorageTier> fabric = nullptr) const;
+
+  /// Object-store path (DAOS-class): PFS-like bandwidth with higher
+  /// per-request latency — the third alternative storage the paper lists
+  /// for the virtual tier. Persistent.
+  std::shared_ptr<ThrottledTier> make_object_store_tier(
+      const SimClock& clock, const std::string& name, f64 read_bw,
+      f64 write_bw) const;
+
+  /// CXL-pool path (conclusion's future work: "parallel I/O paths for
+  /// next-generation Compute-Express-Link memory pools"): memory-class
+  /// bandwidth, microsecond latency, volatile.
+  static std::shared_ptr<ThrottledTier> make_cxl_tier(
+      const SimClock& clock, const std::string& name,
+      f64 bandwidth = 30.0 * GB);
+};
+
+}  // namespace mlpo

@@ -1,0 +1,49 @@
+#include "runtime/trainer.hpp"
+
+#include <stdexcept>
+
+namespace mlpo {
+
+Trainer::Trainer(const TrainerConfig& cfg) : cfg_(cfg) {
+  clock_ = std::make_unique<SimClock>(cfg_.time_scale);
+
+  NodeConfig node;
+  node.model = cfg_.model;
+  node.testbed = cfg_.testbed;
+  node.engine_opts = cfg_.engine;
+  node.engine_opts.elem_scale = cfg_.elem_scale;
+  node.gpu_cost = cfg_.gpu_cost;
+  node.subgroup_params = cfg_.subgroup_params;
+  node.microbatch = cfg_.microbatch;
+  node.accum_steps = cfg_.accum_steps;
+  node.attach_pfs = cfg_.attach_pfs;
+  node.host_cache_override = cfg_.host_cache_override;
+
+  ClusterConfig cluster;
+  cluster.node = node;
+  cluster.nodes = cfg_.nodes;
+  cluster_ = std::make_unique<ClusterSim>(*clock_, cluster);
+}
+
+void Trainer::initialize() { cluster_->initialize(); }
+
+std::vector<IterationReport> Trainer::run(u32 iterations, u32 warmup) {
+  return cluster_->run(iterations, warmup);
+}
+
+OffloadEngine::Distribution Trainer::distribution() const {
+  OffloadEngine::Distribution total;
+  for (u32 n = 0; n < cluster_->node_count(); ++n) {
+    const auto d = cluster_->node(n).node_distribution();
+    if (total.path_sim_bytes.size() < d.path_sim_bytes.size()) {
+      total.path_sim_bytes.resize(d.path_sim_bytes.size(), 0);
+    }
+    total.host_sim_bytes += d.host_sim_bytes;
+    for (std::size_t p = 0; p < d.path_sim_bytes.size(); ++p) {
+      total.path_sim_bytes[p] += d.path_sim_bytes[p];
+    }
+  }
+  return total;
+}
+
+}  // namespace mlpo

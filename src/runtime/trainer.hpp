@@ -1,0 +1,78 @@
+// Public facade: configure a training scenario (model, testbed, engine
+// flags, scale) and run instrumented iterations. This is the API the
+// examples and benchmark harnesses use; everything below it is reachable
+// for advanced composition.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "runtime/cluster.hpp"
+#include "util/json.hpp"
+
+namespace mlpo {
+
+struct TrainerConfig {
+  ModelConfig model = paper_model("40B");
+  TestbedSpec testbed = TestbedSpec::testbed1();
+  EngineOptions engine = EngineOptions::mlp_offload();
+  GpuCostModel gpu_cost;
+  u32 nodes = 1;
+  u32 microbatch = 1;
+  u32 accum_steps = 1;
+  u64 subgroup_params = kDefaultSubgroupParams;
+  /// Simulated params per real element; raise it for big clusters to keep
+  /// real memory small (timing is unaffected by construction).
+  u64 elem_scale = 8192;
+  /// Virtual seconds per real second.
+  f64 time_scale = 2000.0;
+  /// Attach the PFS path (required for multipath engines).
+  bool attach_pfs = true;
+  u32 host_cache_override = 0;
+};
+
+class Trainer {
+ public:
+  explicit Trainer(const TrainerConfig& cfg);
+
+  /// Distribute the optimizer state; must precede run().
+  void initialize();
+
+  /// Run `iterations`, discard the first `warmup`, return the rest.
+  std::vector<IterationReport> run(u32 iterations, u32 warmup = 0);
+
+  const SimClock& clock() const { return *clock_; }
+  ClusterSim& cluster() { return *cluster_; }
+  const TrainerConfig& config() const { return cfg_; }
+
+  /// Cluster-wide optimizer-state distribution (Fig. 10).
+  OffloadEngine::Distribution distribution() const;
+
+ private:
+  TrainerConfig cfg_;
+  std::unique_ptr<SimClock> clock_;
+  std::unique_ptr<ClusterSim> cluster_;
+};
+
+/// Parse a TrainerConfig from a DeepSpeed-style JSON document. Recognised
+/// keys (all optional, mirroring the paper's "two JSON key-value pairs"
+/// integration plus scenario selection):
+///   {
+///     "model": "40B",             // Table 2 name
+///     "testbed": "testbed1",      // or "testbed2"
+///     "nodes": 1, "microbatch": 1, "accum_steps": 1,
+///     "subgroup_params": 100000000,
+///     "elem_scale": 8192, "time_scale": 2000,
+///     "mlp_offload": {
+///       "enabled": true,          // false => DeepSpeed ZeRO-3 baseline
+///       "multipath": true, "cache_friendly_order": true,
+///       "delayed_grad_conversion": true, "tier_exclusive_locking": true
+///     }
+///   }
+TrainerConfig trainer_config_from_json(const json::Value& doc);
+
+/// Convenience: parse from text.
+TrainerConfig trainer_config_from_json(const std::string& text);
+
+}  // namespace mlpo

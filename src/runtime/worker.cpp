@@ -1,0 +1,45 @@
+#include "runtime/worker.hpp"
+
+namespace mlpo {
+
+Worker::Worker(const SimClock& clock, VirtualTier& vtier, ThreadPool* cpu_pool,
+               const GradSource& grads, const TestbedSpec& testbed,
+               int worker_id, int rank, const EngineOptions& opts,
+               const ShardLayout& layout)
+    : clock_(&clock), worker_id_(worker_id), rank_(rank) {
+  d2h_ = std::make_unique<RateLimiter>(clock, testbed.d2h_bandwidth);
+  h2d_ = std::make_unique<RateLimiter>(clock, testbed.d2h_bandwidth);
+  // One I/O thread per storage path plus one for H2D/D2H charges keeps
+  // independent channels genuinely concurrent (the multi-path win).
+  aio_ = std::make_unique<AioEngine>(vtier.path_count() + 2,
+                                     /*queue_depth=*/256);
+
+  EngineContext ctx;
+  ctx.clock = &clock;
+  ctx.vtier = &vtier;
+  ctx.aio = aio_.get();
+  ctx.cpu_pool = cpu_pool;
+  ctx.d2h = d2h_.get();
+  ctx.h2d = h2d_.get();
+  ctx.grads = &grads;
+  ctx.worker_id = worker_id;
+  ctx.rank = rank;
+  engine_ = std::make_unique<OffloadEngine>(ctx, opts, layout);
+}
+
+void Worker::run_backward_micro(u64 sample_index, bool first_micro_step,
+                                bool final_micro_step, f64 compute_seconds) {
+  const u32 n = engine_->num_subgroups();
+  if (n == 0) return;
+  // Gradients stream out as the backward pass produces them (paper §2:
+  // "as the backward pass progresses, the gradients are flushed").
+  const f64 per_subgroup = compute_seconds / static_cast<f64>(n);
+  for (u32 id = 0; id < n; ++id) {
+    clock_->sleep_for(per_subgroup);
+    engine_->deposit_gradients_async(sample_index, id, first_micro_step,
+                                     final_micro_step);
+  }
+  engine_->wait_gradient_io();
+}
+
+}  // namespace mlpo

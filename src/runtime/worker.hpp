@@ -1,0 +1,55 @@
+// One worker process: the software stack attached to a single emulated GPU.
+// Owns the per-worker async I/O engine, the PCIe D2H/H2D channels, and the
+// offloading engine for this rank's optimizer-state shard.
+#pragma once
+
+#include <memory>
+
+#include "aio/aio_engine.hpp"
+#include "core/offload_engine.hpp"
+#include "runtime/testbed.hpp"
+#include "tiers/virtual_tier.hpp"
+#include "train/grad_source.hpp"
+#include "util/rate_limiter.hpp"
+#include "util/sim_clock.hpp"
+#include "util/thread_pool.hpp"
+
+namespace mlpo {
+
+class Worker {
+ public:
+  /// @param vtier node-shared third-level virtual tier
+  /// @param cpu_pool node-shared CPU threads for update kernels (nullable)
+  Worker(const SimClock& clock, VirtualTier& vtier, ThreadPool* cpu_pool,
+         const GradSource& grads, const TestbedSpec& testbed, int worker_id,
+         int rank, const EngineOptions& opts, const ShardLayout& layout);
+
+  OffloadEngine& engine() { return *engine_; }
+  const OffloadEngine& engine() const { return *engine_; }
+  int worker_id() const { return worker_id_; }
+  int rank() const { return rank_; }
+
+  void initialize() { engine_->initialize(); }
+
+  /// One backward micro-step: interleaves the GPU's gradient production
+  /// (compute charge spread over the subgroups) with asynchronous gradient
+  /// deposits, then drains the gradient I/O — so the wall time naturally
+  /// becomes max(compute, gradient pipeline), as on real hardware.
+  void run_backward_micro(u64 sample_index, bool first_micro_step,
+                          bool final_micro_step, f64 compute_seconds);
+
+  IterationReport run_update(u64 iteration) {
+    return engine_->run_update(iteration);
+  }
+
+ private:
+  const SimClock* clock_;
+  int worker_id_;
+  int rank_;
+  std::unique_ptr<RateLimiter> d2h_;
+  std::unique_ptr<RateLimiter> h2d_;
+  std::unique_ptr<AioEngine> aio_;
+  std::unique_ptr<OffloadEngine> engine_;
+};
+
+}  // namespace mlpo

@@ -1,0 +1,76 @@
+// Aggregated per-iteration metrics — the exact quantities the paper reports:
+// phase breakdown (Figs. 7, 11, 13-15), update throughput in Mparams/s
+// (Figs. 8, 12), effective I/O throughput 2*bytes/(t_r+t_w) (Fig. 9), and
+// per-subgroup transfer traces (Fig. 5).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace mlpo {
+
+struct SubgroupTrace {
+  u32 subgroup_id;
+  u64 sim_bytes_read;
+  u64 sim_bytes_written;
+  f64 read_seconds;     ///< virtual time spent fetching
+  f64 write_seconds;    ///< virtual time spent flushing
+  f64 compute_seconds;  ///< CPU update time
+  bool host_cache_hit;  ///< subgroup served from host memory, no fetch
+
+  f64 read_throughput() const {
+    return read_seconds > 0 ? static_cast<f64>(sim_bytes_read) / read_seconds : 0;
+  }
+  f64 write_throughput() const {
+    return write_seconds > 0 ? static_cast<f64>(sim_bytes_written) / write_seconds
+                             : 0;
+  }
+};
+
+struct IterationReport {
+  u64 iteration = 0;
+  f64 forward_seconds = 0;
+  f64 backward_seconds = 0;
+  f64 update_seconds = 0;
+  u64 params_updated = 0;          ///< simulated params through the optimizer
+  u64 sim_bytes_fetched = 0;       ///< update-phase tier reads
+  u64 sim_bytes_flushed = 0;       ///< update-phase tier writes
+  f64 fetch_seconds = 0;           ///< accumulated per-subgroup fetch time
+  f64 flush_seconds = 0;           ///< accumulated per-subgroup flush time
+  f64 update_compute_seconds = 0;  ///< accumulated CPU update kernel time
+  u32 host_cache_hits = 0;
+  u32 subgroups_processed = 0;
+  std::vector<SubgroupTrace> traces;
+
+  f64 iteration_seconds() const {
+    return forward_seconds + backward_seconds + update_seconds;
+  }
+
+  /// Millions of parameters updated per second of update phase (Fig. 8/12).
+  f64 update_throughput_mparams() const {
+    return update_seconds > 0
+        ? static_cast<f64>(params_updated) / 1e6 / update_seconds
+        : 0;
+  }
+
+  /// Effective I/O throughput per the paper's definition (§4.3):
+  /// 2 * subgroup_bytes / (read_time + write_time), averaged over subgroups.
+  /// Cache hits transfer nothing and are excluded, matching how the paper's
+  /// counter only sees issued I/O.
+  f64 effective_io_throughput() const;
+
+  /// Fraction of the update phase spent waiting on tier I/O (Fig. 3).
+  f64 update_io_fraction() const {
+    const f64 io = fetch_seconds + flush_seconds;
+    const f64 denom = io + update_compute_seconds;
+    return denom > 0 ? io / denom : 0;
+  }
+};
+
+/// Average a set of reports field-wise (warmup exclusion is the caller's
+/// job, as in the paper's "first 2 of 10 iterations are warmups").
+IterationReport average_reports(const std::vector<IterationReport>& reports);
+
+}  // namespace mlpo

@@ -1,0 +1,14 @@
+#include "telemetry/phase_timer.hpp"
+
+namespace mlpo {
+
+const char* phase_name(Phase p) {
+  switch (p) {
+    case Phase::kForward: return "forward";
+    case Phase::kBackward: return "backward";
+    case Phase::kUpdate: return "update";
+    default: return "?";
+  }
+}
+
+}  // namespace mlpo

@@ -1,0 +1,66 @@
+// Per-phase virtual-time accounting for training iterations.
+//
+// Phases mirror the paper's breakdowns: forward, backward, update — plus
+// finer-grained I/O accounting (fetch/flush/compute inside the update) used
+// by Figs. 3, 5 and 9.
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "util/common.hpp"
+#include "util/sim_clock.hpp"
+
+namespace mlpo {
+
+enum class Phase : int {
+  kForward = 0,
+  kBackward = 1,
+  kUpdate = 2,
+  kCount = 3,
+};
+
+const char* phase_name(Phase p);
+
+/// Accumulates virtual seconds per phase across one or more iterations.
+class PhaseTimer {
+ public:
+  explicit PhaseTimer(const SimClock& clock) : clock_(&clock) {}
+
+  /// RAII scope that charges its lifetime to `phase`.
+  class Scope {
+   public:
+    Scope(PhaseTimer& timer, Phase phase)
+        : timer_(&timer), phase_(phase), start_(timer.clock_->now()) {}
+    ~Scope() { timer_->add(phase_, timer_->clock_->now() - start_); }
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    PhaseTimer* timer_;
+    Phase phase_;
+    f64 start_;
+  };
+
+  void add(Phase phase, f64 seconds) {
+    totals_[static_cast<std::size_t>(phase)] += seconds;
+  }
+
+  f64 total(Phase phase) const {
+    return totals_[static_cast<std::size_t>(phase)];
+  }
+
+  f64 iteration_total() const {
+    f64 sum = 0;
+    for (const f64 t : totals_) sum += t;
+    return sum;
+  }
+
+  void reset() { totals_.fill(0.0); }
+
+ private:
+  const SimClock* clock_;
+  std::array<f64, static_cast<std::size_t>(Phase::kCount)> totals_{};
+};
+
+}  // namespace mlpo

@@ -1,0 +1,41 @@
+#include "telemetry/trace_csv.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace mlpo {
+
+std::string traces_to_csv(const std::vector<SubgroupTrace>& traces) {
+  std::string out =
+      "position,subgroup_id,cache_hit,bytes_read,bytes_written,"
+      "read_s,write_s,compute_s,read_gbps,write_gbps\n";
+  char line[256];
+  for (std::size_t i = 0; i < traces.size(); ++i) {
+    const auto& t = traces[i];
+    std::snprintf(line, sizeof(line),
+                  "%zu,%u,%d,%llu,%llu,%.6f,%.6f,%.6f,%.4f,%.4f\n", i,
+                  t.subgroup_id, t.host_cache_hit ? 1 : 0,
+                  static_cast<unsigned long long>(t.sim_bytes_read),
+                  static_cast<unsigned long long>(t.sim_bytes_written),
+                  t.read_seconds, t.write_seconds, t.compute_seconds,
+                  t.read_throughput() / 1e9, t.write_throughput() / 1e9);
+    out += line;
+  }
+  return out;
+}
+
+void write_traces_csv(const std::string& path,
+                      const std::vector<SubgroupTrace>& traces) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    throw std::runtime_error("write_traces_csv: cannot open " + path);
+  }
+  const std::string csv = traces_to_csv(traces);
+  const std::size_t written = std::fwrite(csv.data(), 1, csv.size(), f);
+  const int rc = std::fclose(f);
+  if (written != csv.size() || rc != 0) {
+    throw std::runtime_error("write_traces_csv: short write to " + path);
+  }
+}
+
+}  // namespace mlpo

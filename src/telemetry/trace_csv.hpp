@@ -1,0 +1,22 @@
+// Export per-subgroup transfer traces as CSV — the raw data behind the
+// Fig. 5-style series, for offline plotting.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "telemetry/iteration_report.hpp"
+
+namespace mlpo {
+
+/// One row per trace, in the given order (processing order when taken from
+/// IterationReport::traces). Columns: position, subgroup_id, cache_hit,
+/// bytes_read, bytes_written, read_s, write_s, compute_s, read_gbps,
+/// write_gbps.
+std::string traces_to_csv(const std::vector<SubgroupTrace>& traces);
+
+/// Write the CSV to `path`; throws std::runtime_error on I/O failure.
+void write_traces_csv(const std::string& path,
+                      const std::vector<SubgroupTrace>& traces);
+
+}  // namespace mlpo

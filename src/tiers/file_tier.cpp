@@ -1,0 +1,85 @@
+#include "tiers/file_tier.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+#include <system_error>
+
+namespace mlpo {
+
+namespace fs = std::filesystem;
+
+FileTier::FileTier(std::string name, fs::path root, f64 read_bw, f64 write_bw)
+    : name_(std::move(name)), root_(std::move(root)), read_bw_(read_bw),
+      write_bw_(write_bw) {
+  fs::create_directories(root_);
+}
+
+fs::path FileTier::path_for(const std::string& key) const {
+  std::string sanitised = key;
+  for (char& c : sanitised) {
+    if (c == '/' || c == '\\') c = '_';
+  }
+  return root_ / sanitised;
+}
+
+void FileTier::write(const std::string& key, std::span<const u8> data,
+                     u64 sim_bytes) {
+  const fs::path path = path_for(key);
+  // Write to a temp file then rename for atomic replacement — readers never
+  // observe a torn object (matters for checkpoint durability claims).
+  const fs::path tmp = path.string() + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    throw std::runtime_error("FileTier '" + name_ + "': cannot open " +
+                             tmp.string());
+  }
+  const std::size_t written = data.empty()
+      ? 0
+      : std::fwrite(data.data(), 1, data.size(), f);
+  const int close_rc = std::fclose(f);
+  if (written != data.size() || close_rc != 0) {
+    std::error_code ec;
+    fs::remove(tmp, ec);
+    throw std::runtime_error("FileTier '" + name_ + "': short write to " +
+                             tmp.string());
+  }
+  fs::rename(tmp, path);
+  stats_.writes.fetch_add(1, std::memory_order_relaxed);
+  stats_.bytes_written.fetch_add(sim_bytes ? sim_bytes : data.size(),
+                                 std::memory_order_relaxed);
+}
+
+void FileTier::read(const std::string& key, std::span<u8> out, u64 sim_bytes) {
+  const fs::path path = path_for(key);
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    throw std::out_of_range("FileTier '" + name_ + "': no object " + key);
+  }
+  const std::size_t got = out.empty() ? 0 : std::fread(out.data(), 1, out.size(), f);
+  std::fclose(f);
+  if (got != out.size()) {
+    throw std::invalid_argument("FileTier '" + name_ + "': size mismatch for " +
+                                key);
+  }
+  stats_.reads.fetch_add(1, std::memory_order_relaxed);
+  stats_.bytes_read.fetch_add(sim_bytes ? sim_bytes : out.size(),
+                              std::memory_order_relaxed);
+}
+
+bool FileTier::exists(const std::string& key) const {
+  return fs::exists(path_for(key));
+}
+
+u64 FileTier::object_size(const std::string& key) const {
+  std::error_code ec;
+  const auto size = fs::file_size(path_for(key), ec);
+  if (ec) throw std::out_of_range("FileTier '" + name_ + "': no object " + key);
+  return size;
+}
+
+void FileTier::erase(const std::string& key) {
+  std::error_code ec;
+  fs::remove(path_for(key), ec);
+}
+
+}  // namespace mlpo

@@ -1,0 +1,46 @@
+// POSIX-file-backed tier: one file per object under a root directory.
+//
+// This is the production (non-emulated) path: pointed at a real NVMe mount
+// or PFS directory with time_scale == 1 it performs genuine storage I/O.
+// In this repository's tests it runs against a temp directory and validates
+// that the engine logic is backend-agnostic.
+#pragma once
+
+#include <filesystem>
+#include <mutex>
+
+#include "tiers/storage_tier.hpp"
+
+namespace mlpo {
+
+class FileTier : public StorageTier {
+ public:
+  /// Creates `root` if missing. Object keys are sanitised into file names
+  /// ('/' becomes '_'), so keys must stay unique after sanitisation.
+  FileTier(std::string name, std::filesystem::path root, f64 read_bw = 1e9,
+           f64 write_bw = 1e9);
+
+  const std::string& name() const override { return name_; }
+  void write(const std::string& key, std::span<const u8> data,
+             u64 sim_bytes = 0) override;
+  void read(const std::string& key, std::span<u8> out,
+            u64 sim_bytes = 0) override;
+  bool exists(const std::string& key) const override;
+  u64 object_size(const std::string& key) const override;
+  void erase(const std::string& key) override;
+  f64 read_bandwidth() const override { return read_bw_; }
+  f64 write_bandwidth() const override { return write_bw_; }
+  bool persistent() const override { return true; }
+
+  const std::filesystem::path& root() const { return root_; }
+
+ private:
+  std::filesystem::path path_for(const std::string& key) const;
+
+  std::string name_;
+  std::filesystem::path root_;
+  f64 read_bw_;
+  f64 write_bw_;
+};
+
+}  // namespace mlpo

@@ -1,0 +1,86 @@
+#include "tiers/fluctuating_tier.hpp"
+
+#include <stdexcept>
+
+namespace mlpo {
+
+f64 BandwidthSchedule::factor_at(f64 vtime) const {
+  f64 factor = 1.0;
+  for (const auto& seg : segments) {
+    if (seg.start_vtime > vtime) break;
+    factor = seg.factor;
+  }
+  return factor;
+}
+
+BandwidthSchedule BandwidthSchedule::square_wave(f64 period_vsecs, f64 high,
+                                                 f64 low, u32 cycles) {
+  if (period_vsecs <= 0 || high <= 0 || low <= 0) {
+    throw std::invalid_argument("square_wave: non-positive parameter");
+  }
+  BandwidthSchedule schedule;
+  for (u32 c = 0; c < cycles; ++c) {
+    schedule.segments.push_back({2 * c * period_vsecs, high});
+    schedule.segments.push_back({(2 * c + 1) * period_vsecs, low});
+  }
+  return schedule;
+}
+
+FluctuatingTier::FluctuatingTier(std::string name,
+                                 std::shared_ptr<StorageTier> backend,
+                                 const SimClock& clock,
+                                 const ThrottleSpec& nominal,
+                                 BandwidthSchedule schedule, bool persistent)
+    : name_(std::move(name)), clock_(&clock), nominal_(nominal),
+      schedule_(std::move(schedule)),
+      inner_(name_ + "/inner", std::move(backend), clock, nominal,
+             persistent) {}
+
+void FluctuatingTier::apply_schedule() {
+  const f64 factor = schedule_.factor_at(clock_->now());
+  std::lock_guard lock(mutex_);
+  if (factor != applied_factor_) {
+    inner_.set_read_bandwidth(nominal_.read_bw * factor);
+    inner_.set_write_bandwidth(nominal_.write_bw * factor);
+    applied_factor_ = factor;
+  }
+}
+
+f64 FluctuatingTier::current_factor() const {
+  std::lock_guard lock(mutex_);
+  return applied_factor_;
+}
+
+void FluctuatingTier::write(const std::string& key, std::span<const u8> data,
+                            u64 sim_bytes) {
+  apply_schedule();
+  inner_.write(key, data, sim_bytes);
+  stats_.writes.fetch_add(1, std::memory_order_relaxed);
+  stats_.bytes_written.fetch_add(sim_bytes ? sim_bytes : data.size(),
+                                 std::memory_order_relaxed);
+}
+
+void FluctuatingTier::read(const std::string& key, std::span<u8> out,
+                           u64 sim_bytes) {
+  apply_schedule();
+  inner_.read(key, out, sim_bytes);
+  stats_.reads.fetch_add(1, std::memory_order_relaxed);
+  stats_.bytes_read.fetch_add(sim_bytes ? sim_bytes : out.size(),
+                              std::memory_order_relaxed);
+}
+
+bool FluctuatingTier::exists(const std::string& key) const {
+  return inner_.exists(key);
+}
+
+u64 FluctuatingTier::object_size(const std::string& key) const {
+  return inner_.object_size(key);
+}
+
+void FluctuatingTier::erase(const std::string& key) { inner_.erase(key); }
+
+void FluctuatingTier::peek(const std::string& key, std::span<u8> out) {
+  inner_.peek(key, out);
+}
+
+}  // namespace mlpo

@@ -1,0 +1,81 @@
+// Storage tier with time-varying bandwidth — the shared-PFS scenario the
+// paper's §3.3 adaptivity targets and its conclusion flags for deeper
+// study: "a parallel file system may be under I/O pressure from different
+// batch jobs ... in which case an updated B_i can repartition the
+// subgroups".
+//
+// Wraps any tier and rescales its *observed* service rate according to a
+// schedule of (virtual-time, bandwidth-factor) segments: factor 1.0 is the
+// nominal rate, 0.25 means an external job is consuming three quarters of
+// the device. The adaptive performance model has no knowledge of the
+// schedule — it must discover shifts from observed transfer times.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "tiers/storage_tier.hpp"
+#include "tiers/throttled_tier.hpp"
+#include "util/sim_clock.hpp"
+
+namespace mlpo {
+
+/// Piecewise-constant bandwidth schedule over virtual time.
+struct BandwidthSchedule {
+  struct Segment {
+    f64 start_vtime;  ///< virtual seconds since tier creation
+    f64 factor;       ///< multiplier on nominal bandwidth (> 0)
+  };
+  std::vector<Segment> segments;  ///< sorted by start_vtime; first at 0
+
+  /// Factor in effect at `vtime` (the last segment whose start has passed;
+  /// 1.0 when the schedule is empty).
+  f64 factor_at(f64 vtime) const;
+
+  /// Convenience: alternate between `high` and `low` factors every
+  /// `period_vsecs`, starting high.
+  static BandwidthSchedule square_wave(f64 period_vsecs, f64 high, f64 low,
+                                       u32 cycles);
+};
+
+/// A ThrottledTier whose channel rates follow a BandwidthSchedule. The
+/// schedule is applied lazily before each transfer, so no background thread
+/// is needed.
+class FluctuatingTier : public StorageTier {
+ public:
+  FluctuatingTier(std::string name, std::shared_ptr<StorageTier> backend,
+                  const SimClock& clock, const ThrottleSpec& nominal,
+                  BandwidthSchedule schedule, bool persistent = false);
+
+  const std::string& name() const override { return name_; }
+  void write(const std::string& key, std::span<const u8> data,
+             u64 sim_bytes = 0) override;
+  void read(const std::string& key, std::span<u8> out,
+            u64 sim_bytes = 0) override;
+  bool exists(const std::string& key) const override;
+  u64 object_size(const std::string& key) const override;
+  void erase(const std::string& key) override;
+  void peek(const std::string& key, std::span<u8> out) override;
+  /// Nominal (unscaled) bandwidths: what a microbenchmark at quiet time
+  /// would have seeded the performance model with.
+  f64 read_bandwidth() const override { return nominal_.read_bw; }
+  f64 write_bandwidth() const override { return nominal_.write_bw; }
+  bool persistent() const override { return inner_.persistent(); }
+
+  /// Factor currently in effect (for tests/telemetry).
+  f64 current_factor() const;
+
+ private:
+  void apply_schedule();
+
+  std::string name_;
+  const SimClock* clock_;
+  ThrottleSpec nominal_;
+  BandwidthSchedule schedule_;
+  ThrottledTier inner_;
+  mutable std::mutex mutex_;
+  f64 applied_factor_ = 1.0;
+};
+
+}  // namespace mlpo

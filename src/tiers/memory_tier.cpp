@@ -1,0 +1,74 @@
+#include "tiers/memory_tier.hpp"
+
+#include <cstring>
+#include <mutex>
+#include <stdexcept>
+
+namespace mlpo {
+
+MemoryTier::MemoryTier(std::string name, f64 read_bw, f64 write_bw)
+    : name_(std::move(name)), read_bw_(read_bw), write_bw_(write_bw) {}
+
+void MemoryTier::write(const std::string& key, std::span<const u8> data,
+                       u64 sim_bytes) {
+  {
+    std::unique_lock lock(mutex_);
+    auto& obj = objects_[key];
+    obj.assign(data.begin(), data.end());
+  }
+  stats_.writes.fetch_add(1, std::memory_order_relaxed);
+  stats_.bytes_written.fetch_add(sim_bytes ? sim_bytes : data.size(),
+                                 std::memory_order_relaxed);
+}
+
+void MemoryTier::read(const std::string& key, std::span<u8> out,
+                      u64 sim_bytes) {
+  {
+    std::shared_lock lock(mutex_);
+    const auto it = objects_.find(key);
+    if (it == objects_.end()) {
+      throw std::out_of_range("MemoryTier '" + name_ + "': no object " + key);
+    }
+    if (it->second.size() != out.size()) {
+      throw std::invalid_argument("MemoryTier '" + name_ + "': size mismatch for " +
+                                  key);
+    }
+    std::memcpy(out.data(), it->second.data(), out.size());
+  }
+  stats_.reads.fetch_add(1, std::memory_order_relaxed);
+  stats_.bytes_read.fetch_add(sim_bytes ? sim_bytes : out.size(),
+                              std::memory_order_relaxed);
+}
+
+bool MemoryTier::exists(const std::string& key) const {
+  std::shared_lock lock(mutex_);
+  return objects_.count(key) > 0;
+}
+
+u64 MemoryTier::object_size(const std::string& key) const {
+  std::shared_lock lock(mutex_);
+  const auto it = objects_.find(key);
+  if (it == objects_.end()) {
+    throw std::out_of_range("MemoryTier '" + name_ + "': no object " + key);
+  }
+  return it->second.size();
+}
+
+void MemoryTier::erase(const std::string& key) {
+  std::unique_lock lock(mutex_);
+  objects_.erase(key);
+}
+
+std::size_t MemoryTier::object_count() const {
+  std::shared_lock lock(mutex_);
+  return objects_.size();
+}
+
+u64 MemoryTier::stored_bytes() const {
+  std::shared_lock lock(mutex_);
+  u64 total = 0;
+  for (const auto& [key, obj] : objects_) total += obj.size();
+  return total;
+}
+
+}  // namespace mlpo

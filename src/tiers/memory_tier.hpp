@@ -1,0 +1,42 @@
+// In-memory blob store. Backing for emulated NVMe/PFS tiers (wrapped in
+// ThrottledTier) and usable directly as a "host memory" staging target.
+#pragma once
+
+#include <shared_mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "tiers/storage_tier.hpp"
+
+namespace mlpo {
+
+class MemoryTier : public StorageTier {
+ public:
+  /// @param read_bw / write_bw nominal bandwidths reported to the
+  ///        performance model. Memory itself is not throttled.
+  explicit MemoryTier(std::string name, f64 read_bw = 1e12, f64 write_bw = 1e12);
+
+  const std::string& name() const override { return name_; }
+  void write(const std::string& key, std::span<const u8> data,
+             u64 sim_bytes = 0) override;
+  void read(const std::string& key, std::span<u8> out,
+            u64 sim_bytes = 0) override;
+  bool exists(const std::string& key) const override;
+  u64 object_size(const std::string& key) const override;
+  void erase(const std::string& key) override;
+  f64 read_bandwidth() const override { return read_bw_; }
+  f64 write_bandwidth() const override { return write_bw_; }
+
+  std::size_t object_count() const;
+  /// Sum of stored (real) bytes.
+  u64 stored_bytes() const;
+
+ private:
+  std::string name_;
+  f64 read_bw_;
+  f64 write_bw_;
+  mutable std::shared_mutex mutex_;
+  std::unordered_map<std::string, std::vector<u8>> objects_;
+};
+
+}  // namespace mlpo

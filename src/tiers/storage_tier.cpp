@@ -1,0 +1,6 @@
+#include "tiers/storage_tier.hpp"
+
+// Interface-only translation unit: keeps the vtable anchored in one object
+// file and gives the target a .cpp so static analysis tools see the header.
+
+namespace mlpo {}  // namespace mlpo

@@ -1,0 +1,87 @@
+// Storage tier abstraction.
+//
+// A tier is a key/value blob store with measurable bandwidth — the shape of
+// every offload target in the paper: node-local NVMe, a parallel file
+// system path, an object store bucket. Blocking read/write is the base
+// interface; asynchrony is layered on top by aio::AioEngine.
+//
+// Scale-reduced emulation: every transfer carries an optional `sim_bytes`
+// count. Backends move the real `data` bytes; timing wrappers
+// (ThrottledTier) charge virtual time for `sim_bytes`. When sim_bytes is 0
+// the real size is used, which is the non-emulated (production) behaviour.
+#pragma once
+
+#include <atomic>
+#include <span>
+#include <string>
+
+#include "util/common.hpp"
+
+namespace mlpo {
+
+/// Monotonic transfer counters for one tier. All counters use simulated
+/// byte counts so telemetry reports paper-scale numbers.
+struct TierStats {
+  std::atomic<u64> reads{0};
+  std::atomic<u64> writes{0};
+  std::atomic<u64> bytes_read{0};
+  std::atomic<u64> bytes_written{0};
+  /// Accumulated per-request wall time in virtual seconds (x1e6 fixed point
+  /// to keep the counter atomic).
+  std::atomic<u64> read_usecs{0};
+  std::atomic<u64> write_usecs{0};
+
+  f64 read_seconds() const { return static_cast<f64>(read_usecs.load()) / 1e6; }
+  f64 write_seconds() const { return static_cast<f64>(write_usecs.load()) / 1e6; }
+
+  void reset() {
+    reads = writes = bytes_read = bytes_written = 0;
+    read_usecs = write_usecs = 0;
+  }
+};
+
+class StorageTier {
+ public:
+  virtual ~StorageTier() = default;
+
+  virtual const std::string& name() const = 0;
+
+  /// Store `data` under `key`, replacing any previous object.
+  /// @param sim_bytes simulated transfer size; 0 means data.size().
+  virtual void write(const std::string& key, std::span<const u8> data,
+                     u64 sim_bytes = 0) = 0;
+
+  /// Read the object at `key` into `out` (must be exactly the stored size).
+  /// Throws std::out_of_range for unknown keys.
+  virtual void read(const std::string& key, std::span<u8> out,
+                    u64 sim_bytes = 0) = 0;
+
+  virtual bool exists(const std::string& key) const = 0;
+  virtual u64 object_size(const std::string& key) const = 0;
+  virtual void erase(const std::string& key) = 0;
+
+  /// Untimed inspection read for debugging/verification tooling: fetches
+  /// the object without charging emulated transfer time or stats. Default
+  /// forwards to read(); throttled wrappers bypass their channels.
+  virtual void peek(const std::string& key, std::span<u8> out) {
+    read(key, out, 0);
+  }
+
+  /// Nominal bandwidths in bytes per virtual second; the performance model
+  /// seeds its estimates from these (paper §3.3 "initially, B_i ... is
+  /// measured using microbenchmarks").
+  virtual f64 read_bandwidth() const = 0;
+  virtual f64 write_bandwidth() const = 0;
+
+  /// Survives job termination (PFS / object store, not tmpfs or host RAM).
+  /// Checkpoint pre-staging only counts persistent-tier bytes as durable.
+  virtual bool persistent() const { return false; }
+
+  TierStats& stats() { return stats_; }
+  const TierStats& stats() const { return stats_; }
+
+ protected:
+  TierStats stats_;
+};
+
+}  // namespace mlpo

@@ -1,0 +1,49 @@
+#include "tiers/tier_lock.hpp"
+
+#include <cassert>
+
+namespace mlpo {
+
+void TierLock::Guard::release() {
+  if (lock_ != nullptr) {
+    lock_->unlock(worker_);
+    lock_ = nullptr;
+  }
+}
+
+TierLock::Guard TierLock::lock(int worker) {
+  std::unique_lock lock(mutex_);
+  cv_.wait(lock, [&] { return owner_ == -1 || owner_ == worker; });
+  owner_ = worker;
+  ++shares_;
+  return Guard(this, worker);
+}
+
+std::optional<TierLock::Guard> TierLock::try_lock(int worker) {
+  std::lock_guard lock(mutex_);
+  if (owner_ != -1 && owner_ != worker) return std::nullopt;
+  owner_ = worker;
+  ++shares_;
+  return Guard(this, worker);
+}
+
+int TierLock::owner() const {
+  std::lock_guard lock(mutex_);
+  return owner_;
+}
+
+void TierLock::unlock(int worker) {
+  bool notify = false;
+  {
+    std::lock_guard lock(mutex_);
+    assert(owner_ == worker && shares_ > 0);
+    (void)worker;
+    if (--shares_ == 0) {
+      owner_ = -1;
+      notify = true;
+    }
+  }
+  if (notify) cv_.notify_all();
+}
+
+}  // namespace mlpo

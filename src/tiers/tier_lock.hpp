@@ -1,0 +1,81 @@
+// Node-level concurrency control for alternative storage (paper §3.2,
+// "optimized virtual tier concurrency control for multi-path I/O").
+//
+// Semantics: *process-exclusive, thread-shared*. On a node with several
+// worker processes (one per GPU), only one worker may drive I/O to a given
+// alternative storage at a time — it then owns the tier's full bandwidth —
+// but that worker may use as many I/O threads as it likes (a PFS prefers
+// multi-threaded access). Other workers either block or skip to a different
+// tier / compute instead, which produces the natural interleaving the paper
+// describes.
+//
+// This mirrors the paper's "process-exclusive multi-thread-shared locking
+// mechanism in libaio" (§3.5) at library level: ownership is keyed by an
+// integer worker id rather than by thread identity.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+#include <optional>
+
+#include "util/common.hpp"
+
+namespace mlpo {
+
+class TierLock {
+ public:
+  /// RAII ownership share. Destruction releases one share; when the last
+  /// share drops, the tier becomes available to other workers.
+  class Guard {
+   public:
+    Guard() = default;
+    Guard(TierLock* lock, int worker) : lock_(lock), worker_(worker) {}
+    ~Guard() { release(); }
+    Guard(Guard&& o) noexcept : lock_(o.lock_), worker_(o.worker_) {
+      o.lock_ = nullptr;
+    }
+    Guard& operator=(Guard&& o) noexcept {
+      if (this != &o) {
+        release();
+        lock_ = o.lock_;
+        worker_ = o.worker_;
+        o.lock_ = nullptr;
+      }
+      return *this;
+    }
+    Guard(const Guard&) = delete;
+    Guard& operator=(const Guard&) = delete;
+
+    bool valid() const { return lock_ != nullptr; }
+    int worker() const { return worker_; }
+    void release();
+
+   private:
+    TierLock* lock_ = nullptr;
+    int worker_ = -1;
+  };
+
+  /// Block until `worker` owns the tier, then take one share. Re-entrant
+  /// for the owning worker: additional threads of the same worker acquire
+  /// immediately (thread-shared).
+  Guard lock(int worker);
+
+  /// Non-blocking attempt; empty optional if another worker owns the tier.
+  /// This is what lets the engine fall through to a different I/O path or
+  /// keep computing instead of stalling.
+  std::optional<Guard> try_lock(int worker);
+
+  /// Worker currently holding the tier, or -1 when free.
+  int owner() const;
+
+ private:
+  friend class Guard;
+  void unlock(int worker);
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  int owner_ = -1;
+  u32 shares_ = 0;
+};
+
+}  // namespace mlpo

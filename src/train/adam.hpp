@@ -1,0 +1,41 @@
+// CPU Adam optimizer kernel (Kingma & Ba 2014), the update-phase compute of
+// offloaded training: when the optimizer state lives on host/disk, updates
+// run on the CPU to avoid shipping FP32 state through the GPU (paper §2,
+// "Optimizer State Offloading").
+//
+// Two entry points: a scalar reference (tests) and a multithreaded kernel
+// (the engine's production path). Both implement the same math: decoupled
+// weight decay off, bias-corrected first/second moments.
+#pragma once
+
+#include <span>
+
+#include "util/common.hpp"
+#include "util/thread_pool.hpp"
+
+namespace mlpo {
+
+struct AdamConfig {
+  f32 lr = 1e-4f;
+  f32 beta1 = 0.9f;
+  f32 beta2 = 0.999f;
+  f32 eps = 1e-8f;
+  f32 weight_decay = 0.0f;  ///< L2-style (added to the gradient)
+};
+
+/// One Adam step on [params, momentum, variance] given gradients.
+/// `step` is the 1-based global step used for bias correction.
+/// Scalar loop; bit-exact reference for the parallel kernel.
+void adam_update_reference(const AdamConfig& cfg, std::span<f32> params,
+                           std::span<f32> momentum, std::span<f32> variance,
+                           std::span<const f32> grads, u32 step);
+
+/// Multithreaded Adam step. Partitions the arrays over `pool` (or runs the
+/// scalar loop when pool is null). Element-wise independent, so the result
+/// is bit-identical to the reference regardless of partitioning.
+void adam_update(const AdamConfig& cfg, std::span<f32> params,
+                 std::span<f32> momentum, std::span<f32> variance,
+                 std::span<const f32> grads, u32 step,
+                 ThreadPool* pool = nullptr);
+
+}  // namespace mlpo

@@ -1,0 +1,74 @@
+#include "train/grad_accum.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/fp16.hpp"
+
+namespace mlpo {
+
+GradAccumulator::GradAccumulator(u32 num_subgroups, u64 subgroup_real_elems) {
+  buffers_.resize(num_subgroups);
+  for (auto& b : buffers_) b.assign(subgroup_real_elems, 0);
+}
+
+GradAccumulator::GradAccumulator(const std::vector<u64>& elems_per_subgroup) {
+  buffers_.resize(elems_per_subgroup.size());
+  for (std::size_t i = 0; i < buffers_.size(); ++i) {
+    buffers_[i].assign(elems_per_subgroup[i], 0);
+  }
+}
+
+void GradAccumulator::store(u32 id, std::span<const u16> grads_fp16) {
+  auto& buf = buffers_.at(id);
+  if (grads_fp16.size() != buf.size()) {
+    throw std::invalid_argument("GradAccumulator::store: size mismatch");
+  }
+  std::copy(grads_fp16.begin(), grads_fp16.end(), buf.begin());
+}
+
+void GradAccumulator::accumulate(u32 id, std::span<const u16> grads_fp16,
+                                 ThreadPool* pool) {
+  auto& buf = buffers_.at(id);
+  if (grads_fp16.size() != buf.size()) {
+    throw std::invalid_argument("GradAccumulator::accumulate: size mismatch");
+  }
+  const auto add_range = [&](u64 begin, u64 end) {
+    for (u64 i = begin; i < end; ++i) {
+      const f32 sum = Fp16::decode(buf[i]) + Fp16::decode(grads_fp16[i]);
+      buf[i] = Fp16::encode(sum);
+    }
+  };
+  if (pool == nullptr) {
+    add_range(0, buf.size());
+  } else {
+    pool->parallel_for(buf.size(), add_range);
+  }
+}
+
+std::span<const u16> GradAccumulator::fp16(u32 id) const {
+  return buffers_.at(id);
+}
+
+void GradAccumulator::upscale_into(u32 id, std::span<f32> out,
+                                   ThreadPool* pool) const {
+  const auto& buf = buffers_.at(id);
+  if (out.size() != buf.size()) {
+    throw std::invalid_argument("GradAccumulator::upscale_into: size mismatch");
+  }
+  const auto convert = [&](u64 begin, u64 end) {
+    fp16_to_fp32(std::span<const u16>(buf).subspan(begin, end - begin),
+                 out.subspan(begin, end - begin));
+  };
+  if (pool == nullptr) {
+    convert(0, buf.size());
+  } else {
+    pool->parallel_for(buf.size(), convert);
+  }
+}
+
+void GradAccumulator::reset() {
+  for (auto& b : buffers_) std::fill(b.begin(), b.end(), 0);
+}
+
+}  // namespace mlpo

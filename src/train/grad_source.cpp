@@ -1,0 +1,45 @@
+#include "train/grad_source.hpp"
+
+#include "util/fp16.hpp"
+
+namespace mlpo {
+
+namespace {
+
+inline u64 splitmix64(u64 x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+// Map a 64-bit hash to a small centred float (~N(0, 0.02) shaped, uniform is
+// fine for exercising the optimizer), then round-trip through FP16 so every
+// generated gradient is exactly FP16-representable.
+inline u16 hash_to_fp16(u64 h) {
+  const f64 unit = static_cast<f64>(h >> 11) * 0x1.0p-53;  // [0, 1)
+  const f32 value = static_cast<f32>((unit - 0.5) * 0.04);
+  return Fp16::encode(value);
+}
+
+}  // namespace
+
+void GradSource::generate_fp16(int rank, u32 subgroup_id, u64 iteration,
+                               std::span<u16> out) const {
+  const u64 base = splitmix64(seed_ ^ (static_cast<u64>(rank) << 48) ^
+                              (static_cast<u64>(subgroup_id) << 24) ^ iteration);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = hash_to_fp16(splitmix64(base + i));
+  }
+}
+
+void GradSource::generate_fp32(int rank, u32 subgroup_id, u64 iteration,
+                               std::span<f32> out) const {
+  const u64 base = splitmix64(seed_ ^ (static_cast<u64>(rank) << 48) ^
+                              (static_cast<u64>(subgroup_id) << 24) ^ iteration);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = Fp16::decode(hash_to_fp16(splitmix64(base + i)));
+  }
+}
+
+}  // namespace mlpo

@@ -1,0 +1,42 @@
+#include "train/model_config.hpp"
+
+#include <stdexcept>
+
+namespace mlpo {
+
+u64 ModelConfig::parameters() const {
+  const u64 h = hidden_dim;
+  const u64 per_layer = 12 * h * h + 13 * h;
+  const u64 layers = static_cast<u64>(num_layers) * per_layer;
+  const u64 embeddings = static_cast<u64>(vocab_size) * h;
+  return layers + embeddings;
+}
+
+const std::vector<ModelConfig>& paper_models() {
+  // N_L / D_H / A_H exactly as listed in Table 2.
+  static const std::vector<ModelConfig> kModels = {
+      {"40B", 128, 5120, 40},
+      {"52B", 64, 8192, 64},
+      {"70B", 80, 8192, 64},
+      {"100B", 124, 8192, 64},
+      {"120B", 96, 10240, 80},
+      {"130B", 70, 12288, 96},
+      {"280B", 72, 16384, 128},
+  };
+  return kModels;
+}
+
+const ModelConfig& paper_model(const std::string& name) {
+  for (const auto& m : paper_models()) {
+    if (m.name == name) return m;
+  }
+  throw std::out_of_range("paper_model: unknown model " + name);
+}
+
+ModelConfig baseline_20b() {
+  // LLaMA-20B-class config used as the host-memory-resident reference in
+  // Fig. 3 (optimizer state ~240 GB < 512 GB host RAM).
+  return ModelConfig{"20B", 64, 5120, 40};
+}
+
+}  // namespace mlpo

@@ -1,0 +1,54 @@
+// Transformer model configurations (paper Table 2) and the derived memory
+// footprints that drive offloading decisions.
+//
+// Parameter counting follows the standard GPT-style decoder estimate used
+// by Megatron/DeepSpeed sizing tools:
+//   per layer: 12*H^2 + 13*H   (attention 4H^2+4H, MLP 8H^2+5H, norms 4H)
+//   embeddings: V*H (+ positional H*S, negligible at these scales)
+// which reproduces the headline sizes of Table 2 within a few percent —
+// the paper itself quotes rounded marketing sizes (40B, 52B, ...).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace mlpo {
+
+struct ModelConfig {
+  std::string name;   ///< e.g. "40B"
+  u32 num_layers;     ///< N_L
+  u32 hidden_dim;     ///< D_H
+  u32 attention_heads;///< A_H
+  u32 vocab_size = 50257;
+  u32 seq_length = 2048;
+
+  /// Total trainable parameters (layers + embeddings).
+  u64 parameters() const;
+
+  /// FP16 model-state bytes resident on the GPUs during fwd/bwd.
+  u64 fp16_param_bytes() const { return parameters() * kFp16Bytes; }
+
+  /// FP32 optimizer-state bytes (master params + momentum + variance) —
+  /// the payload that gets offloaded.
+  u64 optimizer_state_bytes() const {
+    return parameters() * kOptimStateBytesPerParam;
+  }
+
+  /// FP16 gradient bytes produced by one backward pass.
+  u64 fp16_grad_bytes() const { return parameters() * kFp16Bytes; }
+};
+
+/// The seven evaluation models of paper Table 2 (40B..280B).
+const std::vector<ModelConfig>& paper_models();
+
+/// Lookup by Table 2 name ("40B", "52B", "70B", "100B", "120B", "130B",
+/// "280B"); throws std::out_of_range for unknown names.
+const ModelConfig& paper_model(const std::string& name);
+
+/// The 20B host-memory baseline model used in the paper's gap analysis
+/// (Fig. 3): optimizer state fits in 512 GB host RAM.
+ModelConfig baseline_20b();
+
+}  // namespace mlpo

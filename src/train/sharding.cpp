@@ -1,0 +1,42 @@
+#include "train/sharding.hpp"
+
+#include <stdexcept>
+
+namespace mlpo {
+
+ShardLayout make_shard_layout(u64 total_params, u32 world_size, int rank,
+                              u64 subgroup_params) {
+  if (world_size == 0) throw std::invalid_argument("sharding: world_size == 0");
+  if (rank < 0 || static_cast<u32>(rank) >= world_size) {
+    throw std::invalid_argument("sharding: rank out of range");
+  }
+  if (subgroup_params == 0) {
+    throw std::invalid_argument("sharding: subgroup_params == 0");
+  }
+
+  ShardLayout layout;
+  layout.total_params = total_params;
+  layout.world_size = world_size;
+  layout.rank = rank;
+  layout.subgroup_params = subgroup_params;
+
+  const u64 base = total_params / world_size;
+  const u64 rem = total_params % world_size;
+  layout.shard_params = base + (static_cast<u64>(rank) < rem ? 1 : 0);
+
+  u64 remaining = layout.shard_params;
+  while (remaining > 0) {
+    const u64 size = std::min(remaining, subgroup_params);
+    layout.subgroup_sizes.push_back(size);
+    remaining -= size;
+  }
+  return layout;
+}
+
+ShardLayout make_shard_layout(const ModelConfig& model, u32 world_size,
+                              int rank, u64 subgroup_params) {
+  return make_shard_layout(model.parameters(), world_size, rank,
+                           subgroup_params);
+}
+
+}  // namespace mlpo

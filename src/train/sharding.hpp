@@ -1,0 +1,41 @@
+// ZeRO-3 sharding layout: partition a model's parameters across data-parallel
+// ranks, then decompose each rank's shard into fixed-size subgroups (paper
+// §2, Fig. 2b). Subgroup size defaults to the paper's evaluation choice of
+// 100M parameters (vs DeepSpeed's default 1B) for better I/O/compute overlap
+// and load balancing.
+#pragma once
+
+#include <vector>
+
+#include "train/model_config.hpp"
+#include "util/common.hpp"
+
+namespace mlpo {
+
+struct ShardLayout {
+  u64 total_params;        ///< whole-model parameter count
+  u32 world_size;          ///< number of ranks (GPUs)
+  int rank;                ///< this worker's rank
+  u64 shard_params;        ///< parameters owned by this rank
+  u64 subgroup_params;     ///< nominal parameters per subgroup
+  std::vector<u64> subgroup_sizes;  ///< per-subgroup parameter counts
+
+  u32 num_subgroups() const { return static_cast<u32>(subgroup_sizes.size()); }
+};
+
+inline constexpr u64 kDefaultSubgroupParams = 100'000'000ull;
+
+/// Compute rank `rank`'s shard of `model` across `world_size` ranks, split
+/// into subgroups of `subgroup_params` (last subgroup takes the remainder).
+/// Parameters divide as evenly as possible: the first (P % W) ranks hold one
+/// extra parameter.
+ShardLayout make_shard_layout(const ModelConfig& model, u32 world_size,
+                              int rank,
+                              u64 subgroup_params = kDefaultSubgroupParams);
+
+/// Same but from a raw parameter count (bench harnesses sweep sizes without
+/// constructing full model configs).
+ShardLayout make_shard_layout(u64 total_params, u32 world_size, int rank,
+                              u64 subgroup_params = kDefaultSubgroupParams);
+
+}  // namespace mlpo

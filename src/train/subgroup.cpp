@@ -1,0 +1,104 @@
+#include "train/subgroup.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace mlpo {
+
+namespace {
+
+// Serialized layout header; fixed-width fields, host endianness (tiers live
+// in the same process).
+struct Header {
+  u32 magic;
+  u32 id;
+  u64 sim_params;
+  u64 elem_scale;
+  u32 step;
+  u32 reserved;
+};
+constexpr u32 kMagic = 0x4D4C504Fu;  // "MLPO"
+
+u64 mix64(u64 x) {
+  // splitmix64 finalizer — good avalanche for checksums.
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+Subgroup::Subgroup(u32 id, u64 sim_params, u64 elem_scale)
+    : id_(id), sim_params_(sim_params), elem_scale_(elem_scale) {
+  if (elem_scale == 0) throw std::invalid_argument("Subgroup: elem_scale == 0");
+  if (sim_params == 0) throw std::invalid_argument("Subgroup: sim_params == 0");
+  // Round up so even tiny subgroups materialise at least one element.
+  const u64 real = (sim_params + elem_scale - 1) / elem_scale;
+  params_.assign(real, 0.0f);
+  momentum_.assign(real, 0.0f);
+  variance_.assign(real, 0.0f);
+}
+
+u64 Subgroup::serialized_bytes() const {
+  return sizeof(Header) + 3 * params_.size() * sizeof(f32);
+}
+
+void Subgroup::serialize(std::span<u8> out) const {
+  if (out.size() != serialized_bytes()) {
+    throw std::invalid_argument("Subgroup::serialize: bad buffer size");
+  }
+  Header h{kMagic, id_, sim_params_, elem_scale_, step_, 0};
+  u8* p = out.data();
+  std::memcpy(p, &h, sizeof(h));
+  p += sizeof(h);
+  const std::size_t arr = params_.size() * sizeof(f32);
+  std::memcpy(p, params_.data(), arr);
+  p += arr;
+  std::memcpy(p, momentum_.data(), arr);
+  p += arr;
+  std::memcpy(p, variance_.data(), arr);
+}
+
+void Subgroup::deserialize(std::span<const u8> in) {
+  if (in.size() != serialized_bytes()) {
+    throw std::invalid_argument("Subgroup::deserialize: bad buffer size");
+  }
+  Header h{};
+  const u8* p = in.data();
+  std::memcpy(&h, p, sizeof(h));
+  p += sizeof(h);
+  if (h.magic != kMagic || h.id != id_ || h.sim_params != sim_params_ ||
+      h.elem_scale != elem_scale_) {
+    throw std::runtime_error("Subgroup::deserialize: header mismatch for id " +
+                             std::to_string(id_));
+  }
+  step_ = h.step;
+  const std::size_t arr = params_.size() * sizeof(f32);
+  std::memcpy(params_.data(), p, arr);
+  p += arr;
+  std::memcpy(momentum_.data(), p, arr);
+  p += arr;
+  std::memcpy(variance_.data(), p, arr);
+}
+
+u64 Subgroup::checksum() const {
+  u64 h = mix64(id_ ^ (sim_params_ << 20) ^ step_);
+  const auto fold = [&h](std::span<const f32> arr) {
+    for (const f32 v : arr) {
+      u32 bits;
+      std::memcpy(&bits, &v, sizeof(bits));
+      h = mix64(h ^ bits);
+    }
+  };
+  fold(params_);
+  fold(momentum_);
+  fold(variance_);
+  return h;
+}
+
+std::string Subgroup::key(int rank, u32 id) {
+  return "sg/" + std::to_string(rank) + "/" + std::to_string(id);
+}
+
+}  // namespace mlpo

@@ -1,0 +1,81 @@
+// Optimizer-state subgroups — the unit of offloading.
+//
+// DeepSpeed ZeRO-3 shards each rank's optimizer state into fixed-size
+// "subgroups" of M parameters (paper §2); MLP-Offload moves whole subgroups
+// between host memory and third-level storage. A subgroup carries the FP32
+// master parameters, Adam momentum and variance (12 bytes/param on tiers).
+//
+// Scale reduction: a subgroup representing `sim_params` simulated parameters
+// allocates only `sim_params / elem_scale` real floats. All numeric kernels
+// run on the real floats; all I/O timing charges the simulated byte count.
+// With elem_scale == 1 the subgroup is a full-fidelity optimizer shard.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace mlpo {
+
+class Subgroup {
+ public:
+  /// @param sim_params simulated parameter count (e.g. 100e6)
+  /// @param elem_scale simulated params per real element (>= 1)
+  Subgroup(u32 id, u64 sim_params, u64 elem_scale = 1);
+
+  u32 id() const { return id_; }
+  u64 sim_params() const { return sim_params_; }
+  u64 elem_scale() const { return elem_scale_; }
+  u64 real_elems() const { return params_.size(); }
+  u32 step() const { return step_; }
+  void set_step(u32 s) { step_ = s; }
+
+  std::span<f32> params() { return params_; }
+  std::span<f32> momentum() { return momentum_; }
+  std::span<f32> variance() { return variance_; }
+  std::span<const f32> params() const { return params_; }
+  std::span<const f32> momentum() const { return momentum_; }
+  std::span<const f32> variance() const { return variance_; }
+
+  /// Simulated bytes of optimizer state (P+M+V in FP32) — what a tier
+  /// transfer of this subgroup costs, paper's 12 B/param payload.
+  u64 sim_state_bytes() const { return sim_params_ * kOptimStateBytesPerParam; }
+
+  /// Simulated bytes when FP32 gradients ride along (ZeRO-3 baseline
+  /// behaviour, 16 B/param).
+  u64 sim_state_with_grad_bytes() const {
+    return sim_params_ * kOptimStateWithGradBytesPerParam;
+  }
+
+  /// Simulated FP16 parameter bytes (what H2D pushes back to the GPU).
+  u64 sim_fp16_param_bytes() const { return sim_params_ * kFp16Bytes; }
+
+  /// Serialized (real) size in bytes: header + three FP32 arrays.
+  u64 serialized_bytes() const;
+
+  /// Serialize into `out` (must be exactly serialized_bytes()).
+  void serialize(std::span<u8> out) const;
+
+  /// Overwrite this subgroup's state from `in`; id/sim_params/elem_scale in
+  /// the header must match (guards against cross-subgroup corruption).
+  void deserialize(std::span<const u8> in);
+
+  /// Order-independent content hash for correctness tests.
+  u64 checksum() const;
+
+  /// Storage key used on tiers: "sg/<rank>/<id>".
+  static std::string key(int rank, u32 id);
+
+ private:
+  u32 id_;
+  u64 sim_params_;
+  u64 elem_scale_;
+  u32 step_ = 0;
+  std::vector<f32> params_;
+  std::vector<f32> momentum_;
+  std::vector<f32> variance_;
+};
+
+}  // namespace mlpo

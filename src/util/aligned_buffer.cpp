@@ -1,0 +1,86 @@
+#include "util/aligned_buffer.hpp"
+
+#include <cstring>
+#include <new>
+#include <stdexcept>
+
+namespace mlpo {
+
+AlignedBuffer::AlignedBuffer(std::size_t size, std::size_t alignment)
+    : size_(size) {
+  if (size == 0) return;
+  // Round the allocation up to the alignment so aligned_alloc's size
+  // requirement is always met.
+  const std::size_t alloc = (size + alignment - 1) / alignment * alignment;
+  data_ = static_cast<u8*>(std::aligned_alloc(alignment, alloc));
+  if (data_ == nullptr) throw std::bad_alloc();
+  std::memset(data_, 0, alloc);
+}
+
+AlignedBuffer::~AlignedBuffer() { std::free(data_); }
+
+AlignedBuffer::AlignedBuffer(AlignedBuffer&& other) noexcept
+    : data_(other.data_), size_(other.size_) {
+  other.data_ = nullptr;
+  other.size_ = 0;
+}
+
+AlignedBuffer& AlignedBuffer::operator=(AlignedBuffer&& other) noexcept {
+  if (this != &other) {
+    std::free(data_);
+    data_ = other.data_;
+    size_ = other.size_;
+    other.data_ = nullptr;
+    other.size_ = 0;
+  }
+  return *this;
+}
+
+BufferPool::BufferPool(std::size_t buffer_count, std::size_t buffer_size)
+    : capacity_(buffer_count), buffer_size_(buffer_size) {
+  if (buffer_count == 0) {
+    throw std::invalid_argument("BufferPool: need at least one buffer");
+  }
+  free_.reserve(buffer_count);
+  for (std::size_t i = 0; i < buffer_count; ++i) {
+    free_.emplace_back(buffer_size);
+  }
+}
+
+void BufferPool::Lease::release() {
+  if (pool_ != nullptr) {
+    pool_->put_back(std::move(buf_));
+    pool_ = nullptr;
+  }
+}
+
+BufferPool::Lease BufferPool::acquire() {
+  std::unique_lock lock(mutex_);
+  cv_.wait(lock, [this] { return !free_.empty(); });
+  AlignedBuffer buf = std::move(free_.back());
+  free_.pop_back();
+  return Lease(this, std::move(buf));
+}
+
+BufferPool::Lease BufferPool::try_acquire() {
+  std::lock_guard lock(mutex_);
+  if (free_.empty()) return Lease{};
+  AlignedBuffer buf = std::move(free_.back());
+  free_.pop_back();
+  return Lease(this, std::move(buf));
+}
+
+std::size_t BufferPool::available() const {
+  std::lock_guard lock(mutex_);
+  return free_.size();
+}
+
+void BufferPool::put_back(AlignedBuffer buf) {
+  {
+    std::lock_guard lock(mutex_);
+    free_.push_back(std::move(buf));
+  }
+  cv_.notify_one();
+}
+
+}  // namespace mlpo

@@ -1,0 +1,115 @@
+// Page-aligned byte buffers and a fixed-capacity buffer pool.
+//
+// DeepNVMe-style engines require page-aligned, pinned host buffers for
+// O_DIRECT/libaio transfers. We reproduce the allocation discipline —
+// explicit pool-based allocation with a hard capacity, acquire/release
+// semantics, no hidden growth — which is what gives the engine its
+// "bounded host memory" behaviour (at most K subgroups resident, paper
+// §3.1/Fig. 5). Pinning itself (mlock) is unnecessary for emulation.
+#pragma once
+
+#include <condition_variable>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace mlpo {
+
+/// Movable page-aligned buffer of raw bytes.
+class AlignedBuffer {
+ public:
+  AlignedBuffer() = default;
+  explicit AlignedBuffer(std::size_t size, std::size_t alignment = 4096);
+  ~AlignedBuffer();
+
+  AlignedBuffer(AlignedBuffer&& other) noexcept;
+  AlignedBuffer& operator=(AlignedBuffer&& other) noexcept;
+  AlignedBuffer(const AlignedBuffer&) = delete;
+  AlignedBuffer& operator=(const AlignedBuffer&) = delete;
+
+  u8* data() { return data_; }
+  const u8* data() const { return data_; }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  std::span<u8> bytes() { return {data_, size_}; }
+  std::span<const u8> bytes() const { return {data_, size_}; }
+
+  /// View the buffer as an array of T (size must divide evenly).
+  template <typename T>
+  std::span<T> as() {
+    return {reinterpret_cast<T*>(data_), size_ / sizeof(T)};
+  }
+  template <typename T>
+  std::span<const T> as() const {
+    return {reinterpret_cast<const T*>(data_), size_ / sizeof(T)};
+  }
+
+ private:
+  u8* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+/// Blocking pool of equal-sized aligned buffers. acquire() blocks when the
+/// pool is exhausted — this backpressure is what bounds the number of
+/// in-flight subgroups exactly like a pinned-buffer budget does on real
+/// hardware.
+class BufferPool {
+ public:
+  BufferPool(std::size_t buffer_count, std::size_t buffer_size);
+
+  /// RAII lease on a pooled buffer; returns it on destruction.
+  class Lease {
+   public:
+    Lease() = default;
+    Lease(BufferPool* pool, AlignedBuffer buf) : pool_(pool), buf_(std::move(buf)) {}
+    ~Lease() { release(); }
+    Lease(Lease&& o) noexcept : pool_(o.pool_), buf_(std::move(o.buf_)) {
+      o.pool_ = nullptr;
+    }
+    Lease& operator=(Lease&& o) noexcept {
+      if (this != &o) {
+        release();
+        pool_ = o.pool_;
+        buf_ = std::move(o.buf_);
+        o.pool_ = nullptr;
+      }
+      return *this;
+    }
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+
+    AlignedBuffer& buffer() { return buf_; }
+    bool valid() const { return pool_ != nullptr; }
+    void release();
+
+   private:
+    BufferPool* pool_ = nullptr;
+    AlignedBuffer buf_;
+  };
+
+  /// Blocks until a buffer is free.
+  Lease acquire();
+  /// Non-blocking variant; returns an invalid lease when exhausted.
+  Lease try_acquire();
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t buffer_size() const { return buffer_size_; }
+  std::size_t available() const;
+
+ private:
+  friend class Lease;
+  void put_back(AlignedBuffer buf);
+
+  const std::size_t capacity_;
+  const std::size_t buffer_size_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::vector<AlignedBuffer> free_;
+};
+
+}  // namespace mlpo

@@ -1,0 +1,38 @@
+// Common scalar typedefs and byte-size constants shared across the library.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace mlpo {
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+using f32 = float;
+using f64 = double;
+
+inline constexpr u64 KiB = 1024ULL;
+inline constexpr u64 MiB = 1024ULL * KiB;
+inline constexpr u64 GiB = 1024ULL * MiB;
+
+// Bandwidths in the paper are decimal GB/s; keep a separate constant so the
+// two unit families never get mixed silently.
+inline constexpr f64 GB = 1e9;
+
+/// Bytes per parameter of the FP32 optimizer state held on storage tiers:
+/// master parameters + momentum + variance (gradients are handled separately;
+/// see core/offload_engine).
+inline constexpr u64 kOptimStateBytesPerParam = 12;
+
+/// Bytes per parameter when FP32 gradients are bundled with the optimizer
+/// state, as DeepSpeed ZeRO-3 does during its update-phase fetches.
+inline constexpr u64 kOptimStateWithGradBytesPerParam = 16;
+
+inline constexpr u64 kFp16Bytes = 2;
+inline constexpr u64 kFp32Bytes = 4;
+
+}  // namespace mlpo

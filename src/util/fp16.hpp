@@ -1,0 +1,66 @@
+// Software IEEE-754 binary16 ("half") support.
+//
+// Mixed-precision training keeps two copies of the model: FP16 for the
+// forward/backward passes and FP32 master weights for the optimizer. The
+// offloading engine therefore needs fast, correct FP16<->FP32 conversion
+// kernels (paper §3.2, "delayed in-place mixed-precision gradient
+// conversion"). We implement binary16 in software so the library has no
+// hardware half-float dependency; the bulk kernels are written so compilers
+// auto-vectorise them.
+#pragma once
+
+#include <cstring>
+#include <span>
+
+#include "util/common.hpp"
+
+namespace mlpo {
+
+/// Bit-level IEEE-754 binary16 value. Round-to-nearest-even on conversion
+/// from float; overflow saturates to +/-inf like hardware F16C does.
+class Fp16 {
+ public:
+  Fp16() = default;
+  explicit Fp16(f32 value) : bits_(encode(value)) {}
+
+  /// Reinterpret raw bits as a half value.
+  static Fp16 from_bits(u16 bits) {
+    Fp16 h;
+    h.bits_ = bits;
+    return h;
+  }
+
+  u16 bits() const { return bits_; }
+  f32 to_f32() const { return decode(bits_); }
+
+  bool is_nan() const {
+    return (bits_ & 0x7C00u) == 0x7C00u && (bits_ & 0x03FFu) != 0;
+  }
+  bool is_inf() const {
+    return (bits_ & 0x7C00u) == 0x7C00u && (bits_ & 0x03FFu) == 0;
+  }
+
+  /// Encode a float to binary16 bits (round-to-nearest-even).
+  static u16 encode(f32 value);
+  /// Decode binary16 bits to float (exact).
+  static f32 decode(u16 bits);
+
+ private:
+  u16 bits_ = 0;
+};
+
+/// Bulk FP32 -> FP16 conversion ("downscale"). dst and src must have equal
+/// length.
+void fp32_to_fp16(std::span<const f32> src, std::span<u16> dst);
+
+/// Bulk FP16 -> FP32 conversion ("upscale"). dst and src must have equal
+/// length.
+void fp16_to_fp32(std::span<const u16> src, std::span<f32> dst);
+
+/// In-place FP16 -> FP32 upscale into a caller-provided scratch that aliases
+/// the engine's working buffer. Returns the achieved throughput in bytes of
+/// FP32 output per second (used to seed the performance model's conversion
+/// cost, paper reports ~65 GB/s on Testbed-1).
+f64 measure_fp16_to_fp32_throughput(u64 elems);
+
+}  // namespace mlpo

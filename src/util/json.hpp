@@ -1,0 +1,100 @@
+// Minimal JSON parser/serializer.
+//
+// MLP-Offload is configured "via two JSON key-value pairs in the DeepSpeed
+// runtime configuration" (paper §3.5). To mirror that integration surface
+// without an external dependency, the library ships a small, strict JSON
+// implementation: UTF-8 pass-through strings, doubles for numbers, ordered
+// objects. Good enough for configuration files; not a general-purpose
+// document store.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace mlpo::json {
+
+class Value;
+using Array = std::vector<Value>;
+/// std::map keeps deterministic ordering for serialization and tests.
+using Object = std::map<std::string, Value>;
+
+struct ParseError : std::runtime_error {
+  ParseError(const std::string& msg, std::size_t offset)
+      : std::runtime_error(msg + " at offset " + std::to_string(offset)),
+        offset(offset) {}
+  std::size_t offset;
+};
+
+class Value {
+ public:
+  Value() : data_(nullptr) {}
+  Value(std::nullptr_t) : data_(nullptr) {}
+  Value(bool b) : data_(b) {}
+  Value(f64 d) : data_(d) {}
+  Value(int i) : data_(static_cast<f64>(i)) {}
+  Value(i64 i) : data_(static_cast<f64>(i)) {}
+  Value(u64 i) : data_(static_cast<f64>(i)) {}
+  Value(const char* s) : data_(std::string(s)) {}
+  Value(std::string s) : data_(std::move(s)) {}
+  Value(Array a) : data_(std::move(a)) {}
+  Value(Object o) : data_(std::move(o)) {}
+
+  bool is_null() const { return std::holds_alternative<std::nullptr_t>(data_); }
+  bool is_bool() const { return std::holds_alternative<bool>(data_); }
+  bool is_number() const { return std::holds_alternative<f64>(data_); }
+  bool is_string() const { return std::holds_alternative<std::string>(data_); }
+  bool is_array() const { return std::holds_alternative<Array>(data_); }
+  bool is_object() const { return std::holds_alternative<Object>(data_); }
+
+  bool as_bool() const { return get<bool>("bool"); }
+  f64 as_number() const { return get<f64>("number"); }
+  i64 as_int() const { return static_cast<i64>(as_number()); }
+  const std::string& as_string() const { return get<std::string>("string"); }
+  const Array& as_array() const { return get<Array>("array"); }
+  const Object& as_object() const { return get<Object>("object"); }
+  Array& as_array() { return get<Array>("array"); }
+  Object& as_object() { return get<Object>("object"); }
+
+  /// Object member access; throws std::out_of_range if missing.
+  const Value& at(const std::string& key) const;
+  /// True if this is an object containing `key`.
+  bool contains(const std::string& key) const;
+
+  /// Typed lookups with defaults, the shape configuration code wants.
+  f64 number_or(const std::string& key, f64 fallback) const;
+  i64 int_or(const std::string& key, i64 fallback) const;
+  bool bool_or(const std::string& key, bool fallback) const;
+  std::string string_or(const std::string& key, const std::string& fallback) const;
+
+  /// Serialize. `indent` > 0 pretty-prints with that many spaces per level.
+  std::string dump(int indent = 0) const;
+
+  friend bool operator==(const Value&, const Value&) = default;
+
+ private:
+  template <typename T>
+  const T& get(const char* name) const {
+    if (auto* p = std::get_if<T>(&data_)) return *p;
+    throw std::runtime_error(std::string("json: value is not a ") + name);
+  }
+  template <typename T>
+  T& get(const char* name) {
+    if (auto* p = std::get_if<T>(&data_)) return *p;
+    throw std::runtime_error(std::string("json: value is not a ") + name);
+  }
+
+  std::variant<std::nullptr_t, bool, f64, std::string, Array, Object> data_;
+};
+
+/// Parse a complete JSON document. Throws ParseError on malformed input or
+/// trailing garbage.
+Value parse(std::string_view text);
+
+}  // namespace mlpo::json

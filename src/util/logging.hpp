@@ -1,0 +1,46 @@
+// Minimal leveled logger. Thread-safe line output to stderr; level settable
+// at runtime (MLPO_LOG env var or set_level). Hot paths must not log —
+// keep this for configuration, lifecycle, and error reporting.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+#include "util/common.hpp"
+
+namespace mlpo {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global log-level control. Initialized from the MLPO_LOG environment
+/// variable ("debug", "info", "warn", "error", "off"); defaults to warn so
+/// tests and benches stay quiet.
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+/// Emit one line at `level` (no-op if below the current level).
+void log_line(LogLevel level, const std::string& msg);
+
+namespace detail {
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  ~LogStream() { log_line(level_, os_.str()); }
+  template <typename T>
+  LogStream& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+#define MLPO_LOG_DEBUG ::mlpo::detail::LogStream(::mlpo::LogLevel::kDebug)
+#define MLPO_LOG_INFO ::mlpo::detail::LogStream(::mlpo::LogLevel::kInfo)
+#define MLPO_LOG_WARN ::mlpo::detail::LogStream(::mlpo::LogLevel::kWarn)
+#define MLPO_LOG_ERROR ::mlpo::detail::LogStream(::mlpo::LogLevel::kError)
+
+}  // namespace mlpo

@@ -1,0 +1,42 @@
+#include "util/rate_limiter.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mlpo {
+
+RateLimiter::RateLimiter(const SimClock& clock, f64 rate) : clock_(&clock) {
+  set_rate(rate);
+}
+
+f64 RateLimiter::reserve(u64 bytes) {
+  std::lock_guard lock(mutex_);
+  const f64 now = clock_->now();
+  const f64 start = std::max(now, next_free_);
+  next_free_ = start + static_cast<f64>(bytes) / rate_;
+  return next_free_;
+}
+
+f64 RateLimiter::acquire(u64 bytes) {
+  const f64 done = reserve(bytes);
+  clock_->sleep_until(done);
+  return done;
+}
+
+f64 RateLimiter::rate() const {
+  std::lock_guard lock(mutex_);
+  return rate_;
+}
+
+void RateLimiter::set_rate(f64 rate) {
+  if (rate <= 0.0) throw std::invalid_argument("RateLimiter: rate must be > 0");
+  std::lock_guard lock(mutex_);
+  rate_ = rate;
+}
+
+f64 RateLimiter::busy_until() const {
+  std::lock_guard lock(mutex_);
+  return next_free_;
+}
+
+}  // namespace mlpo

@@ -1,0 +1,53 @@
+#include "util/sim_clock.hpp"
+
+#include <stdexcept>
+#include <thread>
+
+namespace mlpo {
+
+SimClock::SimClock(f64 time_scale)
+    : epoch_(std::chrono::steady_clock::now()), time_scale_(time_scale) {
+  if (time_scale <= 0.0) {
+    throw std::invalid_argument("SimClock: time_scale must be positive");
+  }
+}
+
+f64 SimClock::now() const {
+  const auto real =
+      std::chrono::duration<f64>(std::chrono::steady_clock::now() - epoch_);
+  return real.count() * time_scale_;
+}
+
+void SimClock::sleep_for(f64 virtual_secs) const {
+  if (virtual_secs <= 0.0) return;
+  sleep_until(now() + virtual_secs);
+}
+
+void SimClock::sleep_until(f64 virtual_time) const {
+  // Hybrid sleep: OS sleeps can overshoot by hundreds of microseconds
+  // (timer slack; observed ~600us on older kernels), which at high time
+  // scales would distort virtual durations by whole virtual seconds. Sleep
+  // coarse for the bulk of the wait, yield-spin through the oversleep
+  // window, and busy-spin the last few microseconds so the wakeup lands
+  // within ~1us of the deadline.
+  constexpr f64 kYieldWindowRealSecs = 2.5e-3;
+  constexpr f64 kBusyWindowRealSecs = 25e-6;
+  for (;;) {
+    const f64 remaining_real = (virtual_time - now()) / time_scale_;
+    if (remaining_real <= 0.0) return;
+    if (remaining_real > kYieldWindowRealSecs) {
+      std::this_thread::sleep_for(std::chrono::duration<f64>(
+          remaining_real - kYieldWindowRealSecs + 0.5e-3));
+    } else if (remaining_real > kBusyWindowRealSecs) {
+      std::this_thread::yield();
+    } else {
+      // Busy spin with pause: no syscalls, so short waiters do not storm
+      // the scheduler and preempt compute threads.
+#if defined(__x86_64__) || defined(__i386__)
+      __builtin_ia32_pause();
+#endif
+    }
+  }
+}
+
+}  // namespace mlpo

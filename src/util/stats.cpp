@@ -1,0 +1,111 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+namespace mlpo {
+
+void RunningStats::add(f64 x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const f64 delta = x - mean_;
+  mean_ += delta / static_cast<f64>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const f64 na = static_cast<f64>(n_);
+  const f64 nb = static_cast<f64>(other.n_);
+  const f64 delta = other.mean_ - mean_;
+  const f64 total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void RunningStats::reset() { *this = RunningStats{}; }
+
+f64 RunningStats::variance() const {
+  return n_ > 1 ? m2_ / static_cast<f64>(n_ - 1) : 0.0;
+}
+
+f64 RunningStats::stddev() const { return std::sqrt(variance()); }
+
+f64 percentile(std::vector<f64> samples, f64 q) {
+  if (samples.empty()) throw std::invalid_argument("percentile: empty input");
+  if (q < 0.0 || q > 1.0) throw std::invalid_argument("percentile: q out of range");
+  std::sort(samples.begin(), samples.end());
+  const f64 idx = q * static_cast<f64>(samples.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(idx);
+  const std::size_t hi = std::min(lo + 1, samples.size() - 1);
+  const f64 frac = idx - static_cast<f64>(lo);
+  return samples[lo] * (1.0 - frac) + samples[hi] * frac;
+}
+
+Histogram::Histogram(f64 lo, f64 hi, std::size_t buckets)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<f64>(buckets)),
+      counts_(buckets, 0) {
+  if (buckets == 0 || hi <= lo) {
+    throw std::invalid_argument("Histogram: need hi > lo and buckets > 0");
+  }
+}
+
+void Histogram::add(f64 x) {
+  std::size_t idx;
+  if (x < lo_) {
+    idx = 0;
+  } else if (x >= hi_) {
+    idx = counts_.size() - 1;
+  } else {
+    idx = static_cast<std::size_t>((x - lo_) / width_);
+    idx = std::min(idx, counts_.size() - 1);
+  }
+  ++counts_[idx];
+  ++total_;
+}
+
+f64 Histogram::bucket_lo(std::size_t i) const {
+  return lo_ + width_ * static_cast<f64>(i);
+}
+
+f64 Histogram::bucket_hi(std::size_t i) const {
+  return lo_ + width_ * static_cast<f64>(i + 1);
+}
+
+std::string Histogram::ascii(std::size_t max_width) const {
+  const u64 peak = counts_.empty()
+      ? 0
+      : *std::max_element(counts_.begin(), counts_.end());
+  std::string out;
+  char line[128];
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const std::size_t bar = peak
+        ? static_cast<std::size_t>(static_cast<f64>(counts_[i]) /
+                                   static_cast<f64>(peak) *
+                                   static_cast<f64>(max_width))
+        : 0;
+    std::snprintf(line, sizeof(line), "[%8.3f, %8.3f) %6llu ",
+                  bucket_lo(i), bucket_hi(i),
+                  static_cast<unsigned long long>(counts_[i]));
+    out += line;
+    out.append(bar, '#');
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace mlpo

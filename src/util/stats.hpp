@@ -1,0 +1,62 @@
+// Lightweight statistics helpers used by telemetry and the benchmark
+// harnesses: Welford running moments, percentile extraction, and fixed-width
+// histograms for throughput traces (e.g. Fig. 5's per-subgroup series).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace mlpo {
+
+/// Numerically stable running mean/variance/min/max (Welford's algorithm).
+class RunningStats {
+ public:
+  void add(f64 x);
+  void merge(const RunningStats& other);
+  void reset();
+
+  u64 count() const { return n_; }
+  f64 mean() const { return n_ ? mean_ : 0.0; }
+  f64 variance() const;  ///< Sample variance (n-1 denominator); 0 if n < 2.
+  f64 stddev() const;
+  f64 min() const { return n_ ? min_ : 0.0; }
+  f64 max() const { return n_ ? max_ : 0.0; }
+  f64 sum() const { return n_ ? mean_ * static_cast<f64>(n_) : 0.0; }
+
+ private:
+  u64 n_ = 0;
+  f64 mean_ = 0.0;
+  f64 m2_ = 0.0;
+  f64 min_ = 0.0;
+  f64 max_ = 0.0;
+};
+
+/// Percentile with linear interpolation between order statistics.
+/// `q` in [0,1]. Copies and sorts; intended for post-run analysis.
+f64 percentile(std::vector<f64> samples, f64 q);
+
+/// Fixed-width histogram over [lo, hi); out-of-range samples clamp to the
+/// edge buckets so no sample is silently dropped.
+class Histogram {
+ public:
+  Histogram(f64 lo, f64 hi, std::size_t buckets);
+
+  void add(f64 x);
+  u64 total() const { return total_; }
+  const std::vector<u64>& buckets() const { return counts_; }
+  f64 bucket_lo(std::size_t i) const;
+  f64 bucket_hi(std::size_t i) const;
+
+  /// Render a compact ASCII bar chart (one line per bucket), used by bench
+  /// binaries to visualise distributions in terminal output.
+  std::string ascii(std::size_t max_width = 50) const;
+
+ private:
+  f64 lo_, hi_, width_;
+  std::vector<u64> counts_;
+  u64 total_ = 0;
+};
+
+}  // namespace mlpo

@@ -1,0 +1,105 @@
+// Async I/O engine: completion semantics, error propagation, drain, batch
+// waiting, bursty submission.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "aio/aio_engine.hpp"
+#include "tiers/memory_tier.hpp"
+
+namespace mlpo {
+namespace {
+
+TEST(AioEngine, ReadWriteCompleteThroughFutures) {
+  MemoryTier tier("mem");
+  AioEngine engine(2, 16);
+  std::vector<u8> data = {1, 2, 3, 4};
+  engine.submit_write(tier, "k", data).get();
+  std::vector<u8> out(4);
+  engine.submit_read(tier, "k", out).get();
+  EXPECT_EQ(out, data);
+}
+
+TEST(AioEngine, ErrorsTravelThroughFuture) {
+  MemoryTier tier("mem");
+  AioEngine engine(1, 8);
+  std::vector<u8> out(4);
+  auto fut = engine.submit_read(tier, "missing", out);
+  EXPECT_THROW(fut.get(), std::out_of_range);
+}
+
+TEST(AioEngine, DrainWaitsForAllSubmitted) {
+  AioEngine engine(4, 64);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 100; ++i) {
+    engine.submit([&done] {
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+      done.fetch_add(1);
+    });
+  }
+  engine.drain();
+  EXPECT_EQ(done.load(), 100);
+  EXPECT_EQ(engine.submitted(), 100u);
+  EXPECT_EQ(engine.completed(), 100u);
+}
+
+TEST(AioEngine, DrainOnIdleEngineReturnsImmediately) {
+  AioEngine engine(2, 8);
+  engine.drain();  // must not hang
+  SUCCEED();
+}
+
+TEST(AioEngine, BurstBeyondQueueDepthBackpressures) {
+  AioEngine engine(1, 4);  // tiny queue
+  std::atomic<int> done{0};
+  std::vector<std::future<void>> futs;
+  for (int i = 0; i < 64; ++i) {
+    futs.push_back(engine.submit([&done] { done.fetch_add(1); }));
+  }
+  for (auto& f : futs) f.get();
+  EXPECT_EQ(done.load(), 64);
+}
+
+TEST(AioEngine, TasksRunConcurrentlyAcrossThreads) {
+  AioEngine engine(4, 16);
+  std::atomic<int> running{0};
+  std::atomic<int> peak{0};
+  std::vector<std::future<void>> futs;
+  for (int i = 0; i < 4; ++i) {
+    futs.push_back(engine.submit([&] {
+      const int now = running.fetch_add(1) + 1;
+      int expect = peak.load();
+      while (expect < now && !peak.compare_exchange_weak(expect, now)) {
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      running.fetch_sub(1);
+    }));
+  }
+  for (auto& f : futs) f.get();
+  EXPECT_GE(peak.load(), 2);  // at least two overlapped
+}
+
+TEST(IoBatch, WaitAllPropagatesFirstError) {
+  AioEngine engine(2, 16);
+  IoBatch batch;
+  std::atomic<int> ok{0};
+  batch.add(engine.submit([&ok] { ok.fetch_add(1); }));
+  batch.add(engine.submit([] { throw std::runtime_error("io failed"); }));
+  batch.add(engine.submit([&ok] { ok.fetch_add(1); }));
+  EXPECT_THROW(batch.wait_all(), std::runtime_error);
+  // All operations settled despite the failure.
+  EXPECT_EQ(ok.load(), 2);
+  // Batch is reusable after wait_all.
+  batch.add(engine.submit([&ok] { ok.fetch_add(1); }));
+  batch.wait_all();
+  EXPECT_EQ(ok.load(), 3);
+}
+
+TEST(IoBatch, EmptyBatchIsFine) {
+  IoBatch batch;
+  batch.wait_all();
+  EXPECT_EQ(batch.size(), 0u);
+}
+
+}  // namespace
+}  // namespace mlpo

@@ -1,0 +1,162 @@
+// Checkpoint pre-staging: persistent-path subgroups skip the flush; the
+// checkpoint is a faithful snapshot.
+#include <gtest/gtest.h>
+
+#include "core/checkpoint.hpp"
+#include "tiers/memory_tier.hpp"
+#include "tiers/throttled_tier.hpp"
+
+namespace mlpo {
+namespace {
+
+constexpr u64 kSubgroupParams = 1024;
+constexpr u32 kNumSubgroups = 6;
+
+struct Rig {
+  SimClock clock{50000.0};
+  VirtualTier vtier;
+  AioEngine aio{4, 64};
+  GradSource grads;
+  MemoryTier ckpt_store{"ckpt-store"};
+
+  Rig() {
+    ThrottleSpec nvme{8e6, 6e6};
+    vtier.add_path(std::make_shared<ThrottledTier>(
+        "nvme", std::make_shared<MemoryTier>("nb"), clock, nvme,
+        /*persistent=*/false));
+    ThrottleSpec pfs{4e6, 4e6};
+    vtier.add_path(std::make_shared<ThrottledTier>(
+        "pfs", std::make_shared<MemoryTier>("pb"), clock, pfs,
+        /*persistent=*/true));
+  }
+
+  std::unique_ptr<OffloadEngine> make_engine(bool multipath) {
+    EngineContext ctx;
+    ctx.clock = &clock;
+    ctx.vtier = &vtier;
+    ctx.aio = &aio;
+    ctx.grads = &grads;
+    EngineOptions opts = multipath ? EngineOptions::mlp_offload()
+                                   : EngineOptions::deepspeed_zero3();
+    opts.cpu_update_rate = 1e9;
+    opts.convert.fp32_bytes_per_sec = 1e12;
+    opts.host_cache_subgroups = 2;
+    opts.elem_scale = 1;
+    auto engine = std::make_unique<OffloadEngine>(
+        ctx, opts, make_shard_layout(kSubgroupParams * kNumSubgroups, 1, 0,
+                                     kSubgroupParams));
+    engine->initialize();
+    return engine;
+  }
+};
+
+TEST(Checkpoint, PrestagedFractionMatchesPersistentPlacement) {
+  Rig rig;
+  auto engine = rig.make_engine(/*multipath=*/true);
+  const auto report = checkpoint_prestage(*engine, rig.ckpt_store);
+
+  const u64 expected_total =
+      kSubgroupParams * kNumSubgroups * kOptimStateBytesPerParam;
+  EXPECT_EQ(report.total_sim_bytes, expected_total);
+  EXPECT_EQ(report.prestaged_sim_bytes + report.flushed_sim_bytes,
+            expected_total);
+  // Multipath placed a share on the persistent PFS: those bytes are free.
+  EXPECT_GT(report.prestaged_sim_bytes, 0u);
+  EXPECT_GT(report.prestaged_fraction(), 0.2);
+  EXPECT_LT(report.prestaged_fraction(), 0.8);
+}
+
+TEST(Checkpoint, BaselineHasNothingPrestaged) {
+  Rig rig;
+  auto engine = rig.make_engine(/*multipath=*/false);
+  const auto report = checkpoint_prestage(*engine, rig.ckpt_store);
+  EXPECT_EQ(report.prestaged_sim_bytes, 0u)
+      << "NVMe-only placement is not durable";
+  EXPECT_EQ(report.flushed_sim_bytes, report.total_sim_bytes);
+}
+
+TEST(Checkpoint, FlushedObjectsAreFaithfulSnapshots) {
+  Rig rig;
+  auto engine = rig.make_engine(true);
+  // Advance state so the snapshot is non-trivial.
+  for (u32 id = 0; id < engine->num_subgroups(); ++id) {
+    engine->deposit_gradients_async(0, id, true, true);
+  }
+  engine->wait_gradient_io();
+  engine->run_update(0);
+
+  const auto report = checkpoint_prestage(*engine, rig.ckpt_store);
+  EXPECT_GT(report.flushed_sim_bytes, 0u);
+
+  for (u32 id = 0; id < engine->num_subgroups(); ++id) {
+    const std::string key = "ckpt/0/" + std::to_string(id);
+    if (!rig.ckpt_store.exists(key)) continue;  // pre-staged elsewhere
+    const Subgroup live = engine->snapshot_subgroup(id);
+    Subgroup from_ckpt(id, live.sim_params(), live.elem_scale());
+    std::vector<u8> buf(from_ckpt.serialized_bytes());
+    rig.ckpt_store.read(key, buf);
+    from_ckpt.deserialize(buf);
+    EXPECT_EQ(from_ckpt.checksum(), live.checksum()) << id;
+  }
+}
+
+TEST(Checkpoint, RestoreRoundtripAfterFurtherTraining) {
+  Rig rig;
+  auto engine = rig.make_engine(true);
+  const auto train_iter = [&](u64 iter) {
+    for (u32 id = 0; id < engine->num_subgroups(); ++id) {
+      engine->deposit_gradients_async(iter, id, true, true);
+    }
+    engine->wait_gradient_io();
+    engine->run_update(iter);
+  };
+
+  train_iter(0);
+  train_iter(1);
+  const u64 at_checkpoint = engine->state_checksum();
+  checkpoint_prestage(*engine, rig.ckpt_store);
+
+  // Training continues and diverges...
+  train_iter(2);
+  train_iter(3);
+  ASSERT_NE(engine->state_checksum(), at_checkpoint);
+
+  // ...then a failure: restore must bring back the checkpointed state
+  // exactly, including pre-staged subgroups that training overwrote on the
+  // persistent path since.
+  checkpoint_restore(*engine, rig.ckpt_store);
+  EXPECT_EQ(engine->state_checksum(), at_checkpoint);
+
+  // Training can resume from the restored state.
+  train_iter(2);
+  EXPECT_NE(engine->state_checksum(), at_checkpoint);
+}
+
+TEST(Checkpoint, RestoreFromEmptyStoreFails) {
+  Rig rig;
+  auto engine = rig.make_engine(true);
+  MemoryTier empty("empty");
+  // Freshly initialised subgroups partly live on the persistent PFS (those
+  // restore in place); the NVMe-resident ones have no checkpoint copy.
+  EXPECT_THROW(checkpoint_restore(*engine, empty), std::runtime_error);
+}
+
+TEST(Checkpoint, HostCachedSubgroupsAreFlushedNotSkipped) {
+  Rig rig;
+  auto engine = rig.make_engine(true);
+  for (u32 id = 0; id < engine->num_subgroups(); ++id) {
+    engine->deposit_gradients_async(0, id, true, true);
+  }
+  engine->wait_gradient_io();
+  engine->run_update(0);
+  ASSERT_FALSE(engine->host_resident().empty());
+
+  const auto report = checkpoint_prestage(*engine, rig.ckpt_store);
+  // Host-resident subgroups are not on any persistent path; they must be
+  // in the flushed portion.
+  const u64 host_bytes = engine->distribution().host_sim_bytes;
+  EXPECT_GE(report.flushed_sim_bytes, host_bytes);
+}
+
+}  // namespace
+}  // namespace mlpo

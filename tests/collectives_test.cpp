@@ -1,0 +1,91 @@
+// Alpha-beta collective cost models: limits, monotonicity, ZeRO-3 ratios.
+#include <gtest/gtest.h>
+
+#include "comm/collectives.hpp"
+#include "train/model_config.hpp"
+
+namespace mlpo {
+namespace {
+
+const Interconnect kNet{"test", 100.0 * GB, 1e-6};
+
+TEST(Collectives, SingleRankIsFree) {
+  EXPECT_EQ(allreduce_seconds(kNet, 1, 1 * GiB), 0.0);
+  EXPECT_EQ(allgather_seconds(kNet, 1, 1 * GiB), 0.0);
+  EXPECT_EQ(reduce_scatter_seconds(kNet, 1, 1 * GiB), 0.0);
+  EXPECT_EQ(broadcast_seconds(kNet, 1, 1 * GiB), 0.0);
+}
+
+TEST(Collectives, ZeroBytesIsFree) {
+  EXPECT_EQ(allreduce_seconds(kNet, 8, 0), 0.0);
+}
+
+TEST(Collectives, AllreduceIsTwiceAllgather) {
+  // Ring allreduce = reduce-scatter + allgather; latency terms aside, the
+  // bandwidth term is exactly 2x.
+  Interconnect no_latency = kNet;
+  no_latency.latency = 0;
+  const u64 bytes = 10 * GiB;
+  EXPECT_NEAR(allreduce_seconds(no_latency, 8, bytes),
+              2 * allgather_seconds(no_latency, 8, bytes), 1e-12);
+}
+
+TEST(Collectives, RingFractionApproachesOne) {
+  Interconnect no_latency = kNet;
+  no_latency.latency = 0;
+  const u64 bytes = 1 * GiB;
+  const f64 two_ranks = allgather_seconds(no_latency, 2, bytes);
+  const f64 many_ranks = allgather_seconds(no_latency, 64, bytes);
+  // (p-1)/p: 0.5 at p=2, ~0.98 at p=64.
+  EXPECT_NEAR(two_ranks, 0.5 * bytes / no_latency.bandwidth, 1e-9);
+  EXPECT_GT(many_ranks, 1.9 * two_ranks);
+  EXPECT_LT(many_ranks, 2.0 * two_ranks);
+}
+
+TEST(Collectives, LatencyTermGrowsWithRanks) {
+  Interconnect slow_net{"slow", 1e15, 1e-3};  // latency dominated
+  const f64 small = allreduce_seconds(slow_net, 2, 1024);
+  const f64 large = allreduce_seconds(slow_net, 16, 1024);
+  EXPECT_GT(large, small * 10);
+}
+
+TEST(Collectives, BroadcastLogarithmicLatency) {
+  Interconnect slow_net{"slow", 1e15, 1e-3};
+  const f64 p2 = broadcast_seconds(slow_net, 2, 1024);
+  const f64 p16 = broadcast_seconds(slow_net, 16, 1024);
+  EXPECT_NEAR(p16 / p2, 4.0, 0.1);  // log2(16)/log2(2)
+}
+
+TEST(Collectives, Zero3CostsForwardLessThanBackward) {
+  const auto cost = zero3_comm_cost(kNet, 8, 80ull * GiB);
+  EXPECT_GT(cost.forward_seconds, 0.0);
+  // Backward re-gathers parameters and reduce-scatters gradients: 2x.
+  EXPECT_NEAR(cost.backward_seconds, 2 * cost.forward_seconds,
+              cost.forward_seconds * 0.01);
+}
+
+TEST(Collectives, TensorParallelScalesWithLayers) {
+  const f64 l10 = tensor_parallel_seconds(kNet, 4, 10, 1 * MiB);
+  const f64 l20 = tensor_parallel_seconds(kNet, 4, 20, 1 * MiB);
+  EXPECT_NEAR(l20, 2 * l10, l10 * 0.01);
+  EXPECT_EQ(tensor_parallel_seconds(kNet, 1, 10, 1 * MiB), 0.0);
+}
+
+TEST(Collectives, PresetInterconnectsOrdered) {
+  // NVLink-class must be much faster than the inter-node fabric.
+  EXPECT_GT(Interconnect::nvlink().bandwidth,
+            5 * Interconnect::slingshot().bandwidth);
+}
+
+TEST(Collectives, PaperScaleSanity) {
+  // 70B FP16 (140 GB) allgathered over 2 nodes of Slingshot: order seconds,
+  // well below the I/O-bound update phase (the premise of §4.4: comm does
+  // not offset offloading gains).
+  const f64 t = allgather_seconds(Interconnect::slingshot(), 2,
+                                  paper_model("70B").fp16_param_bytes());
+  EXPECT_GT(t, 0.5);
+  EXPECT_LT(t, 30.0);
+}
+
+}  // namespace
+}  // namespace mlpo

@@ -1,0 +1,126 @@
+// The paper's correctness claim (§3.2): subgroup updates are embarrassingly
+// parallel, so processing order, placement, gradient-conversion timing, and
+// locking must not change the training state. We verify bitwise equality of
+// the end state across ALL 16 combinations of the four design-principle
+// flags, at elem_scale 1, over several iterations — and against the
+// host-memory-resident CpuOnlyEngine.
+#include <gtest/gtest.h>
+
+#include "core/cpu_only_engine.hpp"
+#include "core/offload_engine.hpp"
+#include "tiers/memory_tier.hpp"
+#include "tiers/throttled_tier.hpp"
+
+namespace mlpo {
+namespace {
+
+constexpr u64 kSubgroupParams = 2048;
+constexpr u32 kNumSubgroups = 6;
+constexpr u32 kIterations = 3;
+
+ShardLayout test_layout() {
+  return make_shard_layout(kSubgroupParams * kNumSubgroups, 1, 0,
+                           kSubgroupParams);
+}
+
+// Run a full mini-training with the given flags and return the end-state
+// digest.
+u64 run_config(bool multipath, bool cache, bool delayed, bool locking,
+               u32 accum_steps = 1) {
+  SimClock clock(50000.0);
+  VirtualTier vtier;
+  ThrottleSpec fast{8e6, 6e6};
+  fast.chunk_bytes = 32 * KiB;
+  vtier.add_path(std::make_shared<ThrottledTier>(
+      "nvme", std::make_shared<MemoryTier>("nb"), clock, fast));
+  ThrottleSpec slow{4e6, 4e6};
+  slow.chunk_bytes = 32 * KiB;
+  vtier.add_path(std::make_shared<ThrottledTier>(
+      "pfs", std::make_shared<MemoryTier>("pb"), clock, slow, true));
+
+  AioEngine aio(4, 128);
+  GradSource grads;
+
+  EngineOptions opts;
+  opts.multipath = multipath;
+  opts.cache_friendly_order = cache;
+  opts.delayed_grad_conversion = delayed;
+  opts.tier_exclusive_locking = locking;
+  opts.host_cache_subgroups = 2;
+  opts.cpu_update_rate = 1e9;
+  opts.convert.fp32_bytes_per_sec = 1e12;
+  opts.elem_scale = 1;
+
+  EngineContext ctx;
+  ctx.clock = &clock;
+  ctx.vtier = &vtier;
+  ctx.aio = &aio;
+  ctx.grads = &grads;
+  OffloadEngine engine(ctx, opts, test_layout());
+  engine.initialize();
+
+  for (u64 iter = 0; iter < kIterations; ++iter) {
+    for (u32 m = 0; m < accum_steps; ++m) {
+      const u64 sample = iter * accum_steps + m;
+      for (u32 id = 0; id < engine.num_subgroups(); ++id) {
+        engine.deposit_gradients_async(sample, id, m == 0,
+                                       m + 1 == accum_steps);
+      }
+      engine.wait_gradient_io();
+    }
+    engine.run_update(iter);
+  }
+  return engine.state_checksum();
+}
+
+struct FlagCase {
+  bool multipath, cache, delayed, locking;
+};
+
+class AllFlagCombos : public ::testing::TestWithParam<int> {};
+
+TEST_P(AllFlagCombos, EndStateBitwiseEqualToBaseline) {
+  static const u64 baseline = run_config(false, false, false, false);
+  const int bits = GetParam();
+  const u64 digest = run_config(bits & 1, bits & 2, bits & 4, bits & 8);
+  EXPECT_EQ(digest, baseline)
+      << "flags: multipath=" << !!(bits & 1) << " cache=" << !!(bits & 2)
+      << " delayed=" << !!(bits & 4) << " locking=" << !!(bits & 8);
+}
+
+INSTANTIATE_TEST_SUITE_P(SixteenCombos, AllFlagCombos,
+                         ::testing::Range(0, 16));
+
+TEST(Equivalence, GradientAccumulationAlsoOrderIndependent) {
+  const u64 base = run_config(false, false, false, false, /*accum=*/2);
+  const u64 ours = run_config(true, true, true, true, 2);
+  EXPECT_EQ(ours, base);
+}
+
+TEST(Equivalence, OffloadedMatchesHostResidentEngine) {
+  // CpuOnlyEngine never touches storage; its state after the same schedule
+  // must equal the fully offloaded engines'.
+  SimClock clock(50000.0);
+  GradSource grads;
+  CpuOnlyEngine::Options opts;
+  opts.cpu_update_rate = 1e9;
+  opts.convert.fp32_bytes_per_sec = 1e12;
+  opts.elem_scale = 1;
+  CpuOnlyEngine engine(clock, grads, test_layout(), opts);
+  engine.initialize();
+  for (u64 iter = 0; iter < kIterations; ++iter) {
+    engine.deposit_gradients(iter, true);
+    engine.run_update(iter);
+  }
+  EXPECT_EQ(engine.state_checksum(), run_config(true, true, true, true));
+}
+
+TEST(Equivalence, DifferentGradientsProduceDifferentStates) {
+  // Sanity: the digest is actually sensitive to training history (one vs
+  // two accumulation micro-steps diverge).
+  EXPECT_NE(run_config(true, true, true, true, 1),
+            run_config(true, true, true, true, 2));
+}
+
+}  // namespace
+}  // namespace mlpo

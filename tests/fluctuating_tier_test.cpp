@@ -1,0 +1,115 @@
+// FluctuatingTier + the adaptive performance model reacting to bandwidth
+// shifts (paper §3.3 adaptation scenario).
+#include <gtest/gtest.h>
+
+#include "core/perf_model.hpp"
+#include "tiers/fluctuating_tier.hpp"
+#include "tiers/memory_tier.hpp"
+
+namespace mlpo {
+namespace {
+
+TEST(BandwidthSchedule, FactorLookup) {
+  BandwidthSchedule s;
+  s.segments = {{0.0, 1.0}, {10.0, 0.25}, {20.0, 0.5}};
+  EXPECT_EQ(s.factor_at(0.0), 1.0);
+  EXPECT_EQ(s.factor_at(9.9), 1.0);
+  EXPECT_EQ(s.factor_at(10.0), 0.25);
+  EXPECT_EQ(s.factor_at(19.9), 0.25);
+  EXPECT_EQ(s.factor_at(25.0), 0.5);
+  EXPECT_EQ(BandwidthSchedule{}.factor_at(5.0), 1.0);
+}
+
+TEST(BandwidthSchedule, SquareWave) {
+  const auto s = BandwidthSchedule::square_wave(5.0, 1.0, 0.5, 2);
+  ASSERT_EQ(s.segments.size(), 4u);
+  EXPECT_EQ(s.factor_at(2.0), 1.0);
+  EXPECT_EQ(s.factor_at(7.0), 0.5);
+  EXPECT_EQ(s.factor_at(12.0), 1.0);
+  EXPECT_EQ(s.factor_at(17.0), 0.5);
+  EXPECT_THROW(BandwidthSchedule::square_wave(0, 1, 1, 1),
+               std::invalid_argument);
+}
+
+TEST(FluctuatingTier, TransferSlowsWhenScheduleDips) {
+  SimClock clock(5000.0);
+  ThrottleSpec spec{1000.0, 1000.0};
+  BandwidthSchedule schedule;
+  // Full speed for a generous window (scheduler jitter between clock
+  // construction and the first transfer must not push us past the edge),
+  // then a 4x slowdown.
+  schedule.segments = {{0.0, 1.0}, {50.0, 0.25}};
+  FluctuatingTier tier("pfs", std::make_shared<MemoryTier>("back"), clock,
+                       spec, schedule, /*persistent=*/true);
+  EXPECT_TRUE(tier.persistent());
+  EXPECT_EQ(tier.read_bandwidth(), 1000.0);  // nominal, not current
+
+  std::vector<u8> data(64, 1);
+  // Transfer in the full-speed window: 10000 bytes -> ~10 vsec.
+  const f64 t0 = clock.now();
+  ASSERT_LT(t0, 30.0) << "emulation host too slow for this test's windows";
+  tier.write("a", data, 10000);
+  const f64 fast = clock.now() - t0;
+  EXPECT_LT(fast, 16.0);
+
+  // Now the dip is active: same bytes -> ~40 vsec.
+  clock.sleep_until(60.0);
+  const f64 t1 = clock.now();
+  tier.write("b", data, 10000);
+  const f64 slow = clock.now() - t1;
+  EXPECT_GT(slow, fast * 2.0);
+  EXPECT_EQ(tier.current_factor(), 0.25);
+}
+
+TEST(FluctuatingTier, ContentIntact) {
+  SimClock clock(20000.0);
+  ThrottleSpec spec{1e6, 1e6};
+  FluctuatingTier tier("t", std::make_shared<MemoryTier>("back"), clock, spec,
+                       BandwidthSchedule::square_wave(1.0, 1.0, 0.5, 3));
+  std::vector<u8> data = {1, 2, 3, 4};
+  tier.write("k", data, 100);
+  EXPECT_TRUE(tier.exists("k"));
+  EXPECT_EQ(tier.object_size("k"), 4u);
+  std::vector<u8> out(4);
+  tier.read("k", out, 100);
+  EXPECT_EQ(out, data);
+  std::vector<u8> peeked(4);
+  tier.peek("k", peeked);
+  EXPECT_EQ(peeked, data);
+  tier.erase("k");
+  EXPECT_FALSE(tier.exists("k"));
+}
+
+TEST(FluctuatingTier, AdaptivePerfModelTracksTheShift) {
+  // End-to-end §3.3 scenario: a PFS loses 3/4 of its bandwidth mid-run;
+  // the performance model, fed only observed transfer times, repartitions
+  // subgroups away from it.
+  SimClock clock(20000.0);
+  ThrottleSpec nvme_spec{1000.0, 1000.0};
+  ThrottleSpec pfs_spec{1000.0, 1000.0};
+  BandwidthSchedule dip;
+  dip.segments = {{0.0, 1.0}, {50.0, 0.25}};
+  MemoryTier nvme_backend("nb");
+  FluctuatingTier pfs("pfs", std::make_shared<MemoryTier>("pb"), clock,
+                      pfs_spec, dip);
+
+  PerfModel model({1000.0, 1000.0}, 100);
+  EXPECT_EQ(model.quotas()[0], 50u);  // symmetric before the dip
+
+  // Simulated training loop: observe transfers on both paths.
+  std::vector<u8> payload(16, 7);
+  clock.sleep_until(55.0);  // enter the dip
+  for (int i = 0; i < 10; ++i) {
+    const f64 t0 = clock.now();
+    pfs.write("x", payload, 2000);
+    model.observe(1, 2000, clock.now() - t0);
+    model.observe(0, 2000, 2.0);  // NVMe steady at 1000 B/s
+  }
+  model.rebalance();
+  const auto quotas = model.quotas();
+  EXPECT_GT(quotas[0], 70u) << "most subgroups must shift to the NVMe";
+  EXPECT_EQ(quotas[0] + quotas[1], 100u);
+}
+
+}  // namespace
+}  // namespace mlpo

@@ -1,0 +1,126 @@
+// FP16 software implementation: exhaustive decode/encode roundtrip over the
+// full 16-bit space, rounding behaviour, special values, and bulk kernels.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "util/fp16.hpp"
+
+namespace mlpo {
+namespace {
+
+TEST(Fp16, ZeroAndSignedZero) {
+  EXPECT_EQ(Fp16::encode(0.0f), 0x0000u);
+  EXPECT_EQ(Fp16::encode(-0.0f), 0x8000u);
+  EXPECT_EQ(Fp16::decode(0x0000u), 0.0f);
+  EXPECT_EQ(Fp16::decode(0x8000u), -0.0f);
+  EXPECT_TRUE(std::signbit(Fp16::decode(0x8000u)));
+}
+
+TEST(Fp16, KnownValues) {
+  EXPECT_EQ(Fp16::encode(1.0f), 0x3C00u);
+  EXPECT_EQ(Fp16::encode(-2.0f), 0xC000u);
+  EXPECT_EQ(Fp16::encode(0.5f), 0x3800u);
+  EXPECT_EQ(Fp16::encode(65504.0f), 0x7BFFu);  // max finite half
+  EXPECT_EQ(Fp16::decode(0x3C00u), 1.0f);
+  EXPECT_EQ(Fp16::decode(0x7BFFu), 65504.0f);
+  // Smallest positive subnormal: 2^-24.
+  EXPECT_EQ(Fp16::decode(0x0001u), std::ldexp(1.0f, -24));
+  // Smallest positive normal: 2^-14.
+  EXPECT_EQ(Fp16::decode(0x0400u), std::ldexp(1.0f, -14));
+}
+
+TEST(Fp16, OverflowSaturatesToInfinity) {
+  EXPECT_EQ(Fp16::encode(1e6f), 0x7C00u);
+  EXPECT_EQ(Fp16::encode(-1e6f), 0xFC00u);
+  EXPECT_EQ(Fp16::encode(65520.0f), 0x7C00u);  // rounds up past max finite
+  EXPECT_EQ(Fp16::encode(65519.0f), 0x7BFFu);  // rounds down to max finite
+}
+
+TEST(Fp16, UnderflowFlushesToZero) {
+  EXPECT_EQ(Fp16::encode(1e-10f), 0x0000u);
+  EXPECT_EQ(Fp16::encode(-1e-10f), 0x8000u);
+}
+
+TEST(Fp16, InfinityAndNan) {
+  const f32 inf = std::numeric_limits<f32>::infinity();
+  EXPECT_EQ(Fp16::encode(inf), 0x7C00u);
+  EXPECT_EQ(Fp16::encode(-inf), 0xFC00u);
+  EXPECT_TRUE(std::isinf(Fp16::decode(0x7C00u)));
+  EXPECT_TRUE(std::isinf(Fp16::decode(0xFC00u)));
+
+  const f32 nan = std::numeric_limits<f32>::quiet_NaN();
+  const u16 enc = Fp16::encode(nan);
+  EXPECT_TRUE(Fp16::from_bits(enc).is_nan());
+  EXPECT_TRUE(std::isnan(Fp16::decode(enc)));
+}
+
+TEST(Fp16, RoundToNearestEven) {
+  // 1.0 + 2^-11 sits exactly halfway between 1.0 and 1.0+2^-10: ties to
+  // even keep 1.0 (mantissa even).
+  EXPECT_EQ(Fp16::encode(1.0f + std::ldexp(1.0f, -11)), 0x3C00u);
+  // The next representable float above the halfway point rounds up.
+  EXPECT_EQ(Fp16::encode(std::nextafter(1.0f + std::ldexp(1.0f, -11), 2.0f)),
+            0x3C01u);
+  // 1.0 + 3*2^-11 is halfway between 0x3C01 and 0x3C02: ties to even -> 0x3C02.
+  EXPECT_EQ(Fp16::encode(1.0f + 3 * std::ldexp(1.0f, -11)), 0x3C02u);
+}
+
+TEST(Fp16, ExhaustiveDecodeEncodeRoundtrip) {
+  // Every half value decodes to a float that re-encodes to the same bits
+  // (NaN payloads may be quieted, so compare NaN-ness instead).
+  for (u32 bits = 0; bits <= 0xFFFF; ++bits) {
+    const u16 h = static_cast<u16>(bits);
+    const f32 f = Fp16::decode(h);
+    if (Fp16::from_bits(h).is_nan()) {
+      EXPECT_TRUE(std::isnan(f)) << "bits=" << bits;
+      EXPECT_TRUE(Fp16::from_bits(Fp16::encode(f)).is_nan()) << "bits=" << bits;
+      continue;
+    }
+    EXPECT_EQ(Fp16::encode(f), h) << "bits=" << bits;
+  }
+}
+
+TEST(Fp16, EncodeMatchesNearestRepresentable) {
+  // Property check over a sweep of floats: the encoded half must be at
+  // least as close to the input as its neighbours.
+  for (int i = -2000; i <= 2000; ++i) {
+    const f32 x = static_cast<f32>(i) * 0.37f;
+    const u16 h = Fp16::encode(x);
+    const f32 fx = Fp16::decode(h);
+    const f32 lo = Fp16::decode(static_cast<u16>(h > 0 ? h - 1 : h));
+    const f32 hi = Fp16::decode(static_cast<u16>(h < 0x7BFF ? h + 1 : h));
+    const f32 err = std::abs(fx - x);
+    if (!std::isnan(lo) && !std::isinf(lo)) {
+      EXPECT_LE(err, std::abs(lo - x) + 1e-9f) << "x=" << x;
+    }
+    if (!std::isnan(hi) && !std::isinf(hi)) {
+      EXPECT_LE(err, std::abs(hi - x) + 1e-9f) << "x=" << x;
+    }
+  }
+}
+
+TEST(Fp16, BulkKernelsMatchScalar) {
+  std::vector<f32> src;
+  for (int i = 0; i < 10000; ++i) src.push_back(std::sin(i * 0.01f) * 100.0f);
+  std::vector<u16> half(src.size());
+  fp32_to_fp16(src, half);
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    EXPECT_EQ(half[i], Fp16::encode(src[i])) << i;
+  }
+  std::vector<f32> back(src.size());
+  fp16_to_fp32(half, back);
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    EXPECT_EQ(back[i], Fp16::decode(half[i])) << i;
+  }
+}
+
+TEST(Fp16, ThroughputMeasurementRuns) {
+  const f64 thru = measure_fp16_to_fp32_throughput(1 << 16);
+  EXPECT_GT(thru, 0.0);
+}
+
+}  // namespace
+}  // namespace mlpo

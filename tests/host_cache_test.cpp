@@ -1,0 +1,109 @@
+// Host cache LRU bookkeeping.
+#include <gtest/gtest.h>
+
+#include "core/host_cache.hpp"
+
+namespace mlpo {
+namespace {
+
+TEST(HostCache, InsertUntilCapacityNoEviction) {
+  HostCache cache(3);
+  EXPECT_FALSE(cache.insert(1).has_value());
+  EXPECT_FALSE(cache.insert(2).has_value());
+  EXPECT_FALSE(cache.insert(3).has_value());
+  EXPECT_EQ(cache.size(), 3u);
+  EXPECT_TRUE(cache.contains(1));
+  EXPECT_TRUE(cache.contains(3));
+}
+
+TEST(HostCache, EvictsLeastRecentlyUsed) {
+  HostCache cache(2);
+  cache.insert(1);
+  cache.insert(2);
+  const auto evicted = cache.insert(3);
+  ASSERT_TRUE(evicted.has_value());
+  EXPECT_EQ(*evicted, 1u);
+  EXPECT_FALSE(cache.contains(1));
+  EXPECT_TRUE(cache.contains(2));
+  EXPECT_TRUE(cache.contains(3));
+}
+
+TEST(HostCache, TouchPromotesToMostRecent) {
+  HostCache cache(2);
+  cache.insert(1);
+  cache.insert(2);
+  cache.touch(1);
+  const auto evicted = cache.insert(3);
+  ASSERT_TRUE(evicted.has_value());
+  EXPECT_EQ(*evicted, 2u);  // 1 was touched, 2 becomes the victim
+  cache.touch(99);          // absent id: no-op
+}
+
+TEST(HostCache, ReinsertExistingPromotesWithoutEviction) {
+  HostCache cache(2);
+  cache.insert(1);
+  cache.insert(2);
+  EXPECT_FALSE(cache.insert(1).has_value());
+  EXPECT_EQ(cache.size(), 2u);
+  const auto evicted = cache.insert(3);
+  EXPECT_EQ(*evicted, 2u);
+}
+
+TEST(HostCache, ZeroCapacityBouncesInserts) {
+  HostCache cache(0);
+  const auto evicted = cache.insert(5);
+  ASSERT_TRUE(evicted.has_value());
+  EXPECT_EQ(*evicted, 5u);
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.contains(5));
+}
+
+TEST(HostCache, EraseRemoves) {
+  HostCache cache(3);
+  cache.insert(1);
+  cache.insert(2);
+  cache.erase(1);
+  EXPECT_FALSE(cache.contains(1));
+  EXPECT_EQ(cache.size(), 1u);
+  cache.erase(42);  // absent: no-op
+}
+
+TEST(HostCache, ResidentOrderedLruFirst) {
+  HostCache cache(3);
+  cache.insert(1);
+  cache.insert(2);
+  cache.insert(3);
+  cache.touch(1);
+  const auto resident = cache.resident();
+  ASSERT_EQ(resident.size(), 3u);
+  EXPECT_EQ(resident[0], 2u);
+  EXPECT_EQ(resident[1], 3u);
+  EXPECT_EQ(resident[2], 1u);
+}
+
+// The engine's reuse pattern: ascending insertion then descending access
+// should hit for the cache-resident tail.
+TEST(HostCache, AlternatingOrderReuseScenario) {
+  constexpr u32 kSubgroups = 10;
+  constexpr u32 kCapacity = 4;
+  HostCache cache(kCapacity);
+  // Iteration 0 ascending: inserts 0..9; 6,7,8,9 survive.
+  for (u32 id = 0; id < kSubgroups; ++id) cache.insert(id);
+  // Iteration 1 descending: the first kCapacity accesses are hits.
+  u32 hits = 0;
+  for (i32 id = kSubgroups - 1; id >= 0; --id) {
+    if (cache.contains(static_cast<u32>(id))) {
+      cache.touch(static_cast<u32>(id));
+      ++hits;
+    }
+    cache.insert(static_cast<u32>(id));
+  }
+  EXPECT_EQ(hits, kCapacity);
+  // After the descending pass, the low ids are resident for iteration 2.
+  for (u32 id = 0; id < kCapacity; ++id) {
+    EXPECT_TRUE(cache.contains(id)) << id;
+  }
+}
+
+}  // namespace
+}  // namespace mlpo

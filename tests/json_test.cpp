@@ -1,0 +1,103 @@
+// JSON parser/serializer: values, nesting, escapes, errors, roundtrips.
+#include <gtest/gtest.h>
+
+#include "util/json.hpp"
+
+namespace mlpo::json {
+namespace {
+
+TEST(Json, ParsesScalars) {
+  EXPECT_TRUE(parse("null").is_null());
+  EXPECT_EQ(parse("true").as_bool(), true);
+  EXPECT_EQ(parse("false").as_bool(), false);
+  EXPECT_EQ(parse("42").as_number(), 42.0);
+  EXPECT_EQ(parse("-3.5").as_number(), -3.5);
+  EXPECT_EQ(parse("1e3").as_number(), 1000.0);
+  EXPECT_EQ(parse("\"hi\"").as_string(), "hi");
+}
+
+TEST(Json, ParsesNestedStructures) {
+  const Value v = parse(R"({
+    "model": "40B",
+    "nodes": 4,
+    "mlp_offload": {"enabled": true, "paths": ["nvme", "pfs"]},
+    "ratios": [2, 1]
+  })");
+  EXPECT_EQ(v.at("model").as_string(), "40B");
+  EXPECT_EQ(v.at("nodes").as_int(), 4);
+  EXPECT_TRUE(v.at("mlp_offload").at("enabled").as_bool());
+  EXPECT_EQ(v.at("mlp_offload").at("paths").as_array()[1].as_string(), "pfs");
+  EXPECT_EQ(v.at("ratios").as_array()[0].as_number(), 2.0);
+}
+
+TEST(Json, StringEscapes) {
+  EXPECT_EQ(parse(R"("a\nb\t\"q\"\\")").as_string(), "a\nb\t\"q\"\\");
+  EXPECT_EQ(parse(R"("Aé")").as_string(), "A\xC3\xA9");
+}
+
+TEST(Json, WhitespaceTolerant) {
+  const Value v = parse("  {  \"a\" :\n[ 1 ,\t2 ]  }  ");
+  EXPECT_EQ(v.at("a").as_array().size(), 2u);
+}
+
+TEST(Json, EmptyContainers) {
+  EXPECT_TRUE(parse("{}").as_object().empty());
+  EXPECT_TRUE(parse("[]").as_array().empty());
+}
+
+TEST(Json, RejectsMalformedInput) {
+  EXPECT_THROW(parse(""), ParseError);
+  EXPECT_THROW(parse("{"), ParseError);
+  EXPECT_THROW(parse("[1,]"), ParseError);
+  EXPECT_THROW(parse("{\"a\":}"), ParseError);
+  EXPECT_THROW(parse("{\"a\" 1}"), ParseError);
+  EXPECT_THROW(parse("tru"), ParseError);
+  EXPECT_THROW(parse("1 2"), ParseError);  // trailing garbage
+  EXPECT_THROW(parse("\"unterminated"), ParseError);
+  EXPECT_THROW(parse("{'single':1}"), ParseError);
+  EXPECT_THROW(parse("nan"), ParseError);
+}
+
+TEST(Json, TypeMismatchThrows) {
+  const Value v = parse("{\"a\": 1}");
+  EXPECT_THROW(v.as_array(), std::runtime_error);
+  EXPECT_THROW(v.at("a").as_string(), std::runtime_error);
+  EXPECT_THROW(v.at("missing"), std::out_of_range);
+}
+
+TEST(Json, DefaultedLookups) {
+  const Value v = parse("{\"x\": 2.5, \"flag\": true, \"s\": \"v\"}");
+  EXPECT_EQ(v.number_or("x", 0), 2.5);
+  EXPECT_EQ(v.number_or("y", 7), 7.0);
+  EXPECT_EQ(v.int_or("x", 0), 2);
+  EXPECT_TRUE(v.bool_or("flag", false));
+  EXPECT_FALSE(v.bool_or("other", false));
+  EXPECT_EQ(v.string_or("s", ""), "v");
+  EXPECT_EQ(v.string_or("t", "d"), "d");
+  // Type-mismatched keys fall back rather than throw.
+  EXPECT_EQ(v.number_or("s", 9), 9.0);
+}
+
+TEST(Json, DumpRoundtrips) {
+  const char* doc = R"({"a":[1,2.5,"x"],"b":{"c":true,"d":null}})";
+  const Value v = parse(doc);
+  const Value again = parse(v.dump());
+  EXPECT_EQ(v, again);
+  // Pretty form also roundtrips.
+  EXPECT_EQ(parse(v.dump(2)), v);
+}
+
+TEST(Json, DumpEscapesControlCharacters) {
+  const Value v(std::string("line1\nline2\x01"));
+  const Value back = parse(v.dump());
+  EXPECT_EQ(back.as_string(), v.as_string());
+}
+
+TEST(Json, IntegersSerializeWithoutDecimalPoint) {
+  EXPECT_EQ(Value(42).dump(), "42");
+  EXPECT_EQ(Value(-7).dump(), "-7");
+  EXPECT_EQ(Value(2.5).dump(), "2.5");
+}
+
+}  // namespace
+}  // namespace mlpo::json

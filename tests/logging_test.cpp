@@ -1,0 +1,55 @@
+// Logging: level gating and thread safety of the line writer.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "util/logging.hpp"
+
+namespace mlpo {
+namespace {
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void SetUp() override { saved_ = log_level(); }
+  void TearDown() override { set_log_level(saved_); }
+  LogLevel saved_;
+};
+
+TEST_F(LoggingTest, LevelRoundtrip) {
+  set_log_level(LogLevel::kDebug);
+  EXPECT_EQ(log_level(), LogLevel::kDebug);
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+}
+
+TEST_F(LoggingTest, SuppressedLevelsDoNotCrash) {
+  set_log_level(LogLevel::kOff);
+  log_line(LogLevel::kError, "never shown");
+  MLPO_LOG_DEBUG << "also suppressed " << 42;
+  MLPO_LOG_ERROR << "suppressed too";
+  SUCCEED();
+}
+
+TEST_F(LoggingTest, StreamMacroComposesTypes) {
+  set_log_level(LogLevel::kOff);  // keep test output clean
+  MLPO_LOG_INFO << "pi=" << 3.14 << " n=" << 7 << " s=" << std::string("x");
+  SUCCEED();
+}
+
+TEST_F(LoggingTest, ConcurrentLoggingIsSafe) {
+  set_log_level(LogLevel::kOff);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([t] {
+      for (int i = 0; i < 100; ++i) {
+        log_line(LogLevel::kError, "thread " + std::to_string(t));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace mlpo

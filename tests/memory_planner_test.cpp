@@ -1,0 +1,84 @@
+// Memory planner: the §4.1 feasibility constraints.
+#include <gtest/gtest.h>
+
+#include "runtime/memory_planner.hpp"
+
+namespace mlpo {
+namespace {
+
+PlannerInput base_input(const char* model, u32 world = 0) {
+  PlannerInput in;
+  in.model = paper_model(model);
+  in.testbed = TestbedSpec::testbed1();
+  in.gpu_memory_bytes = 80ull * GiB;
+  in.total_world = world;
+  return in;
+}
+
+TEST(MemoryPlanner, PaperSingleNodeConfigsAreFeasible) {
+  // The paper runs 40B-120B on a single 4xH100-80GB node: FP16 params and
+  // one subgroup's working set must fit the aggregate 320 GB.
+  for (const char* model : {"40B", "52B", "70B", "100B", "120B"}) {
+    const auto plan = plan_memory(base_input(model));
+    EXPECT_TRUE(plan.feasible()) << model << "\n" << plan.to_string();
+  }
+}
+
+TEST(MemoryPlanner, Model280BNeedsMoreThanOneNode) {
+  // 280B FP16 params alone (466 GB) exceed one node's 320 GB of GPU
+  // memory; the paper runs it on 8 nodes (32 GPUs).
+  auto single = base_input("280B");
+  single.gpu_memory_bytes = 40ull * GiB;  // A100-40GB (Testbed-2)
+  single.testbed = TestbedSpec::testbed2();
+  EXPECT_FALSE(plan_memory(single).gpu_fits);
+
+  auto cluster = single;
+  cluster.total_world = 32;
+  EXPECT_TRUE(plan_memory(cluster).gpu_fits) << plan_memory(cluster).to_string();
+}
+
+TEST(MemoryPlanner, ActivationCheckpointingShrinksGpuFootprint) {
+  auto with = base_input("70B");
+  auto without = base_input("70B");
+  without.activation_checkpointing = false;
+  EXPECT_LT(plan_memory(with).gpu_required,
+            plan_memory(without).gpu_required);
+}
+
+TEST(MemoryPlanner, MicrobatchScalesActivations) {
+  auto mb1 = base_input("40B");
+  auto mb8 = base_input("40B");
+  mb8.microbatch = 8;
+  const auto p1 = plan_memory(mb1);
+  const auto p8 = plan_memory(mb8);
+  EXPECT_GT(p8.gpu_required, p1.gpu_required);
+}
+
+TEST(MemoryPlanner, CacheBudgetShrinksWithModelSize) {
+  const auto small = plan_memory(base_input("40B"));
+  const auto large = plan_memory(base_input("120B"));
+  EXPECT_GT(small.cache_budget_bytes, large.cache_budget_bytes);
+  EXPECT_GT(small.cache_subgroups_per_worker,
+            large.cache_subgroups_per_worker);
+}
+
+TEST(MemoryPlanner, HostRequirementsItemised) {
+  const auto plan = plan_memory(base_input("70B"));
+  ASSERT_EQ(plan.host_items.size(), 3u);
+  u64 sum = 0;
+  for (const auto& item : plan.host_items) sum += item.bytes;
+  EXPECT_EQ(sum, plan.host_required);
+  EXPECT_FALSE(plan.to_string().empty());
+}
+
+TEST(MemoryPlanner, InfeasibleHostReported) {
+  auto input = base_input("70B");
+  input.testbed.host_memory_bytes = 64ull * GiB;  // tiny host
+  const auto plan = plan_memory(input);
+  EXPECT_FALSE(plan.host_fits);
+  EXPECT_FALSE(plan.feasible());
+  EXPECT_EQ(plan.cache_budget_bytes, 0u);
+}
+
+}  // namespace
+}  // namespace mlpo

@@ -1,0 +1,80 @@
+// Table 2 model configurations and derived memory footprints.
+#include <gtest/gtest.h>
+
+#include "train/model_config.hpp"
+
+namespace mlpo {
+namespace {
+
+TEST(ModelConfig, PaperModelsPresent) {
+  const auto& models = paper_models();
+  ASSERT_EQ(models.size(), 7u);
+  EXPECT_EQ(models.front().name, "40B");
+  EXPECT_EQ(models.back().name, "280B");
+}
+
+TEST(ModelConfig, LookupByName) {
+  const auto& m = paper_model("70B");
+  EXPECT_EQ(m.num_layers, 80u);
+  EXPECT_EQ(m.hidden_dim, 8192u);
+  EXPECT_EQ(m.attention_heads, 64u);
+  EXPECT_THROW(paper_model("13B"), std::out_of_range);
+}
+
+// Parameter counts should land near the headline sizes (the paper quotes
+// rounded marketing numbers; we accept +/-20%).
+struct SizeCase {
+  const char* name;
+  f64 headline_billions;
+};
+
+class ParamCountTest : public ::testing::TestWithParam<SizeCase> {};
+
+TEST_P(ParamCountTest, HeadlineSizeWithinTolerance) {
+  const auto& [name, billions] = GetParam();
+  const f64 params = static_cast<f64>(paper_model(name).parameters()) / 1e9;
+  EXPECT_GT(params, billions * 0.8) << name;
+  EXPECT_LT(params, billions * 1.25) << name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModels, ParamCountTest,
+    ::testing::Values(SizeCase{"40B", 40}, SizeCase{"52B", 52},
+                      SizeCase{"70B", 70}, SizeCase{"100B", 100},
+                      SizeCase{"120B", 120}, SizeCase{"130B", 130},
+                      SizeCase{"280B", 280}),
+    [](const auto& info) { return std::string(info.param.name); });
+
+TEST(ModelConfig, MemoryFootprintRatios) {
+  const auto& m = paper_model("40B");
+  const u64 p = m.parameters();
+  EXPECT_EQ(m.fp16_param_bytes(), p * 2);
+  EXPECT_EQ(m.fp16_grad_bytes(), p * 2);
+  // Optimizer state is 6x the FP16 model (the paper's "8x larger than FP16
+  // parameters" counts gradients too: 12+4 vs 2).
+  EXPECT_EQ(m.optimizer_state_bytes(), p * 12);
+}
+
+TEST(ModelConfig, OptimizerStateSizesMotivateOffloading) {
+  // The paper's premise: 40B+ models exceed 512 GB host memory; 20B fits.
+  EXPECT_GT(paper_model("40B").optimizer_state_bytes(), 450ull * GiB);
+  EXPECT_LT(baseline_20b().optimizer_state_bytes(), 512ull * GiB);
+  // 120B reaches ~1.8 TB survivable only with third-level storage (§4.2).
+  const f64 tb_120 =
+      static_cast<f64>(paper_model("120B").optimizer_state_bytes()) / 1e12;
+  EXPECT_GT(tb_120, 1.2);
+  EXPECT_LT(tb_120, 2.0);
+}
+
+TEST(ModelConfig, ParametersMonotonicInDepthAndWidth) {
+  ModelConfig narrow{"t", 10, 1024, 16};
+  ModelConfig deeper = narrow;
+  deeper.num_layers = 20;
+  ModelConfig wider = narrow;
+  wider.hidden_dim = 2048;
+  EXPECT_GT(deeper.parameters(), narrow.parameters());
+  EXPECT_GT(wider.parameters(), narrow.parameters());
+}
+
+}  // namespace
+}  // namespace mlpo

@@ -1,0 +1,379 @@
+// OffloadEngine: initialization/distribution, the update pipeline, caching
+// behaviour, numerical correctness against a hand-rolled reference, and
+// option validation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "core/offload_engine.hpp"
+#include "tiers/memory_tier.hpp"
+#include "tiers/throttled_tier.hpp"
+#include "train/adam.hpp"
+#include "util/fp16.hpp"
+
+namespace mlpo {
+namespace {
+
+constexpr u64 kSubgroupParams = 4096;
+constexpr u32 kNumSubgroups = 8;
+
+// Shared scaffolding: a two-path virtual tier over fast emulated devices.
+struct EngineRig {
+  SimClock clock{20000.0};
+  VirtualTier vtier;
+  AioEngine aio{4, 128};
+  GradSource grads;
+
+  EngineRig() {
+    ThrottleSpec nvme_spec{/*read_bw=*/4e6, /*write_bw=*/3e6};
+    nvme_spec.chunk_bytes = 16 * KiB;
+    vtier.add_path(std::make_shared<ThrottledTier>(
+        "nvme", std::make_shared<MemoryTier>("nvme-back"), clock, nvme_spec));
+    ThrottleSpec pfs_spec{2e6, 2e6};
+    pfs_spec.chunk_bytes = 16 * KiB;
+    vtier.add_path(std::make_shared<ThrottledTier>(
+        "pfs", std::make_shared<MemoryTier>("pfs-back"), clock, pfs_spec,
+        /*persistent=*/true));
+  }
+
+  EngineContext context(int worker = 0, int rank = 0) {
+    EngineContext ctx;
+    ctx.clock = &clock;
+    ctx.vtier = &vtier;
+    ctx.aio = &aio;
+    ctx.cpu_pool = nullptr;
+    ctx.d2h = nullptr;
+    ctx.h2d = nullptr;
+    ctx.grads = &grads;
+    ctx.worker_id = worker;
+    ctx.rank = rank;
+    return ctx;
+  }
+
+  static EngineOptions fast_options(EngineOptions opts) {
+    opts.cpu_update_rate = 1e9;  // keep compute sleeps tiny
+    opts.convert.fp32_bytes_per_sec = 1e12;
+    opts.host_cache_subgroups = 3;
+    return opts;
+  }
+
+  static ShardLayout layout() {
+    return make_shard_layout(kSubgroupParams * kNumSubgroups, 1, 0,
+                             kSubgroupParams);
+  }
+
+  void run_one_iteration(OffloadEngine& engine, u64 iter) {
+    for (u32 id = 0; id < engine.num_subgroups(); ++id) {
+      engine.deposit_gradients_async(iter, id, true, true);
+    }
+    engine.wait_gradient_io();
+    engine.run_update(iter);
+  }
+};
+
+TEST(OffloadEngine, RequiresContextPieces) {
+  EngineRig rig;
+  EngineContext broken = rig.context();
+  broken.vtier = nullptr;
+  EXPECT_THROW(
+      OffloadEngine(broken, EngineRig::fast_options(EngineOptions::mlp_offload()),
+                    EngineRig::layout()),
+      std::invalid_argument);
+}
+
+TEST(OffloadEngine, RejectsUnsafeCacheDepth) {
+  EngineRig rig;
+  auto opts = EngineRig::fast_options(EngineOptions::mlp_offload());
+  opts.prefetch_ahead = 2;
+  opts.host_cache_subgroups = 2;  // < prefetch_ahead + 1
+  EXPECT_THROW(OffloadEngine(rig.context(), opts, EngineRig::layout()),
+               std::invalid_argument);
+}
+
+TEST(OffloadEngine, InitializeDistributesPerEq1) {
+  EngineRig rig;
+  OffloadEngine engine(rig.context(),
+                       EngineRig::fast_options(EngineOptions::mlp_offload()),
+                       EngineRig::layout());
+  engine.initialize();
+  const auto dist = engine.distribution();
+  EXPECT_EQ(dist.host_sim_bytes, 0u);  // cold start: everything offloaded
+  const u64 total = dist.path_sim_bytes[0] + dist.path_sim_bytes[1];
+  EXPECT_EQ(total, kSubgroupParams * kNumSubgroups * kOptimStateBytesPerParam);
+  // 3:2 bandwidth ratio (min(4,3)=3 vs min(2,2)=2): path 0 gets more.
+  EXPECT_GT(dist.path_sim_bytes[0], dist.path_sim_bytes[1]);
+}
+
+TEST(OffloadEngine, DoubleInitializeThrows) {
+  EngineRig rig;
+  OffloadEngine engine(rig.context(),
+                       EngineRig::fast_options(EngineOptions::mlp_offload()),
+                       EngineRig::layout());
+  engine.initialize();
+  EXPECT_THROW(engine.initialize(), std::logic_error);
+}
+
+TEST(OffloadEngine, UpdateBeforeInitializeThrows) {
+  EngineRig rig;
+  OffloadEngine engine(rig.context(),
+                       EngineRig::fast_options(EngineOptions::mlp_offload()),
+                       EngineRig::layout());
+  EXPECT_THROW(engine.run_update(0), std::logic_error);
+}
+
+TEST(OffloadEngine, SinglePathWhenMultipathDisabled) {
+  EngineRig rig;
+  auto opts = EngineRig::fast_options(EngineOptions::deepspeed_zero3());
+  OffloadEngine engine(rig.context(), opts, EngineRig::layout());
+  engine.initialize();
+  const auto dist = engine.distribution();
+  EXPECT_EQ(dist.path_sim_bytes[1], 0u) << "baseline must not touch the PFS";
+  EXPECT_GT(dist.path_sim_bytes[0], 0u);
+}
+
+TEST(OffloadEngine, UpdateProcessesEverySubgroupAndAdvancesStep) {
+  EngineRig rig;
+  OffloadEngine engine(rig.context(),
+                       EngineRig::fast_options(EngineOptions::mlp_offload()),
+                       EngineRig::layout());
+  engine.initialize();
+  rig.run_one_iteration(engine, 0);
+  for (u32 id = 0; id < engine.num_subgroups(); ++id) {
+    EXPECT_EQ(engine.snapshot_subgroup(id).step(), 1u) << id;
+  }
+  rig.run_one_iteration(engine, 1);
+  for (u32 id = 0; id < engine.num_subgroups(); ++id) {
+    EXPECT_EQ(engine.snapshot_subgroup(id).step(), 2u) << id;
+  }
+}
+
+TEST(OffloadEngine, ReportAccountsAllSubgroups) {
+  EngineRig rig;
+  OffloadEngine engine(rig.context(),
+                       EngineRig::fast_options(EngineOptions::mlp_offload()),
+                       EngineRig::layout());
+  engine.initialize();
+  for (u32 id = 0; id < engine.num_subgroups(); ++id) {
+    engine.deposit_gradients_async(0, id, true, true);
+  }
+  engine.wait_gradient_io();
+  const auto report = engine.run_update(0);
+  EXPECT_EQ(report.subgroups_processed, kNumSubgroups);
+  EXPECT_EQ(report.params_updated, kSubgroupParams * kNumSubgroups);
+  EXPECT_EQ(report.traces.size(), kNumSubgroups);
+  EXPECT_GT(report.update_seconds, 0.0);
+  EXPECT_GT(report.sim_bytes_fetched, 0u);
+  EXPECT_GT(report.update_compute_seconds, 0.0);
+  // Iteration 0 is cold: every subgroup was fetched.
+  EXPECT_EQ(report.host_cache_hits, 0u);
+}
+
+TEST(OffloadEngine, CacheHitsAppearFromSecondIteration) {
+  EngineRig rig;
+  auto opts = EngineRig::fast_options(EngineOptions::mlp_offload());
+  opts.host_cache_subgroups = 3;
+  OffloadEngine engine(rig.context(), opts, EngineRig::layout());
+  engine.initialize();
+  rig.run_one_iteration(engine, 0);
+
+  for (u32 id = 0; id < engine.num_subgroups(); ++id) {
+    engine.deposit_gradients_async(1, id, true, true);
+  }
+  engine.wait_gradient_io();
+  const auto report = engine.run_update(1);
+  EXPECT_EQ(report.host_cache_hits, 3u)
+      << "descending iteration reuses the cached tail";
+  // Cached subgroups transferred nothing.
+  u32 zero_read_traces = 0;
+  for (const auto& t : report.traces) {
+    if (t.host_cache_hit) {
+      EXPECT_EQ(t.sim_bytes_read, 0u);
+      ++zero_read_traces;
+    }
+  }
+  EXPECT_EQ(zero_read_traces, 3u);
+}
+
+TEST(OffloadEngine, BaselineNeverHitsCache) {
+  EngineRig rig;
+  OffloadEngine engine(rig.context(),
+                       EngineRig::fast_options(EngineOptions::deepspeed_zero3()),
+                       EngineRig::layout());
+  engine.initialize();
+  for (u64 iter = 0; iter < 3; ++iter) {
+    for (u32 id = 0; id < engine.num_subgroups(); ++id) {
+      engine.deposit_gradients_async(iter, id, true, true);
+    }
+    engine.wait_gradient_io();
+    const auto report = engine.run_update(iter);
+    EXPECT_EQ(report.host_cache_hits, 0u) << iter;
+    // Thrashing baseline: every subgroup both fetched and flushed, with
+    // FP32 gradients inflating fetches to 16 B/param.
+    EXPECT_EQ(report.sim_bytes_fetched,
+              kSubgroupParams * kNumSubgroups *
+                  kOptimStateWithGradBytesPerParam);
+    EXPECT_EQ(report.sim_bytes_flushed,
+              kSubgroupParams * kNumSubgroups * kOptimStateBytesPerParam);
+  }
+}
+
+TEST(OffloadEngine, DelayedConversionShrinksFetches) {
+  EngineRig rig;
+  auto opts = EngineRig::fast_options(EngineOptions::mlp_offload());
+  opts.host_cache_subgroups = 0;  // isolate the gradient effect
+  OffloadEngine engine(rig.context(), opts, EngineRig::layout());
+  engine.initialize();
+  for (u32 id = 0; id < engine.num_subgroups(); ++id) {
+    engine.deposit_gradients_async(0, id, true, true);
+  }
+  engine.wait_gradient_io();
+  const auto report = engine.run_update(0);
+  EXPECT_EQ(report.sim_bytes_fetched,
+            kSubgroupParams * kNumSubgroups * kOptimStateBytesPerParam)
+      << "12 B/param without FP32 gradients";
+}
+
+TEST(OffloadEngine, StateMatchesManualAdamReference) {
+  // Full-fidelity run (elem_scale 1): engine state after two iterations
+  // must equal a direct Adam simulation on the same gradients.
+  EngineRig rig;
+  auto opts = EngineRig::fast_options(EngineOptions::mlp_offload());
+  opts.elem_scale = 1;
+  const auto layout = EngineRig::layout();
+  OffloadEngine engine(rig.context(), opts, layout);
+  engine.initialize();
+  rig.run_one_iteration(engine, 0);
+  rig.run_one_iteration(engine, 1);
+
+  for (u32 id = 0; id < engine.num_subgroups(); ++id) {
+    // Rebuild the reference: same init, same gradients, two Adam steps.
+    const Subgroup got = engine.snapshot_subgroup(id);
+    Subgroup ref(id, layout.subgroup_sizes[id], 1);
+    // Initial params must match the engine's deterministic init; recover
+    // them from a fresh engine instead of duplicating the hash here.
+    EngineRig rig2;
+    OffloadEngine fresh(rig2.context(), opts, layout);
+    fresh.initialize();
+    const Subgroup init = fresh.snapshot_subgroup(id);
+    std::copy(init.params().begin(), init.params().end(),
+              ref.params().begin());
+
+    std::vector<u16> ghalf(ref.real_elems());
+    std::vector<f32> g(ref.real_elems());
+    for (u32 step = 1; step <= 2; ++step) {
+      rig.grads.generate_fp16(0, id, step - 1, ghalf);
+      fp16_to_fp32(ghalf, g);
+      adam_update_reference(opts.adam, ref.params(), ref.momentum(),
+                            ref.variance(), g, step);
+    }
+    for (std::size_t i = 0; i < ref.real_elems(); ++i) {
+      EXPECT_EQ(got.params()[i], ref.params()[i]) << "sg " << id << " i " << i;
+      EXPECT_EQ(got.momentum()[i], ref.momentum()[i]) << id << " " << i;
+      EXPECT_EQ(got.variance()[i], ref.variance()[i]) << id << " " << i;
+    }
+  }
+}
+
+TEST(OffloadEngine, GradientAccumulationSumsMicroSteps) {
+  EngineRig rig;
+  auto opts = EngineRig::fast_options(EngineOptions::mlp_offload());
+  opts.elem_scale = 1;
+  const auto layout = EngineRig::layout();
+  OffloadEngine engine(rig.context(), opts, layout);
+  engine.initialize();
+  // Two micro-steps then one update.
+  for (u32 m = 0; m < 2; ++m) {
+    for (u32 id = 0; id < engine.num_subgroups(); ++id) {
+      engine.deposit_gradients_async(m, id, m == 0, m == 1);
+    }
+    engine.wait_gradient_io();
+  }
+  engine.run_update(0);
+
+  const u32 id = 0;
+  const Subgroup got = engine.snapshot_subgroup(id);
+
+  EngineRig rig2;
+  OffloadEngine fresh(rig2.context(), opts, layout);
+  fresh.initialize();
+  Subgroup ref = fresh.snapshot_subgroup(id);
+  std::vector<u16> g0(ref.real_elems()), g1(ref.real_elems());
+  rig.grads.generate_fp16(0, id, 0, g0);
+  rig.grads.generate_fp16(0, id, 1, g1);
+  // FP16 accumulation: decode, add, re-encode, then upscale.
+  std::vector<f32> g(ref.real_elems());
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    g[i] = Fp16::decode(Fp16::encode(Fp16::decode(g0[i]) + Fp16::decode(g1[i])));
+  }
+  adam_update_reference(opts.adam, ref.params(), ref.momentum(),
+                        ref.variance(), g, 1);
+  for (std::size_t i = 0; i < ref.real_elems(); ++i) {
+    EXPECT_EQ(got.params()[i], ref.params()[i]) << i;
+  }
+}
+
+TEST(OffloadEngine, NoNansEscapeThePipeline) {
+  EngineRig rig;
+  OffloadEngine engine(rig.context(),
+                       EngineRig::fast_options(EngineOptions::mlp_offload()),
+                       EngineRig::layout());
+  engine.initialize();
+  for (u64 iter = 0; iter < 4; ++iter) rig.run_one_iteration(engine, iter);
+  for (u32 id = 0; id < engine.num_subgroups(); ++id) {
+    const Subgroup sg = engine.snapshot_subgroup(id);
+    for (const f32 x : sg.params()) EXPECT_TRUE(std::isfinite(x));
+    for (const f32 x : sg.momentum()) EXPECT_TRUE(std::isfinite(x));
+    for (const f32 x : sg.variance()) EXPECT_TRUE(std::isfinite(x));
+  }
+}
+
+TEST(OffloadEngine, StaticPlacementIgnoresObservations) {
+  // With adaptive_placement off the quotas must stay at the seeded values
+  // no matter what the transfers observe.
+  EngineRig rig;
+  auto opts = EngineRig::fast_options(EngineOptions::mlp_offload());
+  opts.adaptive_placement = false;
+  OffloadEngine engine(rig.context(), opts, EngineRig::layout());
+  engine.initialize();
+  const auto seeded = engine.perf_model().quotas();
+  for (u64 iter = 0; iter < 3; ++iter) rig.run_one_iteration(engine, iter);
+  EXPECT_EQ(engine.perf_model().quotas(), seeded);
+  EXPECT_EQ(engine.perf_model().bandwidths(),
+            rig.vtier.path_bandwidths());
+}
+
+TEST(OffloadEngine, AdaptivePlacementUpdatesEstimates) {
+  EngineRig rig;
+  auto opts = EngineRig::fast_options(EngineOptions::mlp_offload());
+  OffloadEngine engine(rig.context(), opts, EngineRig::layout());
+  engine.initialize();
+  const auto seeded = engine.perf_model().bandwidths();
+  rig.run_one_iteration(engine, 0);
+  // Observed bandwidths replace the microbenchmark seeds after the first
+  // transfers (they include queueing, so they differ from the nominal).
+  EXPECT_NE(engine.perf_model().bandwidths(), seeded);
+}
+
+TEST(OffloadEngine, DistributionConservesTotalBytes) {
+  EngineRig rig;
+  OffloadEngine engine(rig.context(),
+                       EngineRig::fast_options(EngineOptions::mlp_offload()),
+                       EngineRig::layout());
+  engine.initialize();
+  const u64 expected =
+      kSubgroupParams * kNumSubgroups * kOptimStateBytesPerParam;
+  for (u64 iter = 0; iter < 3; ++iter) {
+    rig.run_one_iteration(engine, iter);
+    const auto dist = engine.distribution();
+    const u64 total = dist.host_sim_bytes +
+                      std::accumulate(dist.path_sim_bytes.begin(),
+                                      dist.path_sim_bytes.end(), u64{0});
+    EXPECT_EQ(total, expected) << "iteration " << iter;
+    EXPECT_GT(dist.host_sim_bytes, 0u) << "cache keeps the tail resident";
+  }
+  EXPECT_EQ(engine.host_resident().size(), 3u);
+}
+
+}  // namespace
+}  // namespace mlpo

@@ -1,0 +1,145 @@
+// Eq. 1 performance model: quota invariants over randomized bandwidth
+// vectors, interleaving quality, adaptive re-estimation.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <random>
+
+#include "core/perf_model.hpp"
+
+namespace mlpo {
+namespace {
+
+TEST(Eq1, TwoToOneSplitMatchesPaperExample) {
+  // The paper's §3.5 example: a 2:1 NVMe-to-PFS ratio.
+  const auto quotas = eq1_subgroup_quotas(90, {2.0, 1.0});
+  EXPECT_EQ(quotas[0], 60u);
+  EXPECT_EQ(quotas[1], 30u);
+}
+
+TEST(Eq1, SinglePathTakesEverything) {
+  const auto quotas = eq1_subgroup_quotas(17, {5.0});
+  ASSERT_EQ(quotas.size(), 1u);
+  EXPECT_EQ(quotas[0], 17u);
+}
+
+TEST(Eq1, RejectsBadInput) {
+  EXPECT_THROW(eq1_subgroup_quotas(10, {}), std::invalid_argument);
+  EXPECT_THROW(eq1_subgroup_quotas(10, {1.0, 0.0}), std::invalid_argument);
+  EXPECT_THROW(eq1_subgroup_quotas(10, {1.0, -2.0}), std::invalid_argument);
+}
+
+TEST(Eq1, SumEqualsMOverRandomInputs) {
+  std::mt19937 rng(7);
+  for (int trial = 0; trial < 500; ++trial) {
+    const u32 m = std::uniform_int_distribution<u32>(0, 5000)(rng);
+    const std::size_t n = std::uniform_int_distribution<std::size_t>(1, 6)(rng);
+    std::vector<f64> bw(n);
+    for (auto& b : bw) {
+      b = std::uniform_real_distribution<f64>(0.1, 20.0)(rng);
+    }
+    const auto quotas = eq1_subgroup_quotas(m, bw);
+    const u64 sum = std::accumulate(quotas.begin(), quotas.end(), u64{0});
+    EXPECT_EQ(sum, m) << "trial " << trial;
+    // Proportionality: each quota within 1 of the exact share.
+    const f64 total_bw = std::accumulate(bw.begin(), bw.end(), 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      const f64 exact = m * bw[i] / total_bw;
+      EXPECT_GE(quotas[i] + 1.0, exact) << "trial " << trial;
+      EXPECT_LE(static_cast<f64>(quotas[i]), exact + 1.0) << "trial " << trial;
+    }
+  }
+}
+
+TEST(Eq1, FasterPathNeverGetsFewer) {
+  std::mt19937 rng(13);
+  for (int trial = 0; trial < 200; ++trial) {
+    const f64 slow = std::uniform_real_distribution<f64>(0.5, 5.0)(rng);
+    const f64 fast = slow * std::uniform_real_distribution<f64>(1.0, 4.0)(rng);
+    const auto quotas = eq1_subgroup_quotas(100, {fast, slow});
+    EXPECT_GE(quotas[0], quotas[1]);
+  }
+}
+
+TEST(InterleavedPlacement, RespectsQuotasExactly) {
+  const std::vector<u32> quotas = {6, 3, 1};
+  const auto placement = interleaved_placement(quotas);
+  ASSERT_EQ(placement.size(), 10u);
+  std::vector<u32> counts(3, 0);
+  for (const auto p : placement) ++counts[p];
+  EXPECT_EQ(counts[0], 6u);
+  EXPECT_EQ(counts[1], 3u);
+  EXPECT_EQ(counts[2], 1u);
+}
+
+TEST(InterleavedPlacement, SpreadsRatherThanBlocks) {
+  // A 2:1 quota should produce a pattern where path 1 appears roughly every
+  // third position, not as a trailing block.
+  const auto placement = interleaved_placement({20, 10});
+  u32 longest_run = 0, run = 0;
+  std::size_t prev = placement[0];
+  for (const auto p : placement) {
+    run = (p == prev) ? run + 1 : 1;
+    prev = p;
+    longest_run = std::max(longest_run, run);
+  }
+  EXPECT_LE(longest_run, 3u);
+}
+
+TEST(InterleavedPlacement, HandlesZeroQuotaPaths) {
+  const auto placement = interleaved_placement({0, 5, 0});
+  for (const auto p : placement) EXPECT_EQ(p, 1u);
+}
+
+TEST(PerfModel, SeedsFromNominalBandwidths) {
+  PerfModel model({5.3, 3.6}, 89);
+  const auto quotas = model.quotas();
+  EXPECT_EQ(quotas[0] + quotas[1], 89u);
+  // 5.3:3.6 ~ 60:40
+  EXPECT_NEAR(static_cast<f64>(quotas[0]) / 89.0, 5.3 / 8.9, 0.03);
+  for (u32 i = 0; i < 89; ++i) {
+    EXPECT_LT(model.path_for(i), 2u);
+  }
+}
+
+TEST(PerfModel, FirstObservationReplacesSeed) {
+  PerfModel model({10.0, 10.0}, 100);
+  model.observe(1, 1000, 1000.0);  // path 1 is actually 1 B/s
+  model.rebalance();
+  const auto bws = model.bandwidths();
+  EXPECT_DOUBLE_EQ(bws[0], 10.0);
+  EXPECT_DOUBLE_EQ(bws[1], 1.0);
+  const auto quotas = model.quotas();
+  EXPECT_GT(quotas[0], 85u);  // nearly everything moves to path 0
+}
+
+TEST(PerfModel, EmaSmoothsSubsequentObservations) {
+  PerfModel model({10.0}, 10, /*ema_alpha=*/0.5);
+  model.observe(0, 100, 10.0);  // 10 B/s replaces seed
+  model.observe(0, 100, 5.0);   // 20 B/s observed -> estimate 15
+  EXPECT_NEAR(model.bandwidths()[0], 15.0, 1e-9);
+}
+
+TEST(PerfModel, AdaptsToDegradedPath) {
+  // The §3.3 scenario: PFS under external pressure loses bandwidth, the
+  // allocation repartitions toward the NVMe.
+  PerfModel model({5.0, 5.0}, 100);
+  const auto before = model.quotas();
+  EXPECT_EQ(before[0], 50u);
+  for (int i = 0; i < 20; ++i) model.observe(1, 1000, 1000.0);  // 1 B/s
+  model.rebalance();
+  const auto after = model.quotas();
+  EXPECT_GT(after[0], 75u);
+  EXPECT_EQ(after[0] + after[1], 100u);
+}
+
+TEST(PerfModel, IgnoresDegenerateObservations) {
+  PerfModel model({5.0}, 10);
+  model.observe(0, 0, 1.0);
+  model.observe(0, 100, 0.0);
+  model.observe(7, 100, 1.0);  // out-of-range path
+  EXPECT_DOUBLE_EQ(model.bandwidths()[0], 5.0);
+}
+
+}  // namespace
+}  // namespace mlpo

@@ -1,0 +1,101 @@
+// Runtime building blocks in isolation: GPU cost model, testbed factories,
+// Worker phase execution.
+#include <gtest/gtest.h>
+
+#include "runtime/gpu_cost.hpp"
+#include "runtime/testbed.hpp"
+#include "runtime/worker.hpp"
+#include "tiers/memory_tier.hpp"
+
+namespace mlpo {
+namespace {
+
+TEST(GpuCostModel, CalibrationPoint) {
+  // Calibrated to the paper's §3.1 measurement: 40B, microbatch 1,
+  // forward ~0.6 s on a 4xH100 node.
+  GpuCostModel cost;
+  EXPECT_NEAR(cost.forward_seconds(40'000'000'000ull, 1), 0.6, 1e-9);
+  EXPECT_NEAR(cost.backward_seconds(40'000'000'000ull, 1), 1.8, 1e-9);
+}
+
+TEST(GpuCostModel, LinearInParamsAndBatch) {
+  GpuCostModel cost;
+  const f64 base = cost.forward_seconds(1'000'000'000ull, 1);
+  EXPECT_NEAR(cost.forward_seconds(2'000'000'000ull, 1), 2 * base, 1e-12);
+  EXPECT_NEAR(cost.forward_seconds(1'000'000'000ull, 8), 8 * base, 1e-12);
+  EXPECT_NEAR(cost.backward_seconds(1'000'000'000ull, 1),
+              cost.backward_factor * base, 1e-12);
+}
+
+TEST(TestbedSpec, Table1Values) {
+  const auto t1 = TestbedSpec::testbed1();
+  EXPECT_EQ(t1.gpus_per_node, 4u);
+  EXPECT_DOUBLE_EQ(t1.nvme_read_bw, 6.9 * GB);
+  EXPECT_DOUBLE_EQ(t1.nvme_write_bw, 5.3 * GB);
+  EXPECT_DOUBLE_EQ(t1.pfs_read_bw, 3.6 * GB);
+  EXPECT_DOUBLE_EQ(t1.d2h_bandwidth, 55.0 * GB);
+  EXPECT_EQ(t1.cpu_cores, 96u);
+
+  const auto t2 = TestbedSpec::testbed2();
+  EXPECT_DOUBLE_EQ(t2.nvme_read_bw, 13.5 * GB);
+  EXPECT_DOUBLE_EQ(t2.pfs_write_bw, 13.7 * GB);
+  EXPECT_LT(t2.cpu_update_rate_node, t1.cpu_update_rate_node);
+}
+
+TEST(TestbedSpec, TierFactoriesMatchSpec) {
+  const SimClock clock(5000.0);
+  const auto t1 = TestbedSpec::testbed1();
+  const auto nvme = t1.make_nvme_tier(clock, "n");
+  EXPECT_DOUBLE_EQ(nvme->read_bandwidth(), t1.nvme_read_bw);
+  EXPECT_FALSE(nvme->persistent());
+
+  const auto pfs = t1.make_pfs_tier(clock, "p");
+  EXPECT_DOUBLE_EQ(pfs->write_bandwidth(), t1.pfs_write_bw);
+  EXPECT_TRUE(pfs->persistent());
+
+  const auto fabric = t1.make_pfs_fabric(clock, "f");
+  EXPECT_DOUBLE_EQ(fabric->read_bandwidth(),
+                   t1.pfs_read_bw * t1.pfs_aggregate_factor);
+
+  const auto daos = t1.make_object_store_tier(clock, "d", 2.0 * GB, 1.0 * GB);
+  EXPECT_TRUE(daos->persistent());
+  EXPECT_DOUBLE_EQ(daos->read_bandwidth(), 2.0 * GB);
+
+  const auto cxl = TestbedSpec::make_cxl_tier(clock, "c");
+  EXPECT_FALSE(cxl->persistent());
+  EXPECT_DOUBLE_EQ(cxl->read_bandwidth(), 30.0 * GB);
+}
+
+TEST(Worker, BackwardMicroDepositsAllSubgroups) {
+  const SimClock clock(20000.0);
+  VirtualTier vtier;
+  vtier.add_path(std::make_shared<MemoryTier>("m"));
+  const GradSource grads;
+  auto testbed = TestbedSpec::testbed1();
+
+  EngineOptions opts = EngineOptions::mlp_offload();
+  opts.multipath = false;
+  opts.elem_scale = 1;
+  opts.cpu_update_rate = 1e9;
+  opts.convert.fp32_bytes_per_sec = 1e12;
+  Worker worker(clock, vtier, nullptr, grads, testbed, /*worker_id=*/0,
+                /*rank=*/0, opts, make_shard_layout(1024 * 4, 1, 0, 1024));
+  worker.initialize();
+  EXPECT_EQ(worker.worker_id(), 0);
+  EXPECT_EQ(worker.rank(), 0);
+
+  const f64 t0 = clock.now();
+  worker.run_backward_micro(/*sample=*/0, true, true, /*compute=*/4.0);
+  const f64 elapsed = clock.now() - t0;
+  // Wall time covers at least the spread-out compute charge.
+  EXPECT_GE(elapsed, 3.8);
+
+  const auto report = worker.run_update(0);
+  EXPECT_EQ(report.subgroups_processed, 4u);
+  for (u32 id = 0; id < 4; ++id) {
+    EXPECT_EQ(worker.engine().snapshot_subgroup(id).step(), 1u);
+  }
+}
+
+}  // namespace
+}  // namespace mlpo

@@ -1,0 +1,104 @@
+// ZeRO-3 sharding layout: partition invariants over randomized configs.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <random>
+
+#include "train/sharding.hpp"
+
+namespace mlpo {
+namespace {
+
+TEST(Sharding, EvenSplitExactDivision) {
+  const auto layout = make_shard_layout(400, 4, 1, 50);
+  EXPECT_EQ(layout.shard_params, 100u);
+  EXPECT_EQ(layout.num_subgroups(), 2u);
+  EXPECT_EQ(layout.subgroup_sizes[0], 50u);
+  EXPECT_EQ(layout.subgroup_sizes[1], 50u);
+}
+
+TEST(Sharding, RemainderGoesToLeadingRanks) {
+  // 10 params over 3 ranks: 4, 3, 3.
+  EXPECT_EQ(make_shard_layout(10, 3, 0, 100).shard_params, 4u);
+  EXPECT_EQ(make_shard_layout(10, 3, 1, 100).shard_params, 3u);
+  EXPECT_EQ(make_shard_layout(10, 3, 2, 100).shard_params, 3u);
+}
+
+TEST(Sharding, LastSubgroupTakesRemainder) {
+  const auto layout = make_shard_layout(250, 1, 0, 100);
+  ASSERT_EQ(layout.num_subgroups(), 3u);
+  EXPECT_EQ(layout.subgroup_sizes[0], 100u);
+  EXPECT_EQ(layout.subgroup_sizes[1], 100u);
+  EXPECT_EQ(layout.subgroup_sizes[2], 50u);
+}
+
+TEST(Sharding, RejectsBadArguments) {
+  EXPECT_THROW(make_shard_layout(100, 0, 0, 10), std::invalid_argument);
+  EXPECT_THROW(make_shard_layout(100, 4, 4, 10), std::invalid_argument);
+  EXPECT_THROW(make_shard_layout(100, 4, -1, 10), std::invalid_argument);
+  EXPECT_THROW(make_shard_layout(100, 4, 0, 0), std::invalid_argument);
+}
+
+TEST(Sharding, FromModelConfigMatchesRawCount) {
+  const auto& m = paper_model("40B");
+  const auto a = make_shard_layout(m, 4, 2);
+  const auto b = make_shard_layout(m.parameters(), 4, 2);
+  EXPECT_EQ(a.shard_params, b.shard_params);
+  EXPECT_EQ(a.subgroup_sizes, b.subgroup_sizes);
+}
+
+// Property: across all ranks, shards partition the model exactly; within a
+// rank, subgroups partition the shard exactly.
+TEST(Sharding, PartitionInvariantsOverRandomConfigs) {
+  std::mt19937 rng(99);
+  for (int trial = 0; trial < 200; ++trial) {
+    const u64 total = std::uniform_int_distribution<u64>(1, 1'000'000)(rng);
+    const u32 world = std::uniform_int_distribution<u32>(1, 33)(rng);
+    const u64 sg = std::uniform_int_distribution<u64>(1, 10'000)(rng);
+
+    u64 sum_shards = 0;
+    for (u32 rank = 0; rank < world; ++rank) {
+      const auto layout =
+          make_shard_layout(total, world, static_cast<int>(rank), sg);
+      EXPECT_EQ(layout.total_params, total);
+      const u64 sum_subgroups =
+          std::accumulate(layout.subgroup_sizes.begin(),
+                          layout.subgroup_sizes.end(), u64{0});
+      EXPECT_EQ(sum_subgroups, layout.shard_params)
+          << "total=" << total << " world=" << world << " rank=" << rank;
+      for (const u64 s : layout.subgroup_sizes) {
+        EXPECT_GE(s, 1u);
+        EXPECT_LE(s, sg);
+      }
+      // All but the last subgroup are full-size.
+      for (std::size_t i = 0; i + 1 < layout.subgroup_sizes.size(); ++i) {
+        EXPECT_EQ(layout.subgroup_sizes[i], sg);
+      }
+      sum_shards += layout.shard_params;
+    }
+    EXPECT_EQ(sum_shards, total) << "total=" << total << " world=" << world;
+  }
+}
+
+TEST(Sharding, ShardBalanceWithinOneParam) {
+  for (const u32 world : {2u, 3u, 7u, 32u}) {
+    u64 mn = ~0ull, mx = 0;
+    for (u32 r = 0; r < world; ++r) {
+      const u64 s =
+          make_shard_layout(1'000'003, world, static_cast<int>(r), 100).shard_params;
+      mn = std::min(mn, s);
+      mx = std::max(mx, s);
+    }
+    EXPECT_LE(mx - mn, 1u) << world;
+  }
+}
+
+TEST(Sharding, PaperScaleSubgroupCounts) {
+  // 40B over 4 ranks at 100M params/subgroup -> ~100 subgroups per rank.
+  const auto layout = make_shard_layout(paper_model("40B"), 4, 0);
+  EXPECT_GE(layout.num_subgroups(), 95u);
+  EXPECT_LE(layout.num_subgroups(), 110u);
+}
+
+}  // namespace
+}  // namespace mlpo

@@ -1,0 +1,78 @@
+// Virtual clock: scaling, monotonicity, sleep semantics.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "util/sim_clock.hpp"
+
+namespace mlpo {
+namespace {
+
+TEST(SimClock, RejectsNonPositiveScale) {
+  EXPECT_THROW(SimClock(0.0), std::invalid_argument);
+  EXPECT_THROW(SimClock(-1.0), std::invalid_argument);
+}
+
+TEST(SimClock, NowIsMonotonic) {
+  SimClock clock(100.0);
+  f64 prev = clock.now();
+  for (int i = 0; i < 100; ++i) {
+    const f64 t = clock.now();
+    EXPECT_GE(t, prev);
+    prev = t;
+  }
+}
+
+TEST(SimClock, ScaleMultipliesElapsedTime) {
+  SimClock fast(1000.0);
+  const f64 t0 = fast.now();
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const f64 elapsed = fast.now() - t0;
+  // 20 ms real at scale 1000 = 20 virtual seconds (generous tolerance for
+  // scheduler jitter).
+  EXPECT_GT(elapsed, 15.0);
+  EXPECT_LT(elapsed, 60.0);
+}
+
+TEST(SimClock, SleepForAdvancesVirtualTime) {
+  SimClock clock(2000.0);
+  const f64 t0 = clock.now();
+  clock.sleep_for(10.0);  // 5 ms real
+  const f64 elapsed = clock.now() - t0;
+  EXPECT_GE(elapsed, 10.0 * 0.95);
+  EXPECT_LT(elapsed, 100.0);
+}
+
+TEST(SimClock, SleepForNonPositiveReturnsImmediately) {
+  SimClock clock(1.0);
+  const f64 t0 = clock.now();
+  clock.sleep_for(0.0);
+  clock.sleep_for(-5.0);
+  EXPECT_LT(clock.now() - t0, 0.1);
+}
+
+TEST(SimClock, SleepUntilPastDeadlineReturnsImmediately) {
+  SimClock clock(1000.0);
+  const f64 t0 = clock.now();
+  clock.sleep_until(t0 - 100.0);
+  EXPECT_LT(clock.now() - t0, 5.0);
+}
+
+TEST(SimClock, SleepUntilWaitsForDeadline) {
+  SimClock clock(2000.0);
+  const f64 deadline = clock.now() + 20.0;
+  clock.sleep_until(deadline);
+  EXPECT_GE(clock.now(), deadline * 0.999);
+}
+
+TEST(SimTimer, MeasuresElapsed) {
+  SimClock clock(2000.0);
+  SimTimer timer(clock);
+  clock.sleep_for(8.0);
+  EXPECT_GE(timer.elapsed(), 7.5);
+  timer.reset();
+  EXPECT_LT(timer.elapsed(), 2.0);
+}
+
+}  // namespace
+}  // namespace mlpo

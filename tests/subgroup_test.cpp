@@ -1,0 +1,108 @@
+// Subgroup state container: scale reduction, serialization, checksums.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "train/subgroup.hpp"
+
+namespace mlpo {
+namespace {
+
+TEST(Subgroup, FullFidelityAllocation) {
+  Subgroup sg(3, 1000, 1);
+  EXPECT_EQ(sg.id(), 3u);
+  EXPECT_EQ(sg.sim_params(), 1000u);
+  EXPECT_EQ(sg.real_elems(), 1000u);
+  EXPECT_EQ(sg.params().size(), 1000u);
+  EXPECT_EQ(sg.momentum().size(), 1000u);
+  EXPECT_EQ(sg.variance().size(), 1000u);
+}
+
+TEST(Subgroup, ScaleReductionRoundsUp) {
+  Subgroup sg(0, 1000, 64);
+  EXPECT_EQ(sg.real_elems(), 16u);  // ceil(1000/64)
+  Subgroup tiny(0, 5, 1024);
+  EXPECT_EQ(tiny.real_elems(), 1u);  // never zero
+}
+
+TEST(Subgroup, RejectsBadArguments) {
+  EXPECT_THROW(Subgroup(0, 0, 1), std::invalid_argument);
+  EXPECT_THROW(Subgroup(0, 100, 0), std::invalid_argument);
+}
+
+TEST(Subgroup, SimByteSizesFollowPaperLayout) {
+  Subgroup sg(0, 100'000'000, 8192);
+  EXPECT_EQ(sg.sim_state_bytes(), 1'200'000'000u);            // 12 B/param
+  EXPECT_EQ(sg.sim_state_with_grad_bytes(), 1'600'000'000u);  // 16 B/param
+  EXPECT_EQ(sg.sim_fp16_param_bytes(), 200'000'000u);         // 2 B/param
+}
+
+TEST(Subgroup, SerializeDeserializeRoundtrip) {
+  Subgroup sg(7, 500, 4);
+  for (std::size_t i = 0; i < sg.real_elems(); ++i) {
+    sg.params()[i] = static_cast<f32>(i) * 0.5f;
+    sg.momentum()[i] = static_cast<f32>(i) * -0.25f;
+    sg.variance()[i] = static_cast<f32>(i) * 2.0f;
+  }
+  sg.set_step(42);
+
+  std::vector<u8> buf(sg.serialized_bytes());
+  sg.serialize(buf);
+
+  Subgroup other(7, 500, 4);
+  other.deserialize(buf);
+  EXPECT_EQ(other.step(), 42u);
+  EXPECT_EQ(other.checksum(), sg.checksum());
+  for (std::size_t i = 0; i < sg.real_elems(); ++i) {
+    EXPECT_EQ(other.params()[i], sg.params()[i]);
+    EXPECT_EQ(other.momentum()[i], sg.momentum()[i]);
+    EXPECT_EQ(other.variance()[i], sg.variance()[i]);
+  }
+}
+
+TEST(Subgroup, DeserializeRejectsWrongBufferSize) {
+  Subgroup sg(0, 100, 1);
+  std::vector<u8> small(10);
+  EXPECT_THROW(sg.deserialize(small), std::invalid_argument);
+  std::vector<u8> wrong(sg.serialized_bytes());
+  EXPECT_THROW(sg.serialize(std::span<u8>(wrong).subspan(1)),
+               std::invalid_argument);
+}
+
+TEST(Subgroup, DeserializeRejectsHeaderMismatch) {
+  Subgroup a(1, 100, 1);
+  std::vector<u8> buf(a.serialized_bytes());
+  a.serialize(buf);
+
+  Subgroup wrong_id(2, 100, 1);
+  EXPECT_THROW(wrong_id.deserialize(buf), std::runtime_error);
+
+  Subgroup wrong_scale(1, 100, 2);
+  // Different scale means different sizes -> size check trips first.
+  EXPECT_THROW(wrong_scale.deserialize(buf), std::exception);
+}
+
+TEST(Subgroup, ChecksumDetectsSingleBitChange) {
+  Subgroup a(0, 256, 1);
+  for (std::size_t i = 0; i < 256; ++i) a.params()[i] = static_cast<f32>(i);
+  const u64 before = a.checksum();
+  a.params()[100] = std::nextafter(a.params()[100], 1e9f);  // one ulp
+  EXPECT_NE(a.checksum(), before);
+}
+
+TEST(Subgroup, ChecksumDependsOnStepAndIdentity) {
+  Subgroup a(0, 64, 1);
+  Subgroup b(1, 64, 1);
+  EXPECT_NE(a.checksum(), b.checksum());
+  const u64 s0 = a.checksum();
+  a.set_step(1);
+  EXPECT_NE(a.checksum(), s0);
+}
+
+TEST(Subgroup, StorageKeyFormat) {
+  EXPECT_EQ(Subgroup::key(2, 17), "sg/2/17");
+  EXPECT_EQ(Subgroup::key(0, 0), "sg/0/0");
+}
+
+}  // namespace
+}  // namespace mlpo

@@ -1,0 +1,114 @@
+// Process-exclusive, thread-shared tier lock: exclusivity across workers,
+// re-entrancy within a worker, try_lock fall-through, stress.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "tiers/tier_lock.hpp"
+
+namespace mlpo {
+namespace {
+
+TEST(TierLock, FreeLockReportsNoOwner) {
+  TierLock lock;
+  EXPECT_EQ(lock.owner(), -1);
+}
+
+TEST(TierLock, LockSetsOwnerAndReleases) {
+  TierLock lock;
+  {
+    auto g = lock.lock(3);
+    EXPECT_EQ(lock.owner(), 3);
+    EXPECT_TRUE(g.valid());
+  }
+  EXPECT_EQ(lock.owner(), -1);
+}
+
+TEST(TierLock, SameWorkerSharesAcrossThreads) {
+  TierLock lock;
+  auto g1 = lock.lock(1);
+  std::atomic<bool> acquired{false};
+  std::thread t([&] {
+    auto g2 = lock.lock(1);  // same worker, different thread: no block
+    acquired = true;
+  });
+  t.join();
+  EXPECT_TRUE(acquired.load());
+  EXPECT_EQ(lock.owner(), 1);
+}
+
+TEST(TierLock, DifferentWorkerBlocksUntilRelease) {
+  TierLock lock;
+  auto g1 = lock.lock(1);
+  std::atomic<bool> acquired{false};
+  std::thread t([&] {
+    auto g2 = lock.lock(2);
+    acquired = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_FALSE(acquired.load());
+  g1.release();
+  t.join();
+  EXPECT_TRUE(acquired.load());
+}
+
+TEST(TierLock, TryLockFailsForOtherWorker) {
+  TierLock lock;
+  auto g = lock.lock(1);
+  EXPECT_FALSE(lock.try_lock(2).has_value());
+  EXPECT_TRUE(lock.try_lock(1).has_value());  // re-entrant try
+}
+
+TEST(TierLock, ReleaseOnlyWhenAllSharesDrop) {
+  TierLock lock;
+  auto g1 = lock.lock(5);
+  auto g2 = lock.lock(5);
+  g1.release();
+  EXPECT_EQ(lock.owner(), 5);  // one share still held
+  g2.release();
+  EXPECT_EQ(lock.owner(), -1);
+}
+
+TEST(TierLock, GuardMoveTransfersOwnership) {
+  TierLock lock;
+  auto g1 = lock.lock(7);
+  TierLock::Guard g2 = std::move(g1);
+  EXPECT_FALSE(g1.valid());
+  EXPECT_TRUE(g2.valid());
+  EXPECT_EQ(lock.owner(), 7);
+  g2.release();
+  EXPECT_EQ(lock.owner(), -1);
+}
+
+TEST(TierLock, StressMutualExclusionAcrossWorkers) {
+  TierLock lock;
+  std::atomic<int> inside{0};
+  std::atomic<int> violations{0};
+  std::atomic<int> current_owner{-1};
+  constexpr int kWorkers = 4;
+  constexpr int kItersPerWorker = 200;
+
+  std::vector<std::thread> threads;
+  for (int w = 0; w < kWorkers; ++w) {
+    threads.emplace_back([&, w] {
+      for (int i = 0; i < kItersPerWorker; ++i) {
+        auto g = lock.lock(w);
+        const int owner = current_owner.exchange(w);
+        if (owner != -1 && owner != w) violations.fetch_add(1);
+        inside.fetch_add(1);
+        inside.fetch_sub(1);
+        current_owner.store(w == current_owner.load() ? -1 : current_owner.load());
+        // Reset for next round; owner w is releasing.
+        current_owner.store(-1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(violations.load(), 0);
+  EXPECT_EQ(lock.owner(), -1);
+}
+
+}  // namespace
+}  // namespace mlpo

@@ -1,0 +1,208 @@
+// Storage backends: MemoryTier, FileTier, ThrottledTier timing/contention.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <thread>
+
+#include "tiers/file_tier.hpp"
+#include "tiers/memory_tier.hpp"
+#include "tiers/throttled_tier.hpp"
+
+namespace mlpo {
+namespace {
+
+std::vector<u8> make_data(std::size_t n, u8 seed = 1) {
+  std::vector<u8> v(n);
+  for (std::size_t i = 0; i < n; ++i) v[i] = static_cast<u8>(seed + i * 13);
+  return v;
+}
+
+template <typename TierT>
+void exercise_basic_blob_semantics(TierT& tier) {
+  const auto data = make_data(256);
+  EXPECT_FALSE(tier.exists("a"));
+  tier.write("a", data);
+  EXPECT_TRUE(tier.exists("a"));
+  EXPECT_EQ(tier.object_size("a"), 256u);
+
+  std::vector<u8> out(256);
+  tier.read("a", out);
+  EXPECT_EQ(out, data);
+
+  // Overwrite replaces content and size.
+  const auto data2 = make_data(64, 9);
+  tier.write("a", data2);
+  EXPECT_EQ(tier.object_size("a"), 64u);
+  std::vector<u8> out2(64);
+  tier.read("a", out2);
+  EXPECT_EQ(out2, data2);
+
+  tier.erase("a");
+  EXPECT_FALSE(tier.exists("a"));
+  EXPECT_THROW(tier.read("a", out), std::out_of_range);
+  EXPECT_THROW(tier.object_size("a"), std::out_of_range);
+  // Erase of a missing key is a no-op.
+  tier.erase("never-existed");
+}
+
+TEST(MemoryTier, BasicBlobSemantics) {
+  MemoryTier tier("mem");
+  exercise_basic_blob_semantics(tier);
+}
+
+TEST(MemoryTier, SizeMismatchThrows) {
+  MemoryTier tier("mem");
+  tier.write("k", make_data(16));
+  std::vector<u8> small(8);
+  EXPECT_THROW(tier.read("k", small), std::invalid_argument);
+}
+
+TEST(MemoryTier, StatsUseSimBytes) {
+  MemoryTier tier("mem");
+  tier.write("k", make_data(10), /*sim_bytes=*/1000000);
+  std::vector<u8> out(10);
+  tier.read("k", out, 2000000);
+  EXPECT_EQ(tier.stats().bytes_written.load(), 1000000u);
+  EXPECT_EQ(tier.stats().bytes_read.load(), 2000000u);
+  EXPECT_EQ(tier.stats().writes.load(), 1u);
+  EXPECT_EQ(tier.stats().reads.load(), 1u);
+}
+
+TEST(MemoryTier, AccountsObjects) {
+  MemoryTier tier("mem");
+  tier.write("a", make_data(100));
+  tier.write("b", make_data(50));
+  EXPECT_EQ(tier.object_count(), 2u);
+  EXPECT_EQ(tier.stored_bytes(), 150u);
+}
+
+TEST(FileTier, BasicBlobSemantics) {
+  const auto root =
+      std::filesystem::temp_directory_path() / "mlpo_file_tier_test";
+  std::filesystem::remove_all(root);
+  FileTier tier("disk", root);
+  exercise_basic_blob_semantics(tier);
+  EXPECT_TRUE(tier.persistent());
+  std::filesystem::remove_all(root);
+}
+
+TEST(FileTier, KeysWithSlashesMapToFiles) {
+  const auto root =
+      std::filesystem::temp_directory_path() / "mlpo_file_tier_slash";
+  std::filesystem::remove_all(root);
+  FileTier tier("disk", root);
+  const auto data = make_data(32);
+  tier.write("sg/0/17", data);
+  EXPECT_TRUE(tier.exists("sg/0/17"));
+  std::vector<u8> out(32);
+  tier.read("sg/0/17", out);
+  EXPECT_EQ(out, data);
+  std::filesystem::remove_all(root);
+}
+
+TEST(ThrottledTier, TransferTimeMatchesBandwidth) {
+  SimClock clock(5000.0);
+  ThrottleSpec spec{/*read_bw=*/1000.0, /*write_bw=*/500.0};
+  spec.chunk_bytes = 100;
+  ThrottledTier tier("nvme", std::make_shared<MemoryTier>("back"), clock, spec);
+
+  const auto data = make_data(100);
+  const f64 t0 = clock.now();
+  tier.write("k", data, /*sim_bytes=*/10000);  // 20 vsec at 500 B/s
+  const f64 w = clock.now() - t0;
+  EXPECT_GE(w, 19.0);
+  EXPECT_LT(w, 32.0);
+
+  std::vector<u8> out(100);
+  const f64 t1 = clock.now();
+  tier.read("k", out, 10000);  // 10 vsec at 1000 B/s
+  const f64 r = clock.now() - t1;
+  EXPECT_GE(r, 9.5);
+  EXPECT_LT(r, 17.0);
+  EXPECT_EQ(out, data);
+}
+
+TEST(ThrottledTier, StatsAccumulateTimeAndBytes) {
+  SimClock clock(5000.0);
+  ThrottleSpec spec{1000.0, 1000.0};
+  ThrottledTier tier("t", std::make_shared<MemoryTier>("back"), clock, spec);
+  tier.write("k", make_data(10), 2000);
+  std::vector<u8> out(10);
+  tier.read("k", out, 3000);
+  EXPECT_EQ(tier.stats().bytes_written.load(), 2000u);
+  EXPECT_EQ(tier.stats().bytes_read.load(), 3000u);
+  EXPECT_GT(tier.stats().write_seconds(), 1.5);
+  EXPECT_GT(tier.stats().read_seconds(), 2.5);
+}
+
+TEST(ThrottledTier, PeekBypassesThrottle) {
+  SimClock clock(1000.0);
+  ThrottleSpec spec{10.0, 10.0};  // grindingly slow channel
+  ThrottledTier tier("t", std::make_shared<MemoryTier>("back"), clock, spec);
+  const auto data = make_data(64);
+  tier.write("k", data, 1);  // tiny sim cost
+  std::vector<u8> out(64);
+  const f64 t0 = clock.now();
+  tier.peek("k", out);
+  EXPECT_LT(clock.now() - t0, 0.5);
+  EXPECT_EQ(out, data);
+}
+
+TEST(ThrottledTier, MultiActorPenaltySlowsConcurrentRequests) {
+  // Two concurrent writers with a 100% per-extra-actor penalty should take
+  // roughly twice as long per byte as serialized writers.
+  SimClock clock(5000.0);
+  ThrottleSpec spec{1e6, 1000.0};
+  spec.chunk_bytes = 250;
+  spec.multi_actor_penalty = 1.0;
+  ThrottledTier tier("t", std::make_shared<MemoryTier>("back"), clock, spec);
+
+  const auto data = make_data(100);
+  const f64 t0 = clock.now();
+  std::thread a([&] { tier.write("a", data, 20000); });
+  std::thread b([&] { tier.write("b", data, 20000); });
+  a.join();
+  b.join();
+  const f64 concurrent = clock.now() - t0;
+  // Serial baseline: 2 x 20 vsec. With penalty 1.0 and both in flight,
+  // each byte costs 2x -> ~80 vsec total (minus start-up skew where only
+  // one writer is active).
+  EXPECT_GE(concurrent, 60.0);
+  EXPECT_LT(concurrent, 110.0);
+}
+
+TEST(ThrottledTier, DuplexPenaltySlowsOpposingTraffic) {
+  SimClock clock(5000.0);
+  ThrottleSpec spec{1000.0, 1000.0};
+  spec.chunk_bytes = 200;
+  spec.duplex_penalty = 1.0;  // halves effective rate when duplex
+  ThrottledTier tier("t", std::make_shared<MemoryTier>("back"), clock, spec);
+  tier.write("k", make_data(100), 1);  // seed object, negligible time
+
+  std::vector<u8> out(100);
+  const auto data = make_data(100);
+  const f64 t0 = clock.now();
+  std::thread reader([&] { tier.read("k", out, 20000); });
+  std::thread writer([&] { tier.write("k2", data, 20000); });
+  reader.join();
+  writer.join();
+  const f64 elapsed = clock.now() - t0;
+  // Without penalty both finish in ~20 vsec (independent channels); with
+  // 100% duplex penalty each needs ~40 vsec (minus start-up skew).
+  EXPECT_GE(elapsed, 30.0);
+  EXPECT_LT(elapsed, 70.0);
+}
+
+TEST(ThrottledTier, BandwidthAdjustable) {
+  SimClock clock(5000.0);
+  ThrottleSpec spec{1000.0, 1000.0};
+  ThrottledTier tier("t", std::make_shared<MemoryTier>("back"), clock, spec);
+  EXPECT_EQ(tier.read_bandwidth(), 1000.0);
+  tier.set_read_bandwidth(250.0);
+  tier.set_write_bandwidth(125.0);
+  EXPECT_EQ(tier.read_bandwidth(), 250.0);
+  EXPECT_EQ(tier.write_bandwidth(), 125.0);
+}
+
+}  // namespace
+}  // namespace mlpo

@@ -1,0 +1,129 @@
+// Trainer facade + JSON configuration surface.
+#include <gtest/gtest.h>
+
+#include "runtime/trainer.hpp"
+
+namespace mlpo {
+namespace {
+
+TrainerConfig fast_config() {
+  TrainerConfig cfg;
+  cfg.model = ModelConfig{"tiny", 4, 4096, 32};
+  cfg.elem_scale = 65536;
+  cfg.time_scale = 2000.0;
+  cfg.host_cache_override = 2;
+  return cfg;
+}
+
+TEST(Trainer, EndToEndRun) {
+  Trainer trainer(fast_config());
+  trainer.initialize();
+  const auto reports = trainer.run(3, 1);
+  ASSERT_EQ(reports.size(), 2u);
+  for (const auto& r : reports) {
+    EXPECT_GT(r.iteration_seconds(), 0.0);
+    EXPECT_EQ(r.params_updated, fast_config().model.parameters());
+  }
+}
+
+TEST(Trainer, DistributionConservesBytes) {
+  Trainer trainer(fast_config());
+  trainer.initialize();
+  trainer.run(2, 0);
+  const auto dist = trainer.distribution();
+  u64 total = dist.host_sim_bytes;
+  for (const u64 b : dist.path_sim_bytes) total += b;
+  EXPECT_EQ(total,
+            fast_config().model.parameters() * kOptimStateBytesPerParam);
+}
+
+TEST(TrainerConfigJson, DefaultsFromEmptyObject) {
+  const auto cfg = trainer_config_from_json(std::string("{}"));
+  EXPECT_EQ(cfg.model.name, "40B");
+  EXPECT_EQ(cfg.nodes, 1u);
+  EXPECT_TRUE(cfg.engine.multipath);
+}
+
+TEST(TrainerConfigJson, FullDocumentParsed) {
+  const auto cfg = trainer_config_from_json(std::string(R"({
+    "model": "70B",
+    "testbed": "testbed2",
+    "nodes": 2,
+    "microbatch": 2,
+    "accum_steps": 4,
+    "subgroup_params": 50000000,
+    "elem_scale": 4096,
+    "time_scale": 500,
+    "mlp_offload": {"enabled": true, "tier_exclusive_locking": false}
+  })"));
+  EXPECT_EQ(cfg.model.name, "70B");
+  EXPECT_EQ(cfg.testbed.gpus_per_node, 4u);
+  EXPECT_EQ(cfg.testbed.cpu_cores, 32u);  // testbed2
+  EXPECT_EQ(cfg.nodes, 2u);
+  EXPECT_EQ(cfg.microbatch, 2u);
+  EXPECT_EQ(cfg.accum_steps, 4u);
+  EXPECT_EQ(cfg.subgroup_params, 50'000'000u);
+  EXPECT_EQ(cfg.elem_scale, 4096u);
+  EXPECT_EQ(cfg.time_scale, 500.0);
+  EXPECT_TRUE(cfg.engine.multipath);
+  EXPECT_FALSE(cfg.engine.tier_exclusive_locking);
+}
+
+TEST(TrainerConfigJson, DisabledSelectsBaselinePreset) {
+  const auto cfg = trainer_config_from_json(
+      std::string(R"({"mlp_offload": {"enabled": false}})"));
+  EXPECT_FALSE(cfg.engine.multipath);
+  EXPECT_FALSE(cfg.engine.cache_friendly_order);
+  EXPECT_FALSE(cfg.engine.delayed_grad_conversion);
+  EXPECT_FALSE(cfg.engine.tier_exclusive_locking);
+}
+
+TEST(TrainerConfigJson, AblationOverridesOnBaseline) {
+  const auto cfg = trainer_config_from_json(std::string(
+      R"({"mlp_offload": {"enabled": false, "cache_friendly_order": true}})"));
+  EXPECT_TRUE(cfg.engine.cache_friendly_order);
+  EXPECT_FALSE(cfg.engine.multipath);
+}
+
+TEST(TrainerConfigJson, AdaptivePlacementToggle) {
+  EXPECT_TRUE(trainer_config_from_json(std::string("{}"))
+                  .engine.adaptive_placement);
+  const auto cfg = trainer_config_from_json(std::string(
+      R"({"mlp_offload": {"adaptive_placement": false}})"));
+  EXPECT_FALSE(cfg.engine.adaptive_placement);
+}
+
+TEST(TrainerConfigJson, NoPfsForcesSinglePath) {
+  const auto cfg =
+      trainer_config_from_json(std::string(R"({"attach_pfs": false})"));
+  EXPECT_FALSE(cfg.attach_pfs);
+  EXPECT_FALSE(cfg.engine.multipath);
+}
+
+TEST(TrainerConfigJson, ErrorsAreLoud) {
+  EXPECT_THROW(trainer_config_from_json(std::string("[]")),
+               std::invalid_argument);
+  EXPECT_THROW(trainer_config_from_json(std::string(R"({"model": "3B"})")),
+               std::out_of_range);
+  EXPECT_THROW(
+      trainer_config_from_json(std::string(R"({"testbed": "laptop"})")),
+      std::invalid_argument);
+  EXPECT_THROW(trainer_config_from_json(std::string("not json")),
+               json::ParseError);
+}
+
+TEST(TrainerConfigJson, ConfiguredTrainerRuns) {
+  auto cfg = trainer_config_from_json(std::string(R"({
+    "elem_scale": 65536, "time_scale": 2000,
+    "mlp_offload": {"enabled": true}
+  })"));
+  cfg.model = ModelConfig{"tiny", 4, 4096, 32};
+  cfg.host_cache_override = 2;
+  Trainer trainer(cfg);
+  trainer.initialize();
+  const auto reports = trainer.run(1);
+  EXPECT_EQ(reports.size(), 1u);
+}
+
+}  // namespace
+}  // namespace mlpo

@@ -1,0 +1,53 @@
+// Cache-friendly ordering: alternation and permutation invariants.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/update_order.hpp"
+
+namespace mlpo {
+namespace {
+
+TEST(UpdateOrder, AscendingWhenDisabled) {
+  for (u64 iter = 0; iter < 5; ++iter) {
+    const auto order = update_order(6, iter, false);
+    const std::vector<u32> expect = {0, 1, 2, 3, 4, 5};
+    EXPECT_EQ(order, expect) << iter;
+  }
+}
+
+TEST(UpdateOrder, AlternatesParityWhenEnabled) {
+  const std::vector<u32> asc = {0, 1, 2, 3};
+  const std::vector<u32> desc = {3, 2, 1, 0};
+  EXPECT_EQ(update_order(4, 0, true), asc);
+  EXPECT_EQ(update_order(4, 1, true), desc);
+  EXPECT_EQ(update_order(4, 2, true), asc);
+  EXPECT_EQ(update_order(4, 3, true), desc);
+}
+
+TEST(UpdateOrder, AlwaysAPermutation) {
+  for (const u32 n : {0u, 1u, 2u, 17u, 100u}) {
+    for (u64 iter = 0; iter < 4; ++iter) {
+      for (const bool alt : {false, true}) {
+        auto order = update_order(n, iter, alt);
+        EXPECT_EQ(order.size(), n);
+        std::sort(order.begin(), order.end());
+        for (u32 i = 0; i < n; ++i) EXPECT_EQ(order[i], i);
+      }
+    }
+  }
+}
+
+TEST(UpdateOrder, ConsecutiveIterationsMeetAtTheEnds) {
+  // The reuse property: the tail of iteration k equals the head of k+1.
+  const u32 n = 20;
+  for (u64 iter = 0; iter < 6; ++iter) {
+    const auto cur = update_order(n, iter, true);
+    const auto next = update_order(n, iter + 1, true);
+    EXPECT_EQ(cur.back(), next.front());
+  }
+}
+
+}  // namespace
+}  // namespace mlpo
