@@ -4,6 +4,18 @@
 #include <cstddef>
 #include <cstdint>
 
+// The tree relies on C++20 (std::span in util/json.hpp and
+// tiers/storage_tier.hpp, defaulted operator==). Fail here with one message
+// instead of a template-error cascade under an older -std flag. MSVC keeps
+// __cplusplus at 199711L unless /Zc:__cplusplus is set, so check _MSVC_LANG.
+#if defined(_MSVC_LANG)
+#if _MSVC_LANG < 202002L
+#error "mlpo requires C++20: compile with /std:c++20"
+#endif
+#elif __cplusplus < 202002L
+#error "mlpo requires C++20: compile with -std=c++20 (CMake sets this; do not override CMAKE_CXX_STANDARD below 20)"
+#endif
+
 namespace mlpo {
 
 using u8 = std::uint8_t;

@@ -32,7 +32,9 @@ TEST(BandwidthSchedule, SquareWave) {
 }
 
 TEST(FluctuatingTier, TransferSlowsWhenScheduleDips) {
-  SimClock clock(5000.0);
+  // 1000 vsec/sec keeps the ~10 vsec fast transfer at 10ms of real time, so
+  // a couple of ms of scheduler jitter can't double the measured duration.
+  SimClock clock(1000.0);
   ThrottleSpec spec{1000.0, 1000.0};
   BandwidthSchedule schedule;
   // Full speed for a generous window (scheduler jitter between clock
@@ -50,7 +52,7 @@ TEST(FluctuatingTier, TransferSlowsWhenScheduleDips) {
   ASSERT_LT(t0, 30.0) << "emulation host too slow for this test's windows";
   tier.write("a", data, 10000);
   const f64 fast = clock.now() - t0;
-  EXPECT_LT(fast, 16.0);
+  EXPECT_LT(fast, 20.0);
 
   // Now the dip is active: same bytes -> ~40 vsec.
   clock.sleep_until(60.0);
@@ -85,7 +87,6 @@ TEST(FluctuatingTier, AdaptivePerfModelTracksTheShift) {
   // the performance model, fed only observed transfer times, repartitions
   // subgroups away from it.
   SimClock clock(20000.0);
-  ThrottleSpec nvme_spec{1000.0, 1000.0};
   ThrottleSpec pfs_spec{1000.0, 1000.0};
   BandwidthSchedule dip;
   dip.segments = {{0.0, 1.0}, {50.0, 0.25}};

@@ -10,7 +10,10 @@
 namespace mlpo {
 namespace {
 
-constexpr f64 kScale = 5000.0;  // fast tests
+// Fast tests, but not so fast that OS scheduler jitter (~2ms observed under
+// load) dominates the measured intervals: at 1000 vsec/sec the shortest
+// bounded transfer below spans 10ms of real time.
+constexpr f64 kScale = 1000.0;
 
 TEST(RateLimiter, RejectsBadRate) {
   SimClock clock(kScale);
@@ -26,7 +29,7 @@ TEST(RateLimiter, SingleTransferTakesBytesOverRate) {
   limiter.acquire(10000);  // expect 10 vsec
   const f64 elapsed = clock.now() - t0;
   EXPECT_GE(elapsed, 9.5);
-  EXPECT_LT(elapsed, 15.0);
+  EXPECT_LT(elapsed, 20.0);
 }
 
 TEST(RateLimiter, ReserveAccumulatesWithoutBlocking) {
@@ -36,7 +39,7 @@ TEST(RateLimiter, ReserveAccumulatesWithoutBlocking) {
   const f64 d1 = limiter.reserve(5000);
   const f64 d2 = limiter.reserve(5000);
   // Reservations stack up to 10 vsec of channel time but return instantly.
-  EXPECT_LT(clock.now() - t0, 1.0);
+  EXPECT_LT(clock.now() - t0, 2.0);
   EXPECT_NEAR(d2 - d1, 5.0, 0.5);
   EXPECT_GE(limiter.busy_until(), d2);
 }
@@ -48,7 +51,7 @@ TEST(RateLimiter, AggregateThroughputConstantUnderConcurrency) {
   for (const int n : {1, 2, 4}) {
     SimClock clock(kScale);
     RateLimiter limiter(clock, 10000.0);
-    const u64 per_thread_bytes = 200000;  // 20 vsec = 4 ms real per thread
+    const u64 per_thread_bytes = 200000;  // 20 vsec = 20 ms real per thread
     std::vector<std::thread> threads;
     const f64 t0 = clock.now();
     for (int i = 0; i < n; ++i) {
@@ -61,7 +64,7 @@ TEST(RateLimiter, AggregateThroughputConstantUnderConcurrency) {
     const f64 elapsed = clock.now() - t0;
     const f64 expected = static_cast<f64>(per_thread_bytes) * n / 10000.0;
     EXPECT_GE(elapsed, expected * 0.9) << "n=" << n;
-    EXPECT_LT(elapsed, expected * 1.8) << "n=" << n;
+    EXPECT_LT(elapsed, expected * 2.5) << "n=" << n;
   }
 }
 
@@ -75,7 +78,7 @@ TEST(RateLimiter, RateChangeTakesEffect) {
   limiter.acquire(80000);  // 20 vsec at the new rate
   const f64 elapsed = clock.now() - t0;
   EXPECT_GE(elapsed, 18.0);
-  EXPECT_LT(elapsed, 35.0);
+  EXPECT_LT(elapsed, 40.0);
 }
 
 TEST(RateLimiter, ZeroBytesIsFree) {
@@ -83,7 +86,7 @@ TEST(RateLimiter, ZeroBytesIsFree) {
   RateLimiter limiter(clock, 10.0);
   const f64 t0 = clock.now();
   limiter.acquire(0);
-  EXPECT_LT(clock.now() - t0, 0.5);
+  EXPECT_LT(clock.now() - t0, 2.0);
 }
 
 }  // namespace

@@ -101,7 +101,9 @@ TEST(FileTier, KeysWithSlashesMapToFiles) {
 }
 
 TEST(ThrottledTier, TransferTimeMatchesBandwidth) {
-  SimClock clock(5000.0);
+  // 1000 vsec/sec keeps the bounded transfers at 10-20ms of real time, so
+  // scheduler jitter and sanitizer slowdowns can't blow the upper bounds.
+  SimClock clock(1000.0);
   ThrottleSpec spec{/*read_bw=*/1000.0, /*write_bw=*/500.0};
   spec.chunk_bytes = 100;
   ThrottledTier tier("nvme", std::make_shared<MemoryTier>("back"), clock, spec);
@@ -111,19 +113,19 @@ TEST(ThrottledTier, TransferTimeMatchesBandwidth) {
   tier.write("k", data, /*sim_bytes=*/10000);  // 20 vsec at 500 B/s
   const f64 w = clock.now() - t0;
   EXPECT_GE(w, 19.0);
-  EXPECT_LT(w, 32.0);
+  EXPECT_LT(w, 35.0);
 
   std::vector<u8> out(100);
   const f64 t1 = clock.now();
   tier.read("k", out, 10000);  // 10 vsec at 1000 B/s
   const f64 r = clock.now() - t1;
   EXPECT_GE(r, 9.5);
-  EXPECT_LT(r, 17.0);
+  EXPECT_LT(r, 20.0);
   EXPECT_EQ(out, data);
 }
 
 TEST(ThrottledTier, StatsAccumulateTimeAndBytes) {
-  SimClock clock(5000.0);
+  SimClock clock(1000.0);
   ThrottleSpec spec{1000.0, 1000.0};
   ThrottledTier tier("t", std::make_shared<MemoryTier>("back"), clock, spec);
   tier.write("k", make_data(10), 2000);
@@ -144,14 +146,14 @@ TEST(ThrottledTier, PeekBypassesThrottle) {
   std::vector<u8> out(64);
   const f64 t0 = clock.now();
   tier.peek("k", out);
-  EXPECT_LT(clock.now() - t0, 0.5);
+  EXPECT_LT(clock.now() - t0, 2.0);
   EXPECT_EQ(out, data);
 }
 
 TEST(ThrottledTier, MultiActorPenaltySlowsConcurrentRequests) {
   // Two concurrent writers with a 100% per-extra-actor penalty should take
   // roughly twice as long per byte as serialized writers.
-  SimClock clock(5000.0);
+  SimClock clock(1000.0);
   ThrottleSpec spec{1e6, 1000.0};
   spec.chunk_bytes = 250;
   spec.multi_actor_penalty = 1.0;
@@ -172,7 +174,7 @@ TEST(ThrottledTier, MultiActorPenaltySlowsConcurrentRequests) {
 }
 
 TEST(ThrottledTier, DuplexPenaltySlowsOpposingTraffic) {
-  SimClock clock(5000.0);
+  SimClock clock(1000.0);
   ThrottleSpec spec{1000.0, 1000.0};
   spec.chunk_bytes = 200;
   spec.duplex_penalty = 1.0;  // halves effective rate when duplex
@@ -194,7 +196,7 @@ TEST(ThrottledTier, DuplexPenaltySlowsOpposingTraffic) {
 }
 
 TEST(ThrottledTier, BandwidthAdjustable) {
-  SimClock clock(5000.0);
+  SimClock clock(1000.0);
   ThrottleSpec spec{1000.0, 1000.0};
   ThrottledTier tier("t", std::make_shared<MemoryTier>("back"), clock, spec);
   EXPECT_EQ(tier.read_bandwidth(), 1000.0);
