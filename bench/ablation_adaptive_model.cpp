@@ -39,12 +39,14 @@ RunResult run(bool adaptive, f64 time_scale) {
       "pfs", std::make_shared<MemoryTier>("pfs-back"), clock, pfs_spec,
       schedule, /*persistent=*/true));
 
-  AioEngine aio(4, 128);
+  IoScheduler::Config io_cfg;
+  io_cfg.queue_depth = 128;
+  IoScheduler io(clock, &vtier, nullptr, nullptr, io_cfg);
   const GradSource grads;
   EngineContext ctx;
   ctx.clock = &clock;
   ctx.vtier = &vtier;
-  ctx.aio = &aio;
+  ctx.io = &io;
   ctx.grads = &grads;
 
   EngineOptions opts = EngineOptions::mlp_offload();

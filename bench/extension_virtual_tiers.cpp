@@ -29,12 +29,14 @@ f64 run_with_paths(u32 num_paths, f64 time_scale, std::vector<u32>* quotas) {
     vtier.add_path(TestbedSpec::make_cxl_tier(clock, "cxl", 30.0 * GB));
   }
 
-  AioEngine aio(num_paths + 2, 128);
+  IoScheduler::Config io_cfg;
+  io_cfg.queue_depth = 128;
+  IoScheduler io(clock, &vtier, nullptr, nullptr, io_cfg);
   const GradSource grads;
   EngineContext ctx;
   ctx.clock = &clock;
   ctx.vtier = &vtier;
-  ctx.aio = &aio;
+  ctx.io = &io;
   ctx.grads = &grads;
 
   EngineOptions opts = EngineOptions::mlp_offload();

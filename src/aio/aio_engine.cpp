@@ -83,17 +83,4 @@ void AioEngine::drain() {
   });
 }
 
-void IoBatch::wait_all() {
-  std::exception_ptr first_error;
-  for (auto& fut : futures_) {
-    try {
-      fut.get();
-    } catch (...) {
-      if (!first_error) first_error = std::current_exception();
-    }
-  }
-  futures_.clear();
-  if (first_error) std::rethrow_exception(first_error);
-}
-
 }  // namespace mlpo

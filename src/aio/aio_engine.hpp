@@ -1,14 +1,13 @@
-// Asynchronous I/O engine, modelled on libaio / DeepNVMe usage:
-//   * a bounded submission queue (io_setup-style queue depth),
-//   * a fixed set of I/O worker threads draining it,
-//   * completion signalled through std::future (io_getevents analogue),
-//   * errors travel through the future as exceptions — callers decide how
-//     to surface a failed prefetch or flush.
+// DEPRECATED flat-FIFO asynchronous I/O engine.
 //
-// One engine instance per worker process and storage path reproduces the
-// paper's "multiple offloading engine objects per process, corresponding to
-// the number of storage tiers" (§3.5); a single shared engine is equally
-// valid for simpler setups.
+// This was the original I/O substrate: a bounded submission queue
+// (io_setup-style queue depth), a fixed set of worker threads draining it
+// in arrival order, completion through std::future. It survives only as a
+// compatibility shim for generic task offloading — all tier, link, and
+// checkpoint traffic now flows through the priority-aware IoScheduler in
+// src/io/, which supersedes this engine (per-channel queues, priority
+// classes, coalescing, cancellation, backpressure per path instead of one
+// flat pool). Do not wire new producers to AioEngine.
 #pragma once
 
 #include <atomic>
@@ -19,12 +18,12 @@
 #include <thread>
 #include <vector>
 
+#include "io/io_batch.hpp"
+#include "io/io_request.hpp"
 #include "tiers/storage_tier.hpp"
 #include "util/mpmc_queue.hpp"
 
 namespace mlpo {
-
-enum class IoOp { kRead, kWrite };
 
 /// One completed-transfer record, for tracing (Fig. 5 style plots).
 struct IoCompletion {
@@ -80,21 +79,6 @@ class AioEngine {
   std::atomic<u64> completed_{0};
   std::mutex drain_mutex_;
   std::condition_variable drain_cv_;
-};
-
-/// Convenience collector: gather futures, wait for all, rethrow the first
-/// failure. Mirrors an io_getevents loop over a batch.
-class IoBatch {
- public:
-  void add(std::future<void> fut) { futures_.push_back(std::move(fut)); }
-  std::size_t size() const { return futures_.size(); }
-
-  /// Waits for every future; throws the first captured exception after all
-  /// have settled (no operation is left dangling on error).
-  void wait_all();
-
- private:
-  std::vector<std::future<void>> futures_;
 };
 
 }  // namespace mlpo

@@ -1,5 +1,6 @@
 #include "core/checkpoint.hpp"
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -10,27 +11,42 @@ CheckpointReport checkpoint_prestage(OffloadEngine& engine,
   CheckpointReport report;
   const f64 start = engine.clock().now();
 
+  // All checkpoint traffic rides the scheduler's external channel at
+  // kCheckpoint priority: it never preempts demand fetches or gradient
+  // deposits, and tiny pre-stage markers coalesce into single dispatch
+  // batches.
+  IoBatch batch;
   for (u32 id = 0; id < engine.num_subgroups(); ++id) {
     const Subgroup snapshot = engine.snapshot_subgroup(id);
     const u64 sim = snapshot.sim_state_bytes();
     report.total_sim_bytes += sim;
 
-    std::vector<u8> buf(snapshot.serialized_bytes());
-    snapshot.serialize(buf);
+    auto buf = std::make_shared<std::vector<u8>>(snapshot.serialized_bytes());
+    snapshot.serialize(*buf);
     const std::string key = "ckpt/" + std::to_string(engine.rank()) + "/" +
                             std::to_string(id);
+    IoRequest req = IoRequest::external_op(IoOp::kWrite, &store, key,
+                                           /*sim_bytes=*/0,
+                                           IoPriority::kCheckpoint);
     if (engine.on_persistent_path(id)) {
       // Already durable where it lives: snapshot it in place (a server-side
       // copy / object clone on the PFS) so later training cannot overwrite
       // the checkpointed version. No client-network bytes are charged —
       // that is exactly the pre-staging saving.
-      store.write(key, buf, /*sim_bytes=*/1);
+      req.sim_bytes = 1;
       report.prestaged_sim_bytes += sim;
-      continue;
+    } else {
+      req.sim_bytes = sim;
+      report.flushed_sim_bytes += sim;
     }
-    store.write(key, buf, sim);
-    report.flushed_sim_bytes += sim;
+    req.work = [&store, buf, key, sim_bytes = req.sim_bytes](
+                   IoChannel&) -> u64 {
+      store.write(key, *buf, sim_bytes);
+      return sim_bytes;
+    };
+    batch.add(engine.io().submit(std::move(req)));
   }
+  batch.wait_all();
   report.seconds = engine.clock().now() - start;
   return report;
 }
@@ -42,7 +58,11 @@ u32 checkpoint_restore(OffloadEngine& engine, StorageTier& store) {
                             std::to_string(id);
     if (store.exists(key)) {
       std::vector<u8> buf(store.object_size(key));
-      store.read(key, buf);
+      IoRequest req = IoRequest::external_op(IoOp::kRead, &store, key,
+                                             /*sim_bytes=*/0,
+                                             IoPriority::kCheckpoint);
+      req.dst = std::span<u8>(buf);
+      engine.io().submit(std::move(req)).get();
       engine.restore_state(id, buf);
       ++from_store;
       continue;

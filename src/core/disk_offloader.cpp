@@ -8,11 +8,12 @@ namespace mlpo {
 std::future<void> DiskOffloader::async_write(const std::string& key,
                                              std::span<const f32> data,
                                              u64 sim_bytes) {
-  const std::span<const u8> bytes(reinterpret_cast<const u8*>(data.data()),
-                                  data.size() * sizeof(f32));
-  auto fut = aio_->submit_write(*tier_, key, bytes, sim_bytes);
+  IoRequest req = IoRequest::external_op(IoOp::kWrite, tier_, key, sim_bytes,
+                                         IoPriority::kLazyFlush);
+  req.src = std::span<const u8>(reinterpret_cast<const u8*>(data.data()),
+                                data.size() * sizeof(f32));
   // Keep a copy in the drain set; share completion with the caller.
-  auto shared = fut.share();
+  auto shared = io_->submit(std::move(req)).share();
   pending_.add(std::async(std::launch::deferred, [shared] { shared.get(); }));
   return std::async(std::launch::deferred, [shared] { shared.get(); });
 }
@@ -20,9 +21,11 @@ std::future<void> DiskOffloader::async_write(const std::string& key,
 std::future<void> DiskOffloader::async_read(const std::string& key,
                                             std::span<f32> data,
                                             u64 sim_bytes) {
-  const std::span<u8> bytes(reinterpret_cast<u8*>(data.data()),
-                            data.size() * sizeof(f32));
-  auto shared = aio_->submit_read(*tier_, key, bytes, sim_bytes).share();
+  IoRequest req = IoRequest::external_op(IoOp::kRead, tier_, key, sim_bytes,
+                                         IoPriority::kDemandPrefetch);
+  req.dst = std::span<u8>(reinterpret_cast<u8*>(data.data()),
+                          data.size() * sizeof(f32));
+  auto shared = io_->submit(std::move(req)).share();
   pending_.add(std::async(std::launch::deferred, [shared] { shared.get(); }));
   return std::async(std::launch::deferred, [shared] { shared.get(); });
 }

@@ -16,8 +16,9 @@
 #include <string>
 #include <vector>
 
-#include "aio/aio_engine.hpp"
 #include "core/perf_model.hpp"
+#include "io/io_batch.hpp"
+#include "io/io_scheduler.hpp"
 #include "tiers/storage_tier.hpp"
 
 namespace mlpo {
@@ -25,9 +26,9 @@ namespace mlpo {
 class DiskOffloader {
  public:
   /// @param tier the backing storage (one path of the virtual tier)
-  /// @param aio shared async I/O engine
-  DiskOffloader(StorageTier& tier, AioEngine& aio)
-      : tier_(&tier), aio_(&aio) {}
+  /// @param io shared I/O scheduler; traffic rides its external channel
+  ///        (reads at demand priority, writes as lazy flushes)
+  DiskOffloader(StorageTier& tier, IoScheduler& io) : tier_(&tier), io_(&io) {}
 
   /// Asynchronously persist `data` under `key`. The span must stay alive
   /// until synchronize() (TensorNVMe's contract).
@@ -35,6 +36,12 @@ class DiskOffloader {
                                 std::span<const f32> data, u64 sim_bytes = 0);
 
   /// Asynchronously load `key` into `data` (sizes must match the write).
+  ///
+  /// Ordering: reads dispatch at demand priority and deterministically
+  /// overtake still-queued writes on the same channel, so reading a key
+  /// whose async_write has not completed yet fails (or returns the prior
+  /// version). Wait on the write's future or call synchronize() first —
+  /// the same contract TensorNVMe imposes.
   std::future<void> async_read(const std::string& key, std::span<f32> data,
                                u64 sim_bytes = 0);
 
@@ -45,7 +52,7 @@ class DiskOffloader {
 
  private:
   StorageTier* tier_;
-  AioEngine* aio_;
+  IoScheduler* io_;
   IoBatch pending_;
 };
 

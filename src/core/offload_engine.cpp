@@ -4,7 +4,6 @@
 #include <cmath>
 #include <deque>
 #include <limits>
-#include <optional>
 #include <stdexcept>
 
 #include "core/update_order.hpp"
@@ -60,13 +59,24 @@ OffloadEngine::OffloadEngine(const EngineContext& ctx,
                              const ShardLayout& layout)
     : ctx_(ctx), opts_(opts), layout_(layout),
       cache_(opts.cache_friendly_order ? opts.host_cache_subgroups : 0) {
-  if (ctx_.clock == nullptr || ctx_.vtier == nullptr || ctx_.aio == nullptr ||
+  if (ctx_.clock == nullptr || ctx_.vtier == nullptr || ctx_.io == nullptr ||
       ctx_.grads == nullptr) {
     throw std::invalid_argument(
-        "OffloadEngine: clock, vtier, aio, and grads are required");
+        "OffloadEngine: clock, vtier, io, and grads are required");
   }
   if (ctx_.vtier->path_count() == 0) {
     throw std::invalid_argument("OffloadEngine: virtual tier has no paths");
+  }
+  // The scheduler's channels own the locking discipline; the engine flag
+  // only documents intent. Surface a divergence loudly so an ablation
+  // doesn't silently measure the wrong discipline.
+  if (ctx_.io->config().tier_exclusive_locking !=
+      opts_.tier_exclusive_locking) {
+    MLPO_LOG_WARN << "OffloadEngine: EngineOptions::tier_exclusive_locking="
+                  << opts_.tier_exclusive_locking
+                  << " but the IoScheduler was built with "
+                  << ctx_.io->config().tier_exclusive_locking
+                  << "; the scheduler's setting governs tier locking";
   }
   if (opts_.cpu_update_rate <= 0) {
     throw std::invalid_argument("OffloadEngine: cpu_update_rate must be > 0");
@@ -138,10 +148,14 @@ void OffloadEngine::initialize() {
     sg.serialize(std::span<u8>(*buf));
     poison_host_state(sg);
     const u64 sim = sg.sim_state_bytes();
-    const std::string key = state_key(sg.id());
-    batch.add(ctx_.aio->submit([this, buf, path, sim, key] {
-      ctx_.vtier->write_to(path, key, std::span<const u8>(*buf), sim);
-    }));
+
+    IoRequest req = IoRequest::tier_write(state_key(sg.id()), path, sim,
+                                          IoPriority::kCheckpoint);
+    req.work = [buf, sim, key = req.key](IoChannel& chan) -> u64 {
+      chan.write(key, std::span<const u8>(*buf), sim);
+      return sim;
+    };
+    batch.add(ctx_.io->submit(std::move(req)));
   }
   batch.wait_all();
   initialized_ = true;
@@ -154,15 +168,20 @@ void OffloadEngine::deposit_gradients_async(u64 sample_index, u32 subgroup_id,
   const u64 sim_params = sg.sim_params();
   const u64 real_elems = sg.real_elems();
 
-  gradient_io_.add(ctx_.aio->submit([this, sample_index, subgroup_id,
-                                     first_micro_step, final_micro_step,
-                                     sim_params, real_elems] {
+  IoRequest req = IoRequest::link_transfer(IoTarget::kD2HLink,
+                                           grad_key(subgroup_id),
+                                           sim_params * kFp16Bytes,
+                                           IoPriority::kGradDeposit);
+  req.work = [this, sample_index, subgroup_id, first_micro_step,
+              final_micro_step, sim_params, real_elems](IoChannel& link)
+      -> u64 {
     // (a) D2H transfer of the FP16 gradients produced on the GPU.
-    if (ctx_.d2h != nullptr) {
-      ctx_.d2h->acquire(sim_params * kFp16Bytes);
-    }
+    link.transfer(sim_params * kFp16Bytes);
     std::vector<u16> grads(real_elems);
     ctx_.grads->generate_fp16(ctx_.rank, subgroup_id, sample_index, grads);
+    // Accumulation fans out through the CPU pool internally; only the
+    // link occupancy and per-deposit bookkeeping are serial here, which
+    // matches a PCIe link's serial nature.
     if (first_micro_step) {
       accum_->store(subgroup_id, grads);
     } else {
@@ -171,44 +190,72 @@ void OffloadEngine::deposit_gradients_async(u64 sample_index, u32 subgroup_id,
 
     // (b)+(c) Baseline path only: upscale to FP32 on the host and flush the
     // FP32 gradients to third-level storage during the backward pass.
-    // MLP-Offload skips this entirely (design principle 4).
+    // MLP-Offload skips this entirely (design principle 4). The flush is a
+    // nested tier request so it queues on the path's write channel at
+    // kGradDeposit priority; the link stays blocked until it lands, which
+    // models the baseline's backward-phase I/O stall. The flush records
+    // its own bytes/time — this request reports only the link transfer.
     if (!opts_.delayed_grad_conversion && final_micro_step) {
       ctx_.clock->sleep_for(opts_.convert.seconds_for_params(sim_params));
-      std::vector<f32> fp32(real_elems);
-      accum_->upscale_into(subgroup_id, fp32, ctx_.cpu_pool);
+      auto fp32 = std::make_shared<std::vector<f32>>(real_elems);
+      accum_->upscale_into(subgroup_id, *fp32, ctx_.cpu_pool);
 
       const std::size_t path = perf_->path_for(subgroup_id);
-      std::optional<TierLock::Guard> guard;
-      if (opts_.tier_exclusive_locking) {
-        guard.emplace(ctx_.vtier->path_write_lock(path)->lock(ctx_.worker_id));
-      }
-      const std::span<const u8> bytes(
-          reinterpret_cast<const u8*>(fp32.data()), fp32.size() * sizeof(f32));
-      ctx_.vtier->write_to(path, grad_key(subgroup_id), bytes,
-                           sim_params * kFp32Bytes);
+      const u64 grad_sim = sim_params * kFp32Bytes;
+      IoRequest flush = IoRequest::tier_write(
+          grad_key(subgroup_id), path, grad_sim, IoPriority::kGradDeposit);
+      flush.work = [fp32, grad_sim, key = flush.key](IoChannel& chan) -> u64 {
+        const std::span<const u8> bytes(
+            reinterpret_cast<const u8*>(fp32->data()),
+            fp32->size() * sizeof(f32));
+        chan.write(key, bytes, grad_sim);
+        return grad_sim;
+      };
+      ctx_.io->submit(std::move(flush)).get();
     }
-  }));
+    return sim_params * kFp16Bytes;
+  };
+  gradient_io_.add(ctx_.io->submit(std::move(req)));
 }
 
 void OffloadEngine::wait_gradient_io() { gradient_io_.wait_all(); }
 
-void OffloadEngine::fetch_subgroup(UpdateSlot& slot) {
+std::future<void> OffloadEngine::submit_fetch(UpdateSlot& slot) {
   Subgroup& sg = *subgroups_[slot.id];
-  const f64 t0 = ctx_.clock->now();
-
   const std::string key = state_key(slot.id);
+  // Routing hint only; the authoritative location check happens at
+  // dispatch (an unknown key fails loudly from the work function).
   const std::size_t loc = ctx_.vtier->locate(key);
-  if (loc == VirtualTier::npos) {
+
+  IoRequest req = IoRequest::tier_read(
+      key, sg.sim_state_bytes(), IoPriority::kDemandPrefetch,
+      loc == VirtualTier::npos ? IoRequest::kAutoPath : loc);
+  req.work = [this, &slot](IoChannel& chan) -> u64 {
+    return fetch_subgroup(slot, chan);
+  };
+  // Completion feeds the bandwidth EMA: service time includes the lock
+  // hand-off, matching how the paper's model sees path contention.
+  req.on_complete = [this, &slot, loc](const IoResult& r) {
+    slot.fetch_seconds = r.service_seconds;
+    slot.fetch_sim_bytes = r.sim_bytes;
+    if (opts_.adaptive_placement) {
+      perf_->observe(loc < perf_->path_count() ? loc : 0, r.sim_bytes,
+                     r.service_seconds);
+    }
+  };
+  return ctx_.io->submit(std::move(req));
+}
+
+u64 OffloadEngine::fetch_subgroup(UpdateSlot& slot, IoChannel& chan) {
+  Subgroup& sg = *subgroups_[slot.id];
+  const std::string key = state_key(slot.id);
+  if (ctx_.vtier->locate(key) == VirtualTier::npos) {
     throw std::runtime_error("OffloadEngine: subgroup " + key +
                              " not found on any tier");
   }
-  std::optional<TierLock::Guard> guard;
-  if (opts_.tier_exclusive_locking) {
-    guard.emplace(ctx_.vtier->path_read_lock(loc)->lock(ctx_.worker_id));
-  }
 
   std::vector<u8> staging(sg.serialized_bytes());
-  ctx_.vtier->read(key, staging, sg.sim_state_bytes());
+  chan.read(key, staging, sg.sim_state_bytes());
   sg.deserialize(staging);
   u64 sim_read = sg.sim_state_bytes();
 
@@ -219,18 +266,11 @@ void OffloadEngine::fetch_subgroup(UpdateSlot& slot) {
     std::span<u8> bytes(reinterpret_cast<u8*>(slot.grads_fp32.data()),
                         slot.grads_fp32.size() * sizeof(f32));
     const u64 grad_sim = sg.sim_params() * kFp32Bytes;
-    ctx_.vtier->read(grad_key(slot.id), bytes, grad_sim);
-    ctx_.vtier->erase(grad_key(slot.id));
+    chan.read(grad_key(slot.id), bytes, grad_sim);
+    chan.erase(grad_key(slot.id));
     sim_read += grad_sim;
   }
-  guard.reset();
-
-  const f64 elapsed = ctx_.clock->now() - t0;
-  slot.fetch_seconds = elapsed;
-  slot.fetch_sim_bytes = sim_read;
-  if (opts_.adaptive_placement) {
-    perf_->observe(loc < perf_->path_count() ? loc : 0, sim_read, elapsed);
-  }
+  return sim_read;
 }
 
 std::future<void> OffloadEngine::flush_subgroup_async(
@@ -244,22 +284,21 @@ std::future<void> OffloadEngine::flush_subgroup_async(
 
   const std::size_t path = perf_->path_for(id);  // new tier t (Alg. 1 l.9)
   const u64 sim = sg.sim_state_bytes();
-  const std::string key = state_key(id);
-  return ctx_.aio->submit([this, id, buf, path, sim, key, traces] {
-    const f64 t0 = ctx_.clock->now();
-    std::optional<TierLock::Guard> guard;
-    if (opts_.tier_exclusive_locking) {
-      guard.emplace(ctx_.vtier->path_write_lock(path)->lock(ctx_.worker_id));
-    }
-    ctx_.vtier->write_to(path, key, std::span<const u8>(*buf), sim);
-    guard.reset();
-    const f64 elapsed = ctx_.clock->now() - t0;
-    if (opts_.adaptive_placement) perf_->observe(path, sim, elapsed);
+
+  IoRequest req = IoRequest::tier_write(state_key(id), path, sim,
+                                        IoPriority::kLazyFlush);
+  req.work = [buf, sim, key = req.key](IoChannel& chan) -> u64 {
+    chan.write(key, std::span<const u8>(*buf), sim);
+    return sim;
+  };
+  req.on_complete = [this, id, path, sim, traces](const IoResult& r) {
+    if (opts_.adaptive_placement) perf_->observe(path, sim, r.service_seconds);
     if (traces != nullptr) {
-      (*traces)[id].write_seconds += elapsed;
+      (*traces)[id].write_seconds += r.service_seconds;
       (*traces)[id].sim_bytes_written += sim;
     }
-  });
+  };
+  return ctx_.io->submit(std::move(req));
 }
 
 f64 OffloadEngine::charge_update_compute(u64 sim_params,
@@ -279,6 +318,7 @@ IterationReport OffloadEngine::run_update(u64 iteration) {
     throw std::logic_error("OffloadEngine: run_update before initialize");
   }
   const f64 phase_start = ctx_.clock->now();
+  const IoScheduler::Stats io_stats_start = ctx_.io->stats();
   const u32 n = num_subgroups();
 
   if (opts_.adaptive_placement) perf_->rebalance();
@@ -313,8 +353,7 @@ IterationReport OffloadEngine::run_update(u64 iteration) {
       inflight_flushes.front().get();
       inflight_flushes.pop_front();
     }
-    slot.fetch_done =
-        ctx_.aio->submit([this, &slot] { fetch_subgroup(slot); });
+    slot.fetch_done = submit_fetch(slot);
   };
 
   // Prime the pipeline: the subgroup being updated plus prefetch_ahead
@@ -379,26 +418,28 @@ IterationReport OffloadEngine::run_update(u64 iteration) {
         // The optimizer state was cached, but the baseline gradient path
         // flushed this subgroup's FP32 gradients to storage during the
         // backward pass — they still have to come back (4 B/param).
-        const f64 t0 = ctx_.clock->now();
         const std::string gkey = grad_key(slot.id);
         const std::size_t loc = ctx_.vtier->locate(gkey);
         if (loc == VirtualTier::npos) {
           throw std::runtime_error("OffloadEngine: gradients missing for " +
                                    gkey);
         }
-        std::optional<TierLock::Guard> guard;
-        if (opts_.tier_exclusive_locking) {
-          guard.emplace(ctx_.vtier->path_read_lock(loc)->lock(ctx_.worker_id));
-        }
-        slot.grads_fp32.resize(sg.real_elems());
-        std::span<u8> bytes(reinterpret_cast<u8*>(slot.grads_fp32.data()),
-                            slot.grads_fp32.size() * sizeof(f32));
         const u64 grad_sim = sg.sim_params() * kFp32Bytes;
-        ctx_.vtier->read(gkey, bytes, grad_sim);
-        ctx_.vtier->erase(gkey);
-        guard.reset();
-        trace.read_seconds = ctx_.clock->now() - t0;
-        trace.sim_bytes_read = grad_sim;
+        IoRequest req = IoRequest::tier_read(gkey, grad_sim,
+                                             IoPriority::kDemandPrefetch, loc);
+        req.work = [this, &slot, &sg, gkey, grad_sim](IoChannel& chan) -> u64 {
+          slot.grads_fp32.resize(sg.real_elems());
+          std::span<u8> bytes(reinterpret_cast<u8*>(slot.grads_fp32.data()),
+                              slot.grads_fp32.size() * sizeof(f32));
+          chan.read(gkey, bytes, grad_sim);
+          chan.erase(gkey);
+          return grad_sim;
+        };
+        req.on_complete = [&trace](const IoResult& r) {
+          trace.read_seconds = r.service_seconds;
+          trace.sim_bytes_read = r.sim_bytes;
+        };
+        ctx_.io->submit(std::move(req)).get();
       }
     } else {
       slot.fetch_done.get();  // f2h_prefetch_wait_subgrp (Alg. 1 l.5)
@@ -428,10 +469,11 @@ IterationReport OffloadEngine::run_update(u64 iteration) {
     // async_h2d_transfer of the downscaled FP16 parameters (Alg. 1 l.8).
     // Only the link time is modelled; the GPU-side copy has no observable
     // state in this library.
-    if (ctx_.h2d != nullptr) {
-      const u64 h2d_bytes = sg.sim_fp16_param_bytes();
-      h2d_batch.add(ctx_.aio->submit(
-          [this, h2d_bytes] { ctx_.h2d->acquire(h2d_bytes); }));
+    {
+      IoRequest h2d = IoRequest::link_transfer(
+          IoTarget::kH2DLink, state_key(slot.id), sg.sim_fp16_param_bytes(),
+          IoPriority::kDemandPrefetch);
+      h2d_batch.add(ctx_.io->submit(std::move(h2d)));
     }
 
     // Lazy flush through the host cache (Alg. 1 l.9-10) or eager flush for
@@ -477,6 +519,23 @@ IterationReport OffloadEngine::run_update(u64 iteration) {
     report.update_compute_seconds += t.compute_seconds;
   }
   report.update_seconds = ctx_.clock->now() - phase_start;
+
+  // Per-priority scheduler telemetry: delta of the cumulative counters
+  // over this update phase.
+  const IoScheduler::Stats io_stats_end = ctx_.io->stats();
+  for (std::size_t c = 0; c < kIoPriorityCount; ++c) {
+    const auto& s0 = io_stats_start.priority[c];
+    const auto& s1 = io_stats_end.priority[c];
+    auto& out = report.io_classes[c];
+    out.requests = (s1.completed + s1.failed) - (s0.completed + s0.failed);
+    out.cancelled = s1.cancelled - s0.cancelled;
+    out.sim_bytes = s1.sim_bytes - s0.sim_bytes;
+    out.queue_wait_seconds = s1.queue_wait_seconds - s0.queue_wait_seconds;
+    out.service_seconds = s1.service_seconds - s0.service_seconds;
+  }
+  report.io_coalesced_batches =
+      io_stats_end.coalesced_batches - io_stats_start.coalesced_batches;
+  report.io_max_queue_depth = io_stats_end.max_queue_depth;
   return report;
 }
 
@@ -535,9 +594,17 @@ void OffloadEngine::restore_state(u32 id, std::span<const u8> serialized) {
   Subgroup& sg = *subgroups_.at(id);
   sg.deserialize(serialized);  // validates header identity
   // Write through to the assigned path; the restored image becomes the
-  // authoritative copy and any cached state is dropped.
+  // authoritative copy and any cached state is dropped. Checkpoint-class
+  // traffic: it must not starve demand fetches of a concurrent update.
   const std::size_t path = perf_->path_for(id);
-  ctx_.vtier->write_to(path, state_key(id), serialized, sg.sim_state_bytes());
+  const u64 sim = sg.sim_state_bytes();
+  IoRequest req = IoRequest::tier_write(state_key(id), path, sim,
+                                        IoPriority::kCheckpoint);
+  req.work = [serialized, sim, key = req.key](IoChannel& chan) -> u64 {
+    chan.write(key, serialized, sim);
+    return sim;
+  };
+  ctx_.io->submit(std::move(req)).get();  // span only lives until return
   poison_host_state(sg);
   host_valid_[id] = 0;
   cache_.erase(id);

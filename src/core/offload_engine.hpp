@@ -19,9 +19,10 @@
 #include <memory>
 #include <vector>
 
-#include "aio/aio_engine.hpp"
 #include "core/host_cache.hpp"
 #include "core/perf_model.hpp"
+#include "io/io_batch.hpp"
+#include "io/io_scheduler.hpp"
 #include "telemetry/iteration_report.hpp"
 #include "tiers/virtual_tier.hpp"
 #include "train/adam.hpp"
@@ -30,7 +31,6 @@
 #include "train/mixed_precision.hpp"
 #include "train/sharding.hpp"
 #include "train/subgroup.hpp"
-#include "util/rate_limiter.hpp"
 #include "util/sim_clock.hpp"
 
 namespace mlpo {
@@ -49,6 +49,8 @@ struct EngineOptions {
   bool delayed_grad_conversion = true;
   /// Design principle 2: node-level process-exclusive tier locking. Off:
   /// all workers hit the tiers concurrently and pay contention penalties.
+  /// Consumed when configuring the worker's IoScheduler (the engine itself
+  /// never takes a lock; its scheduler's channels do).
   bool tier_exclusive_locking = true;
 
   /// Re-estimate per-path bandwidth from observed transfers (EMA) and
@@ -80,15 +82,19 @@ struct EngineOptions {
 
 /// Wiring to node-shared infrastructure. Raw pointers are non-owning; all
 /// referenced objects must outlive the engine.
+///
+/// All tier and link traffic goes through the IoScheduler: the engine
+/// itself never touches a TierLock or a RateLimiter. The scheduler must be
+/// configured with this worker's locking policy (see IoScheduler::Config::
+/// tier_exclusive_locking / worker_id — the Worker wires this from
+/// EngineOptions).
 struct EngineContext {
   const SimClock* clock = nullptr;
   VirtualTier* vtier = nullptr;    ///< third-level storage (node-shared)
-  AioEngine* aio = nullptr;        ///< this worker's async I/O engine
+  IoScheduler* io = nullptr;       ///< this worker's I/O request scheduler
   ThreadPool* cpu_pool = nullptr;  ///< update-kernel threads (may be null)
-  RateLimiter* d2h = nullptr;      ///< GPU->host link (null = instantaneous)
-  RateLimiter* h2d = nullptr;      ///< host->GPU link (null = instantaneous)
   const GradSource* grads = nullptr;
-  int worker_id = 0;  ///< node-local id, used for tier-lock ownership
+  int worker_id = 0;  ///< node-local id (informational; locking lives in io)
   int rank = 0;       ///< global rank, used for storage keys
 };
 
@@ -157,6 +163,9 @@ class OffloadEngine {
 
   const SimClock& clock() const { return *ctx_.clock; }
   int rank() const { return ctx_.rank; }
+  /// The scheduler all of this engine's traffic flows through (checkpoint
+  /// helpers ride the same queues at IoPriority::kCheckpoint).
+  IoScheduler& io() const { return *ctx_.io; }
 
  private:
   struct UpdateSlot;
@@ -166,7 +175,8 @@ class OffloadEngine {
   std::string state_key(u32 id) const;
   std::string grad_key(u32 id) const;
   void poison_host_state(Subgroup& sg);
-  void fetch_subgroup(UpdateSlot& slot);
+  std::future<void> submit_fetch(UpdateSlot& slot);
+  u64 fetch_subgroup(UpdateSlot& slot, IoChannel& chan);
   std::future<void> flush_subgroup_async(u32 id,
                                          std::vector<SubgroupTrace>* traces);
   f64 charge_update_compute(u64 sim_params, f64 real_kernel_vseconds);

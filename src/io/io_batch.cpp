@@ -1,0 +1,37 @@
+#include "io/io_batch.hpp"
+
+#include <exception>
+#include <stdexcept>
+#include <string>
+
+namespace mlpo {
+
+void IoBatch::wait_all() {
+  std::exception_ptr first_error;
+  std::string messages;
+  std::size_t failures = 0;
+  for (auto& fut : futures_) {
+    try {
+      fut.get();
+    } catch (...) {
+      ++failures;
+      if (!first_error) first_error = std::current_exception();
+      if (!messages.empty()) messages += "; ";
+      try {
+        throw;
+      } catch (const std::exception& e) {
+        messages += e.what();
+      } catch (...) {
+        messages += "(non-std exception)";
+      }
+    }
+  }
+  futures_.clear();
+  if (failures == 1) std::rethrow_exception(first_error);
+  if (failures > 1) {
+    throw std::runtime_error("IoBatch: " + std::to_string(failures) +
+                             " operations failed: " + messages);
+  }
+}
+
+}  // namespace mlpo

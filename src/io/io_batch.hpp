@@ -1,0 +1,27 @@
+// Future collector: gather the futures of a batch of submitted I/O
+// requests, wait for all of them, surface every failure. Mirrors an
+// io_getevents loop over a batch.
+#pragma once
+
+#include <future>
+#include <vector>
+
+namespace mlpo {
+
+class IoBatch {
+ public:
+  void add(std::future<void> fut) { futures_.push_back(std::move(fut)); }
+  std::size_t size() const { return futures_.size(); }
+
+  /// Waits for every future; no operation is left dangling on error. If
+  /// exactly one operation failed its exception is rethrown unchanged
+  /// (type-preserving); if several failed, throws std::runtime_error whose
+  /// message aggregates every captured failure, so a multi-path error storm
+  /// is not silently reduced to whichever path happened to settle first.
+  void wait_all();
+
+ private:
+  std::vector<std::future<void>> futures_;
+};
+
+}  // namespace mlpo

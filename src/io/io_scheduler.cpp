@@ -1,0 +1,351 @@
+#include "io/io_scheduler.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <stdexcept>
+
+#include "tiers/storage_tier.hpp"
+
+namespace mlpo {
+
+const char* io_priority_name(IoPriority priority) {
+  switch (priority) {
+    case IoPriority::kDemandPrefetch: return "demand-prefetch";
+    case IoPriority::kGradDeposit: return "grad-deposit";
+    case IoPriority::kLazyFlush: return "lazy-flush";
+    case IoPriority::kCheckpoint: return "checkpoint";
+  }
+  return "unknown";
+}
+
+IoScheduler::IoScheduler(const SimClock& clock, VirtualTier* vtier,
+                         RateLimiter* d2h, RateLimiter* h2d, Config cfg)
+    : clock_(&clock), vtier_(vtier), cfg_(cfg) {
+  if (cfg_.queue_depth == 0) {
+    throw std::invalid_argument("IoScheduler: queue_depth must be > 0");
+  }
+  tier_paths_ = vtier_ != nullptr ? vtier_->path_count() : 0;
+  queues_.reserve(2 * tier_paths_ + 3);
+  for (std::size_t p = 0; p < tier_paths_; ++p) {
+    queues_.push_back(std::make_unique<ChannelQueue>(
+        IoChannel(*vtier_, p, IoOp::kRead, cfg_.tier_exclusive_locking,
+                  cfg_.worker_id)));
+    queues_.push_back(std::make_unique<ChannelQueue>(
+        IoChannel(*vtier_, p, IoOp::kWrite, cfg_.tier_exclusive_locking,
+                  cfg_.worker_id)));
+  }
+  queues_.push_back(std::make_unique<ChannelQueue>(IoChannel("d2h", d2h)));
+  queues_.push_back(std::make_unique<ChannelQueue>(IoChannel("h2d", h2d)));
+  queues_.push_back(std::make_unique<ChannelQueue>(IoChannel("external")));
+  for (auto& q : queues_) {
+    q->worker = std::thread([this, queue = q.get()] { dispatch_loop(*queue); });
+  }
+}
+
+IoScheduler::IoScheduler(const SimClock& clock, VirtualTier* vtier,
+                         RateLimiter* d2h, RateLimiter* h2d)
+    : IoScheduler(clock, vtier, d2h, h2d, Config{}) {}
+
+IoScheduler::IoScheduler(const SimClock& clock, Config cfg)
+    : IoScheduler(clock, nullptr, nullptr, nullptr, cfg) {}
+
+IoScheduler::IoScheduler(const SimClock& clock)
+    : IoScheduler(clock, nullptr, nullptr, nullptr, Config{}) {}
+
+IoScheduler::~IoScheduler() {
+  closed_.store(true, std::memory_order_release);
+  const auto wake = [](ChannelQueue& q) {
+    {
+      std::lock_guard lk(q.mutex);  // publish `closed_` to parked waiters
+    }
+    q.not_empty.notify_all();
+    q.not_full.notify_all();
+  };
+  for (auto& q : queues_) wake(*q);
+  {
+    std::lock_guard lk(external_mutex_);
+    for (auto& [tier, q] : tier_queues_) wake(*q);
+  }
+  for (auto& q : queues_) q->worker.join();
+  for (auto& [tier, q] : tier_queues_) q->worker.join();
+}
+
+IoScheduler::ChannelQueue& IoScheduler::route(const IoRequest& req) {
+  switch (req.target) {
+    case IoTarget::kD2HLink: return *queues_[d2h_queue()];
+    case IoTarget::kH2DLink: return *queues_[h2d_queue()];
+    case IoTarget::kExternal:
+      if (req.tier == nullptr) {
+        if (!req.work) {
+          throw std::invalid_argument(
+              "IoScheduler: external request without a tier");
+        }
+        return *queues_[external_queue()];
+      }
+      return external_channel_for(req.tier);
+    case IoTarget::kTierPath: {
+      if (tier_paths_ == 0) {
+        throw std::logic_error(
+            "IoScheduler: tier-path request but no virtual tier attached");
+      }
+      std::size_t path = req.path;
+      if (path == IoRequest::kAutoPath) {
+        if (req.op == IoOp::kWrite) {
+          throw std::invalid_argument(
+              "IoScheduler: tier write requires an explicit path hint");
+        }
+        const std::size_t loc = vtier_->locate(req.key);
+        // Unknown keys route to path 0; the dispatch fails there with the
+        // tier's own "no such object" error, preserving the producer-side
+        // error surface.
+        path = loc == VirtualTier::npos ? 0 : loc;
+      }
+      if (path >= tier_paths_) {
+        throw std::out_of_range("IoScheduler: path hint out of range");
+      }
+      return *queues_[req.op == IoOp::kRead ? read_queue(path)
+                                            : write_queue(path)];
+    }
+  }
+  throw std::logic_error("IoScheduler: unreachable target");
+}
+
+IoScheduler::ChannelQueue& IoScheduler::external_channel_for(
+    StorageTier* tier) {
+  std::lock_guard lk(external_mutex_);
+  const auto it = tier_queues_.find(tier);
+  if (it != tier_queues_.end()) return *it->second;
+  if (closed_.load(std::memory_order_acquire)) {
+    throw std::runtime_error("IoScheduler: submit after shutdown");
+  }
+  auto q = std::make_unique<ChannelQueue>(
+      IoChannel("external/" + tier->name()));
+  q->worker = std::thread([this, queue = q.get()] { dispatch_loop(*queue); });
+  return *tier_queues_.emplace(tier, std::move(q)).first->second;
+}
+
+std::size_t IoScheduler::class_of(const IoRequest& req) const {
+  return cfg_.strict_fifo ? 0 : static_cast<std::size_t>(req.priority);
+}
+
+u64 IoScheduler::effective_bytes(const IoRequest& req) {
+  if (req.sim_bytes != 0) return req.sim_bytes;
+  return std::max<u64>(req.src.size(), req.dst.size());
+}
+
+std::future<void> IoScheduler::submit(IoRequest req) {
+  ChannelQueue& q = route(req);
+  const auto pri = static_cast<std::size_t>(req.priority);
+
+  auto pending = std::make_unique<Pending>();
+  pending->req = std::move(req);
+  pending->enqueue_vtime = clock_->now();
+  auto fut = pending->done.get_future();
+
+  std::size_t depth_after = 0;
+  {
+    std::unique_lock lk(q.mutex);
+    q.not_full.wait(lk, [&] {
+      return closed_.load(std::memory_order_acquire) ||
+             q.size < cfg_.queue_depth;
+    });
+    if (closed_.load(std::memory_order_acquire)) {
+      pending->done.set_exception(std::make_exception_ptr(
+          std::runtime_error("IoScheduler: submit after shutdown")));
+      return fut;
+    }
+    q.classes[class_of(pending->req)].push_back(std::move(pending));
+    ++q.size;
+    depth_after = q.size;
+    // Count before the dispatcher can possibly settle this request (we
+    // still hold q.mutex), so drain() never sees settled_ overtake a
+    // stale submitted_ and return with work in flight.
+    submitted_.fetch_add(1, std::memory_order_acq_rel);
+  }
+  // Stats land outside q.mutex so the global stats lock never nests inside
+  // a channel lock (a fast dispatcher may transiently show completed >
+  // submitted; the counters are monotonic and converge immediately).
+  {
+    std::lock_guard slk(stats_mutex_);
+    ++stats_.priority[pri].submitted;
+    stats_.max_queue_depth = std::max<u64>(stats_.max_queue_depth, depth_after);
+  }
+  q.not_empty.notify_one();
+  return fut;
+}
+
+void IoScheduler::dispatch_loop(ChannelQueue& q) {
+  for (;;) {
+    std::vector<std::unique_ptr<Pending>> batch;
+    {
+      std::unique_lock lk(q.mutex);
+      q.not_empty.wait(lk, [&] {
+        return closed_.load(std::memory_order_acquire) || q.size > 0;
+      });
+      if (q.size == 0) {
+        if (closed_.load(std::memory_order_acquire)) return;
+        continue;
+      }
+      // Strongest non-empty class dispatches first.
+      auto* cls = &q.classes[0];
+      for (auto& c : q.classes) {
+        if (!c.empty()) {
+          cls = &c;
+          break;
+        }
+      }
+      batch.push_back(std::move(cls->front()));
+      cls->pop_front();
+      --q.size;
+      // Small-transfer coalescing: same class, same direction by
+      // construction (one queue per direction); one lock lease for all.
+      const IoRequest& head = batch.front()->req;
+      if (cfg_.coalesce_max_sim_bytes > 0 && cfg_.coalesce_batch > 1 &&
+          effective_bytes(head) <= cfg_.coalesce_max_sim_bytes) {
+        while (batch.size() < cfg_.coalesce_batch && !cls->empty() &&
+               effective_bytes(cls->front()->req) <=
+                   cfg_.coalesce_max_sim_bytes) {
+          batch.push_back(std::move(cls->front()));
+          cls->pop_front();
+          --q.size;
+        }
+      }
+    }
+    q.not_full.notify_all();
+    run_batch(q, batch);
+  }
+}
+
+void IoScheduler::run_batch(ChannelQueue& q,
+                            std::vector<std::unique_ptr<Pending>>& batch) {
+  const f64 dispatch_start = clock_->now();
+  if (batch.size() > 1) {
+    std::lock_guard slk(stats_mutex_);
+    ++stats_.coalesced_batches;
+    stats_.coalesced_requests += batch.size();
+  }
+
+  // The lease is taken lazily so an all-cancelled batch never touches the
+  // lock, and held across the whole batch (the coalescing win: one
+  // process-exclusive hand-off for many small transfers).
+  std::optional<IoChannel::Lease> lease;
+  f64 item_start = dispatch_start;
+  for (auto& p : batch) {
+    const auto pri = static_cast<std::size_t>(p->req.priority);
+    if (p->req.token.cancelled()) {
+      {
+        std::lock_guard slk(stats_mutex_);
+        ++stats_.priority[pri].cancelled;
+      }
+      p->done.set_exception(std::make_exception_ptr(IoCancelled(
+          "IoScheduler: request cancelled while queued: " + p->req.key)));
+      finish_one();
+      continue;
+    }
+    if (!lease) lease.emplace(q.channel.lease());
+    const f64 queue_wait = std::max(0.0, item_start - p->enqueue_vtime);
+    std::exception_ptr error;
+    u64 moved = 0;
+    try {
+      moved = execute(p->req, q.channel);
+    } catch (...) {
+      error = std::current_exception();
+    }
+    const f64 service = std::max(0.0, clock_->now() - item_start);
+    {
+      // Failed requests still waited and occupied the channel; fold their
+      // times in so mean waits are not skewed low by error storms.
+      std::lock_guard slk(stats_mutex_);
+      auto& s = stats_.priority[pri];
+      s.queue_wait_seconds += queue_wait;
+      s.service_seconds += service;
+      if (error) {
+        ++s.failed;
+      } else {
+        ++s.completed;
+        s.sim_bytes += moved;
+      }
+    }
+    if (!error && p->req.on_complete) {
+      IoResult result;
+      result.priority = p->req.priority;
+      result.sim_bytes = moved;
+      result.queue_wait_seconds = queue_wait;
+      result.service_seconds = service;
+      // The transfer itself succeeded and stays counted as completed; a
+      // throwing hook only surfaces through the future.
+      try {
+        p->req.on_complete(result);
+      } catch (...) {
+        error = std::current_exception();
+      }
+    }
+    if (error) {
+      p->done.set_exception(error);
+    } else {
+      p->done.set_value();
+    }
+    item_start = clock_->now();
+    finish_one();
+  }
+}
+
+u64 IoScheduler::execute(IoRequest& req, IoChannel& channel) {
+  if (req.work) return req.work(channel);
+  switch (req.target) {
+    case IoTarget::kTierPath:
+      if (req.op == IoOp::kRead) {
+        channel.read(req.key, req.dst, req.sim_bytes);
+      } else {
+        channel.write(req.key, req.src, req.sim_bytes);
+      }
+      return effective_bytes(req);
+    case IoTarget::kD2HLink:
+    case IoTarget::kH2DLink: {
+      const u64 bytes = effective_bytes(req);
+      channel.transfer(bytes);
+      return bytes;
+    }
+    case IoTarget::kExternal:
+      if (req.tier == nullptr) {
+        throw std::invalid_argument(
+            "IoScheduler: external request without a tier");
+      }
+      if (req.op == IoOp::kRead) {
+        req.tier->read(req.key, req.dst, req.sim_bytes);
+      } else {
+        req.tier->write(req.key, req.src, req.sim_bytes);
+      }
+      return effective_bytes(req);
+  }
+  throw std::logic_error("IoScheduler: unreachable target");
+}
+
+void IoScheduler::finish_one() {
+  {
+    std::lock_guard lk(drain_mutex_);
+    settled_.fetch_add(1, std::memory_order_release);
+  }
+  drain_cv_.notify_all();
+}
+
+void IoScheduler::drain() {
+  std::unique_lock lk(drain_mutex_);
+  drain_cv_.wait(lk, [this] {
+    return settled_.load(std::memory_order_acquire) >=
+           submitted_.load(std::memory_order_acquire);
+  });
+}
+
+IoScheduler::Stats IoScheduler::stats() const {
+  std::lock_guard slk(stats_mutex_);
+  return stats_;
+}
+
+std::size_t IoScheduler::queued(std::size_t queue_idx) const {
+  const ChannelQueue& q = *queues_.at(queue_idx);
+  std::lock_guard lk(q.mutex);
+  return q.size;
+}
+
+}  // namespace mlpo

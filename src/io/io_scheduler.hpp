@@ -1,0 +1,179 @@
+// Priority-aware I/O request scheduler — the single front door for every
+// byte of storage and link traffic in the system (tentpole of the unified
+// I/O path; paper §3.2/§3.5).
+//
+// Topology: one bounded submission queue + one dispatch thread per
+// *channel*, where the channels are the read and write direction of every
+// VirtualTier path, the D2H and H2D PCIe links, and one external channel
+// for tiers outside the virtual tier (checkpoint stores, DiskOffloader
+// backends). Separate read/write channels per path preserve device duplex:
+// a prefetch and a flush on the same NVMe still overlap, exactly as with
+// the previous per-worker thread pool — but within one direction, requests
+// now dispatch by priority class instead of arrival order.
+//
+// Scheduling, per channel:
+//   * four priority classes, kDemandPrefetch > kGradDeposit > kLazyFlush >
+//     kCheckpoint; the strongest non-empty class dispatches first, FIFO
+//     within a class (set Config::strict_fifo to collapse everything into
+//     arrival order — the flat-FIFO baseline the bench compares against);
+//   * bounded queue depth: submit() blocks while the target channel's
+//     queue is full, which is the backpressure that couples producers to
+//     slow devices (io_setup-style);
+//   * cancellation: a request whose token is cancelled while still queued
+//     is dropped at dispatch, its future failing with IoCancelled;
+//   * small-transfer coalescing: consecutive same-class, same-direction
+//     requests at or below Config::coalesce_max_sim_bytes execute as one
+//     dispatch batch under a single TierLock lease;
+//   * completion callbacks run on the dispatch thread before the future
+//     resolves, carrying observed queue-wait/service times — the hook that
+//     feeds PerfModel's bandwidth EMA and the per-priority telemetry in
+//     IterationReport.
+#pragma once
+
+#include <array>
+#include <condition_variable>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "io/io_channel.hpp"
+#include "io/io_request.hpp"
+#include "util/sim_clock.hpp"
+
+namespace mlpo {
+
+class IoScheduler {
+ public:
+  struct Config {
+    /// Max queued requests per channel before submit() blocks.
+    std::size_t queue_depth = 64;
+    /// Hold the path's per-direction TierLock across each dispatch batch
+    /// (paper §3.2 process-exclusive concurrency control).
+    bool tier_exclusive_locking = true;
+    /// Lock-ownership key of the worker this scheduler serves.
+    int worker_id = 0;
+    /// Requests at or below this simulated size may coalesce into one
+    /// dispatch batch (single lock lease). 0 disables coalescing.
+    u64 coalesce_max_sim_bytes = 256 * 1024;
+    /// Max requests per coalesced batch.
+    std::size_t coalesce_batch = 8;
+    /// Ignore priority classes and dispatch in arrival order (the flat
+    /// FIFO baseline, for ablations and the scheduler bench).
+    bool strict_fifo = false;
+  };
+
+  /// Cumulative counters; snapshot via stats(). Virtual-time seconds.
+  struct PriorityStats {
+    u64 submitted = 0;
+    u64 completed = 0;  ///< ran to completion (successfully)
+    u64 failed = 0;     ///< threw; exception travels through the future
+    u64 cancelled = 0;  ///< dropped while queued
+    u64 sim_bytes = 0;
+    f64 queue_wait_seconds = 0;
+    f64 service_seconds = 0;
+  };
+  struct Stats {
+    std::array<PriorityStats, kIoPriorityCount> priority{};
+    u64 coalesced_batches = 0;
+    u64 coalesced_requests = 0;  ///< requests riding in those batches
+    u64 max_queue_depth = 0;     ///< high-water mark across channels
+  };
+
+  /// Full wiring: read+write channels per `vtier` path (vtier may be null
+  /// for link/external-only use), D2H/H2D link channels over the given
+  /// rate limiters (nullable = instantaneous), plus external channels —
+  /// one per distinct foreign StorageTier (created on first use, so two
+  /// DiskOffloaders over different devices keep overlapping) and a default
+  /// channel for tier-less external work.
+  IoScheduler(const SimClock& clock, VirtualTier* vtier, RateLimiter* d2h,
+              RateLimiter* h2d, Config cfg);
+  IoScheduler(const SimClock& clock, VirtualTier* vtier, RateLimiter* d2h,
+              RateLimiter* h2d);
+
+  /// Link/external-only scheduler (no tier paths).
+  IoScheduler(const SimClock& clock, Config cfg);
+  explicit IoScheduler(const SimClock& clock);
+
+  ~IoScheduler();
+
+  IoScheduler(const IoScheduler&) = delete;
+  IoScheduler& operator=(const IoScheduler&) = delete;
+
+  /// Route `req` to its channel queue and return the completion future.
+  /// Blocks while that queue is at Config::queue_depth. Failures (and
+  /// cancellation, as IoCancelled) travel through the future.
+  std::future<void> submit(IoRequest req);
+
+  /// Block until every submitted request has settled.
+  void drain();
+
+  Stats stats() const;
+  const Config& config() const { return cfg_; }
+
+  // Channel-queue addressing (mainly for tests and diagnostics).
+  std::size_t queue_count() const { return queues_.size(); }
+  std::size_t tier_path_count() const { return tier_paths_; }
+  std::size_t read_queue(std::size_t path) const { return 2 * path; }
+  std::size_t write_queue(std::size_t path) const { return 2 * path + 1; }
+  std::size_t d2h_queue() const { return 2 * tier_paths_; }
+  std::size_t h2d_queue() const { return 2 * tier_paths_ + 1; }
+  /// Default external channel (tier-less external requests). Requests
+  /// naming a StorageTier dispatch on that tier's own lazily-created
+  /// channel instead.
+  std::size_t external_queue() const { return 2 * tier_paths_ + 2; }
+  /// Currently queued (not yet dispatched) requests on one channel queue.
+  std::size_t queued(std::size_t queue_idx) const;
+
+ private:
+  struct Pending {
+    IoRequest req;
+    std::promise<void> done;
+    f64 enqueue_vtime = 0;
+  };
+
+  struct ChannelQueue {
+    explicit ChannelQueue(IoChannel chan) : channel(std::move(chan)) {}
+    IoChannel channel;
+    mutable std::mutex mutex;
+    std::condition_variable not_empty;
+    std::condition_variable not_full;
+    std::array<std::deque<std::unique_ptr<Pending>>, kIoPriorityCount> classes;
+    std::size_t size = 0;
+    std::thread worker;
+  };
+
+  ChannelQueue& route(const IoRequest& req);
+  ChannelQueue& external_channel_for(StorageTier* tier);
+  std::size_t class_of(const IoRequest& req) const;
+  static u64 effective_bytes(const IoRequest& req);
+  u64 execute(IoRequest& req, IoChannel& channel);
+  void dispatch_loop(ChannelQueue& q);
+  void run_batch(ChannelQueue& q,
+                 std::vector<std::unique_ptr<Pending>>& batch);
+  void finish_one();
+
+  const SimClock* clock_;
+  VirtualTier* vtier_;
+  Config cfg_;
+  std::size_t tier_paths_ = 0;
+  std::vector<std::unique_ptr<ChannelQueue>> queues_;
+  /// Lazily-created channels for foreign tiers, keyed by tier identity.
+  std::mutex external_mutex_;
+  std::unordered_map<StorageTier*, std::unique_ptr<ChannelQueue>>
+      tier_queues_;
+  std::atomic<bool> closed_{false};
+
+  mutable std::mutex stats_mutex_;
+  Stats stats_;
+
+  std::atomic<u64> submitted_{0};
+  std::atomic<u64> settled_{0};
+  std::mutex drain_mutex_;
+  std::condition_variable drain_cv_;
+};
+
+}  // namespace mlpo

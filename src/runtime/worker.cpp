@@ -9,18 +9,22 @@ Worker::Worker(const SimClock& clock, VirtualTier& vtier, ThreadPool* cpu_pool,
     : clock_(&clock), worker_id_(worker_id), rank_(rank) {
   d2h_ = std::make_unique<RateLimiter>(clock, testbed.d2h_bandwidth);
   h2d_ = std::make_unique<RateLimiter>(clock, testbed.d2h_bandwidth);
-  // One I/O thread per storage path plus one for H2D/D2H charges keeps
-  // independent channels genuinely concurrent (the multi-path win).
-  aio_ = std::make_unique<AioEngine>(vtier.path_count() + 2,
-                                     /*queue_depth=*/256);
+  // The scheduler spawns one dispatch thread per channel (read+write per
+  // storage path, D2H, H2D, external), so independent channels stay
+  // genuinely concurrent (the multi-path win) while each channel orders
+  // its own traffic by priority class.
+  IoScheduler::Config io_cfg;
+  io_cfg.queue_depth = 256;
+  io_cfg.tier_exclusive_locking = opts.tier_exclusive_locking;
+  io_cfg.worker_id = worker_id;
+  io_ = std::make_unique<IoScheduler>(clock, &vtier, d2h_.get(), h2d_.get(),
+                                      io_cfg);
 
   EngineContext ctx;
   ctx.clock = &clock;
   ctx.vtier = &vtier;
-  ctx.aio = aio_.get();
+  ctx.io = io_.get();
   ctx.cpu_pool = cpu_pool;
-  ctx.d2h = d2h_.get();
-  ctx.h2d = h2d_.get();
   ctx.grads = &grads;
   ctx.worker_id = worker_id;
   ctx.rank = rank;

@@ -1,12 +1,13 @@
 // One worker process: the software stack attached to a single emulated GPU.
-// Owns the per-worker async I/O engine, the PCIe D2H/H2D channels, and the
-// offloading engine for this rank's optimizer-state shard.
+// Owns the per-worker I/O scheduler (per-path priority queues + PCIe
+// D2H/H2D link channels) and the offloading engine for this rank's
+// optimizer-state shard.
 #pragma once
 
 #include <memory>
 
-#include "aio/aio_engine.hpp"
 #include "core/offload_engine.hpp"
+#include "io/io_scheduler.hpp"
 #include "runtime/testbed.hpp"
 #include "tiers/virtual_tier.hpp"
 #include "train/grad_source.hpp"
@@ -26,6 +27,7 @@ class Worker {
 
   OffloadEngine& engine() { return *engine_; }
   const OffloadEngine& engine() const { return *engine_; }
+  IoScheduler& io() { return *io_; }
   int worker_id() const { return worker_id_; }
   int rank() const { return rank_; }
 
@@ -48,7 +50,7 @@ class Worker {
   int rank_;
   std::unique_ptr<RateLimiter> d2h_;
   std::unique_ptr<RateLimiter> h2d_;
-  std::unique_ptr<AioEngine> aio_;
+  std::unique_ptr<IoScheduler> io_;
   std::unique_ptr<OffloadEngine> engine_;
 };
 

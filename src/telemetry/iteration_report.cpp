@@ -1,5 +1,6 @@
 #include "telemetry/iteration_report.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace mlpo {
@@ -35,6 +36,16 @@ IterationReport average_reports(const std::vector<IterationReport>& reports) {
     avg.update_compute_seconds += r.update_compute_seconds;
     avg.host_cache_hits += r.host_cache_hits;
     avg.subgroups_processed += r.subgroups_processed;
+    for (std::size_t c = 0; c < kIoPriorityCount; ++c) {
+      avg.io_classes[c].requests += r.io_classes[c].requests;
+      avg.io_classes[c].cancelled += r.io_classes[c].cancelled;
+      avg.io_classes[c].sim_bytes += r.io_classes[c].sim_bytes;
+      avg.io_classes[c].queue_wait_seconds += r.io_classes[c].queue_wait_seconds;
+      avg.io_classes[c].service_seconds += r.io_classes[c].service_seconds;
+    }
+    avg.io_coalesced_batches += r.io_coalesced_batches;
+    avg.io_max_queue_depth = std::max(avg.io_max_queue_depth,
+                                      r.io_max_queue_depth);
     // Traces concatenate: per-subgroup distributions remain inspectable.
     avg.traces.insert(avg.traces.end(), r.traces.begin(), r.traces.end());
   }
@@ -53,6 +64,15 @@ IterationReport average_reports(const std::vector<IterationReport>& reports) {
       static_cast<u32>(static_cast<f64>(avg.host_cache_hits) / n);
   avg.subgroups_processed =
       static_cast<u32>(static_cast<f64>(avg.subgroups_processed) / n);
+  for (auto& c : avg.io_classes) {
+    c.requests = static_cast<u64>(static_cast<f64>(c.requests) / n);
+    c.cancelled = static_cast<u64>(static_cast<f64>(c.cancelled) / n);
+    c.sim_bytes = static_cast<u64>(static_cast<f64>(c.sim_bytes) / n);
+    c.queue_wait_seconds /= n;
+    c.service_seconds /= n;
+  }
+  avg.io_coalesced_batches =
+      static_cast<u64>(static_cast<f64>(avg.io_coalesced_batches) / n);
   return avg;
 }
 

@@ -4,12 +4,29 @@
 // per-subgroup transfer traces (Fig. 5).
 #pragma once
 
+#include <array>
 #include <string>
 #include <vector>
 
+#include "io/io_request.hpp"
 #include "util/common.hpp"
 
 namespace mlpo {
+
+/// Update-phase I/O scheduler counters for one priority class (delta of
+/// the IoScheduler's cumulative stats over run_update). Times are virtual
+/// seconds summed over the class's requests.
+struct IoClassCounters {
+  u64 requests = 0;   ///< dispatched during the phase (completed + failed)
+  u64 cancelled = 0;  ///< dropped while queued
+  u64 sim_bytes = 0;
+  f64 queue_wait_seconds = 0;  ///< submit -> dispatch
+  f64 service_seconds = 0;     ///< dispatch -> done (includes lock wait)
+
+  f64 mean_queue_wait() const {
+    return requests > 0 ? queue_wait_seconds / static_cast<f64>(requests) : 0;
+  }
+};
 
 struct SubgroupTrace {
   u32 subgroup_id;
@@ -42,6 +59,11 @@ struct IterationReport {
   f64 update_compute_seconds = 0;  ///< accumulated CPU update kernel time
   u32 host_cache_hits = 0;
   u32 subgroups_processed = 0;
+  /// Per-priority scheduler activity during the update phase, indexed by
+  /// IoPriority (demand-prefetch, grad-deposit, lazy-flush, checkpoint).
+  std::array<IoClassCounters, kIoPriorityCount> io_classes{};
+  u64 io_coalesced_batches = 0;  ///< small-transfer batches merged
+  u64 io_max_queue_depth = 0;    ///< channel-queue high-water mark so far
   std::vector<SubgroupTrace> traces;
 
   f64 iteration_seconds() const {

@@ -34,9 +34,18 @@ struct TierStats {
   f64 read_seconds() const { return static_cast<f64>(read_usecs.load()) / 1e6; }
   f64 write_seconds() const { return static_cast<f64>(write_usecs.load()) / 1e6; }
 
+  /// Zero every counter with individual atomic stores. NOT atomic as a
+  /// whole: a transfer racing with reset() may land partly before and
+  /// partly after it, leaving the counters mutually inconsistent (e.g.
+  /// reads counted whose bytes were wiped). Only call between iterations /
+  /// phases, when no transfer is in flight on this tier.
   void reset() {
-    reads = writes = bytes_read = bytes_written = 0;
-    read_usecs = write_usecs = 0;
+    reads.store(0);
+    writes.store(0);
+    bytes_read.store(0);
+    bytes_written.store(0);
+    read_usecs.store(0);
+    write_usecs.store(0);
   }
 };
 

@@ -95,6 +95,30 @@ TEST(IoBatch, WaitAllPropagatesFirstError) {
   EXPECT_EQ(ok.load(), 3);
 }
 
+TEST(IoBatch, WaitAllAggregatesEveryError) {
+  AioEngine engine(2, 16);
+  IoBatch batch;
+  batch.add(engine.submit([] { throw std::runtime_error("path0 down"); }));
+  batch.add(engine.submit([] { throw std::runtime_error("path1 down"); }));
+  batch.add(engine.submit([] {}));
+  try {
+    batch.wait_all();
+    FAIL() << "expected an aggregated error";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("2 operations failed"), std::string::npos) << what;
+    EXPECT_NE(what.find("path0 down"), std::string::npos) << what;
+    EXPECT_NE(what.find("path1 down"), std::string::npos) << what;
+  }
+}
+
+TEST(IoBatch, SingleFailurePreservesExceptionType) {
+  AioEngine engine(1, 8);
+  IoBatch batch;
+  batch.add(engine.submit([] { throw std::out_of_range("missing key"); }));
+  EXPECT_THROW(batch.wait_all(), std::out_of_range);
+}
+
 TEST(IoBatch, EmptyBatchIsFine) {
   IoBatch batch;
   batch.wait_all();

@@ -15,9 +15,11 @@ constexpr u32 kNumSubgroups = 6;
 struct Rig {
   SimClock clock{50000.0};
   VirtualTier vtier;
-  AioEngine aio{4, 64};
   GradSource grads;
   MemoryTier ckpt_store{"ckpt-store"};
+  // One scheduler per engine so its locking config matches the engine's
+  // flags; kept alive here because they must outlive the engines.
+  std::vector<std::unique_ptr<IoScheduler>> schedulers;
 
   Rig() {
     ThrottleSpec nvme{8e6, 6e6};
@@ -31,17 +33,23 @@ struct Rig {
   }
 
   std::unique_ptr<OffloadEngine> make_engine(bool multipath) {
-    EngineContext ctx;
-    ctx.clock = &clock;
-    ctx.vtier = &vtier;
-    ctx.aio = &aio;
-    ctx.grads = &grads;
     EngineOptions opts = multipath ? EngineOptions::mlp_offload()
                                    : EngineOptions::deepspeed_zero3();
     opts.cpu_update_rate = 1e9;
     opts.convert.fp32_bytes_per_sec = 1e12;
     opts.host_cache_subgroups = 2;
     opts.elem_scale = 1;
+
+    IoScheduler::Config cfg;
+    cfg.tier_exclusive_locking = opts.tier_exclusive_locking;
+    schedulers.push_back(
+        std::make_unique<IoScheduler>(clock, &vtier, nullptr, nullptr, cfg));
+
+    EngineContext ctx;
+    ctx.clock = &clock;
+    ctx.vtier = &vtier;
+    ctx.io = schedulers.back().get();
+    ctx.grads = &grads;
     auto engine = std::make_unique<OffloadEngine>(
         ctx, opts, make_shard_layout(kSubgroupParams * kNumSubgroups, 1, 0,
                                      kSubgroupParams));

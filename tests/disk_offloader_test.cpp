@@ -2,15 +2,18 @@
 #include <gtest/gtest.h>
 
 #include "core/disk_offloader.hpp"
+#include "io/io_scheduler.hpp"
 #include "tiers/memory_tier.hpp"
+#include "util/sim_clock.hpp"
 
 namespace mlpo {
 namespace {
 
 TEST(DiskOffloader, AsyncWriteReadRoundtrip) {
   MemoryTier tier("disk");
-  AioEngine aio(2, 32);
-  DiskOffloader offloader(tier, aio);
+  SimClock clock(1.0);
+  IoScheduler io(clock);
+  DiskOffloader offloader(tier, io);
 
   std::vector<f32> tensor(256);
   for (std::size_t i = 0; i < tensor.size(); ++i) {
@@ -25,8 +28,9 @@ TEST(DiskOffloader, AsyncWriteReadRoundtrip) {
 
 TEST(DiskOffloader, SynchronizeDrainsEverything) {
   MemoryTier tier("disk");
-  AioEngine aio(4, 64);
-  DiskOffloader offloader(tier, aio);
+  SimClock clock(1.0);
+  IoScheduler io(clock);
+  DiskOffloader offloader(tier, io);
 
   std::vector<std::vector<f32>> tensors(16, std::vector<f32>(64, 1.5f));
   for (std::size_t i = 0; i < tensors.size(); ++i) {
@@ -40,8 +44,9 @@ TEST(DiskOffloader, SynchronizeDrainsEverything) {
 
 TEST(DiskOffloader, ErrorsSurfaceOnSynchronize) {
   MemoryTier tier("disk");
-  AioEngine aio(2, 32);
-  DiskOffloader offloader(tier, aio);
+  SimClock clock(1.0);
+  IoScheduler io(clock);
+  DiskOffloader offloader(tier, io);
   std::vector<f32> out(8);
   offloader.async_read("missing", out);  // will fail
   EXPECT_THROW(offloader.synchronize(), std::out_of_range);
@@ -52,9 +57,10 @@ TEST(DiskOffloader, SplitFollowsBandwidthRatio) {
   // distributed by the performance model.
   MemoryTier fast("nvme", 6e9, 6e9);
   MemoryTier slow("pfs", 3e9, 3e9);
-  AioEngine aio(2, 32);
-  DiskOffloader off_fast(fast, aio);
-  DiskOffloader off_slow(slow, aio);
+  SimClock clock(1.0);
+  IoScheduler io(clock);
+  DiskOffloader off_fast(fast, io);
+  DiskOffloader off_slow(slow, io);
 
   const auto placement =
       split_tensors_by_bandwidth({&off_fast, &off_slow}, 90);
@@ -71,9 +77,10 @@ TEST(DiskOffloader, EndToEndVirtualTierRecipe) {
   // Write tensors through the split, read them all back.
   MemoryTier fast("nvme", 6e9, 6e9);
   MemoryTier slow("pfs", 3e9, 3e9);
-  AioEngine aio(4, 64);
-  DiskOffloader off_fast(fast, aio);
-  DiskOffloader off_slow(slow, aio);
+  SimClock clock(1.0);
+  IoScheduler io(clock);
+  DiskOffloader off_fast(fast, io);
+  DiskOffloader off_slow(slow, io);
   std::vector<DiskOffloader*> offs = {&off_fast, &off_slow};
 
   constexpr std::size_t kTensors = 12;

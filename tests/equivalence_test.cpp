@@ -38,7 +38,10 @@ u64 run_config(bool multipath, bool cache, bool delayed, bool locking,
   vtier.add_path(std::make_shared<ThrottledTier>(
       "pfs", std::make_shared<MemoryTier>("pb"), clock, slow, true));
 
-  AioEngine aio(4, 128);
+  IoScheduler::Config io_cfg;
+  io_cfg.queue_depth = 128;
+  io_cfg.tier_exclusive_locking = locking;
+  IoScheduler io(clock, &vtier, nullptr, nullptr, io_cfg);
   GradSource grads;
 
   EngineOptions opts;
@@ -54,7 +57,7 @@ u64 run_config(bool multipath, bool cache, bool delayed, bool locking,
   EngineContext ctx;
   ctx.clock = &clock;
   ctx.vtier = &vtier;
-  ctx.aio = &aio;
+  ctx.io = &io;
   ctx.grads = &grads;
   OffloadEngine engine(ctx, opts, test_layout());
   engine.initialize();

@@ -68,17 +68,20 @@ class FlakyTier : public StorageTier {
 struct Rig {
   SimClock clock{50000.0};
   VirtualTier vtier;
-  AioEngine aio{4, 64};
   GradSource grads;
   std::shared_ptr<FlakyTier> flaky = std::make_shared<FlakyTier>("flaky");
+  std::unique_ptr<IoScheduler> io;
 
-  Rig() { vtier.add_path(flaky); }
+  Rig() {
+    vtier.add_path(flaky);
+    io = std::make_unique<IoScheduler>(clock, &vtier, nullptr, nullptr);
+  }
 
   std::unique_ptr<OffloadEngine> make_engine(bool delayed_grads = true) {
     EngineContext ctx;
     ctx.clock = &clock;
     ctx.vtier = &vtier;
-    ctx.aio = &aio;
+    ctx.io = io.get();
     ctx.grads = &grads;
     EngineOptions opts = EngineOptions::mlp_offload();
     opts.multipath = false;  // single (flaky) path

@@ -30,21 +30,22 @@ class FileBackendTest : public ::testing::Test {
     fs::remove_all(root_);
     vtier_.add_path(std::make_shared<FileTier>("disk0", root_ / "disk0"));
     vtier_.add_path(std::make_shared<FileTier>("disk1", root_ / "disk1"));
+    io_ = std::make_unique<IoScheduler>(clock_, &vtier_, nullptr, nullptr);
   }
   void TearDown() override { fs::remove_all(root_); }
 
   fs::path root_;
   SimClock clock_{1.0};  // genuine wall-clock time
   VirtualTier vtier_;
-  AioEngine aio_{4, 64};
   GradSource grads_;
+  std::unique_ptr<IoScheduler> io_;
 };
 
 TEST_F(FileBackendTest, FullTrainingLoopOverRealFiles) {
   EngineContext ctx;
   ctx.clock = &clock_;
   ctx.vtier = &vtier_;
-  ctx.aio = &aio_;
+  ctx.io = io_.get();
   ctx.grads = &grads_;
 
   EngineOptions opts = EngineOptions::mlp_offload();
@@ -92,11 +93,11 @@ TEST_F(FileBackendTest, StateMatchesEmulatedBackend) {
   opts.cpu_update_rate = 1e12;
   opts.convert.fp32_bytes_per_sec = 1e15;
 
-  const auto run = [&](VirtualTier& vtier, AioEngine& aio) {
+  const auto run = [&](VirtualTier& vtier, IoScheduler& io) {
     EngineContext ctx;
     ctx.clock = &clock_;
     ctx.vtier = &vtier;
-    ctx.aio = &aio;
+    ctx.io = &io;
     ctx.grads = &grads_;
     OffloadEngine engine(ctx, opts, layout);
     engine.initialize();
@@ -110,13 +111,13 @@ TEST_F(FileBackendTest, StateMatchesEmulatedBackend) {
     return engine.state_checksum();
   };
 
-  const u64 file_digest = run(vtier_, aio_);
+  const u64 file_digest = run(vtier_, *io_);
 
   VirtualTier mem_vtier;
   mem_vtier.add_path(std::make_shared<MemoryTier>("m0"));
   mem_vtier.add_path(std::make_shared<MemoryTier>("m1"));
-  AioEngine mem_aio(4, 64);
-  const u64 mem_digest = run(mem_vtier, mem_aio);
+  IoScheduler mem_io(clock_, &mem_vtier, nullptr, nullptr);
+  const u64 mem_digest = run(mem_vtier, mem_io);
 
   EXPECT_EQ(file_digest, mem_digest);
 }

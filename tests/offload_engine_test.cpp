@@ -19,11 +19,14 @@ constexpr u64 kSubgroupParams = 4096;
 constexpr u32 kNumSubgroups = 8;
 
 // Shared scaffolding: a two-path virtual tier over fast emulated devices.
+// The scheduler is built after the paths exist (it spawns one dispatch
+// channel per path direction at construction).
 struct EngineRig {
   SimClock clock{20000.0};
   VirtualTier vtier;
-  AioEngine aio{4, 128};
   GradSource grads;
+  std::unique_ptr<IoScheduler> io;
+  std::unique_ptr<IoScheduler> io_unlocked;
 
   EngineRig() {
     ThrottleSpec nvme_spec{/*read_bw=*/4e6, /*write_bw=*/3e6};
@@ -35,19 +38,32 @@ struct EngineRig {
     vtier.add_path(std::make_shared<ThrottledTier>(
         "pfs", std::make_shared<MemoryTier>("pfs-back"), clock, pfs_spec,
         /*persistent=*/true));
+    IoScheduler::Config cfg;
+    cfg.queue_depth = 128;
+    io = std::make_unique<IoScheduler>(clock, &vtier, nullptr, nullptr, cfg);
+    cfg.tier_exclusive_locking = false;
+    io_unlocked =
+        std::make_unique<IoScheduler>(clock, &vtier, nullptr, nullptr, cfg);
   }
 
   EngineContext context(int worker = 0, int rank = 0) {
     EngineContext ctx;
     ctx.clock = &clock;
     ctx.vtier = &vtier;
-    ctx.aio = &aio;
+    ctx.io = io.get();
     ctx.cpu_pool = nullptr;
-    ctx.d2h = nullptr;
-    ctx.h2d = nullptr;
     ctx.grads = &grads;
     ctx.worker_id = worker;
     ctx.rank = rank;
+    return ctx;
+  }
+
+  /// Context whose scheduler locking matches the engine's flags (the
+  /// deepspeed_zero3 baseline runs without tier-exclusive locking).
+  EngineContext context_for(const EngineOptions& opts, int worker = 0,
+                            int rank = 0) {
+    EngineContext ctx = context(worker, rank);
+    if (!opts.tier_exclusive_locking) ctx.io = io_unlocked.get();
     return ctx;
   }
 
@@ -125,7 +141,7 @@ TEST(OffloadEngine, UpdateBeforeInitializeThrows) {
 TEST(OffloadEngine, SinglePathWhenMultipathDisabled) {
   EngineRig rig;
   auto opts = EngineRig::fast_options(EngineOptions::deepspeed_zero3());
-  OffloadEngine engine(rig.context(), opts, EngineRig::layout());
+  OffloadEngine engine(rig.context_for(opts), opts, EngineRig::layout());
   engine.initialize();
   const auto dist = engine.distribution();
   EXPECT_EQ(dist.path_sim_bytes[1], 0u) << "baseline must not touch the PFS";
@@ -197,9 +213,8 @@ TEST(OffloadEngine, CacheHitsAppearFromSecondIteration) {
 
 TEST(OffloadEngine, BaselineNeverHitsCache) {
   EngineRig rig;
-  OffloadEngine engine(rig.context(),
-                       EngineRig::fast_options(EngineOptions::deepspeed_zero3()),
-                       EngineRig::layout());
+  const auto opts = EngineRig::fast_options(EngineOptions::deepspeed_zero3());
+  OffloadEngine engine(rig.context_for(opts), opts, EngineRig::layout());
   engine.initialize();
   for (u64 iter = 0; iter < 3; ++iter) {
     for (u32 id = 0; id < engine.num_subgroups(); ++id) {
