@@ -10,11 +10,12 @@
 
 #include "bench_common.hpp"
 #include "core/offload_engine.hpp"
+#include "harness/bench_registry.hpp"
 #include "tiers/fluctuating_tier.hpp"
 #include "tiers/memory_tier.hpp"
 
+namespace mlpo::bench {
 namespace {
-using namespace mlpo;
 
 struct RunResult {
   f64 quiet_update_s;     // avg update before the interference
@@ -22,7 +23,7 @@ struct RunResult {
   std::vector<u32> final_quotas;
 };
 
-RunResult run(bool adaptive, f64 time_scale) {
+RunResult run_one(bool adaptive, f64 time_scale) {
   const SimClock clock(time_scale);
   const auto testbed = TestbedSpec::testbed1();
 
@@ -84,20 +85,15 @@ RunResult run(bool adaptive, f64 time_scale) {
   return result;
 }
 
-}  // namespace
+std::vector<telemetry::Metric> run(BenchContext& ctx) {
+  using telemetry::Better;
+  std::vector<telemetry::Metric> out;
 
-int main() {
-  bench::print_header(
-      "Ablation - adaptive bandwidth re-estimation under PFS interference",
-      "when the PFS drops to 25% mid-run, the adaptive Eq.-1 model "
-      "repartitions subgroups to the NVMe; static placement keeps paying "
-      "the degraded path");
-
-  const f64 scale = bench::env_time_scale();
+  const f64 scale = env_time_scale();
   TablePrinter table({"Placement", "Quiet update (s)", "Pressured update (s)",
                       "Slowdown", "Final NVMe:PFS quota"});
   for (const bool adaptive : {false, true}) {
-    const auto r = run(adaptive, scale);
+    const auto r = run_one(adaptive, scale);
     table.add_row(
         {adaptive ? "adaptive (ours)" : "static",
          TablePrinter::num(r.quiet_update_s, 1),
@@ -105,7 +101,30 @@ int main() {
          TablePrinter::num(r.pressured_update_s / r.quiet_update_s, 2) + "x",
          std::to_string(r.final_quotas[0]) + ":" +
              std::to_string(r.final_quotas.size() > 1 ? r.final_quotas[1] : 0)});
+    const json::Object params{{"placement", adaptive ? "adaptive" : "static"}};
+    out.push_back(metric("pressured_update_seconds", "s",
+                         r.pressured_update_s, Better::kLower, params));
+    out.push_back(metric("interference_slowdown", "x",
+                         r.pressured_update_s / r.quiet_update_s,
+                         Better::kLower, params));
   }
-  table.print();
-  return 0;
+  if (ctx.print_tables()) table.print();
+  return out;
 }
+
+}  // namespace
+
+void register_ablation_adaptive_model(BenchRegistry& r) {
+  r.add({.name = "ablation_adaptive_model",
+         .title = "Ablation - adaptive bandwidth re-estimation under PFS "
+                  "interference",
+         .paper_claim =
+             "when the PFS drops to 25% mid-run, the adaptive Eq.-1 model "
+             "repartitions subgroups to the NVMe; static placement keeps "
+             "paying the degraded path",
+         .labels = {"ablation", "scaled"},
+         .sweep = {{"placement", {"static", "adaptive"}}},
+         .run = run});
+}
+
+}  // namespace mlpo::bench

@@ -1,18 +1,19 @@
 // Design-choice ablation: prefetch depth. The paper's host buffers hold
 // three subgroups (flushing / updating / prefetching) — prefetch_ahead 1.
-// This harness measures what deeper prefetching buys: diminishing returns
+// This case measures what deeper prefetching buys: diminishing returns
 // as the pipeline saturates the storage channels, at the cost of more
 // pinned host memory.
 #include <cstdio>
 
 #include "bench_common.hpp"
+#include "harness/bench_registry.hpp"
 
-int main() {
-  using namespace mlpo;
-  bench::print_header(
-      "Ablation - prefetch depth (70B, Testbed-1, MLP-Offload)",
-      "one outstanding prefetch (the paper's 3-buffer budget) already hides "
-      "most fetch latency; deeper pipelines trade host memory for little");
+namespace mlpo::bench {
+namespace {
+
+std::vector<telemetry::Metric> run(BenchContext& ctx) {
+  using telemetry::Better;
+  std::vector<telemetry::Metric> out;
 
   const auto& model = paper_model("70B");
   TablePrinter table({"CPU speed", "Prefetch ahead", "Host buffers",
@@ -27,18 +28,44 @@ int main() {
     for (const u32 ahead : {0u, 1u, 2u, 4u}) {
       auto opts = EngineOptions::mlp_offload();
       opts.prefetch_ahead = ahead;
-      auto cfg = bench::scenario(model, testbed, opts);
-      const auto result = bench::run_scenario(cfg);
+      auto cfg = scenario(model, testbed, opts);
+      const auto result = run_scenario(cfg);
       table.add_row({slow_cpu ? "1/8x" : "nominal", std::to_string(ahead),
                      std::to_string(ahead + 2),
                      TablePrinter::num(result.avg.update_seconds, 1),
                      TablePrinter::num(result.avg.iteration_seconds(), 1)});
+      const json::Object params{{"cpu", slow_cpu ? "1/8x" : "nominal"},
+                                {"prefetch_ahead", std::to_string(ahead)}};
+      out.push_back(metric("update_seconds", "s", result.avg.update_seconds,
+                           Better::kLower, params));
+      out.push_back(metric("iteration_seconds", "s",
+                           result.avg.iteration_seconds(), Better::kNeither,
+                           params));
     }
   }
-  table.print();
-  std::printf("\nWith the nominal CPU the update is I/O-bound and depth is "
-              "marginal; with a\nslow CPU, prefetch_ahead >= 1 hides fetch "
-              "time behind the update kernel.\nEither way the paper's "
-              "3-buffer budget (ahead=1) captures the benefit.\n");
-  return 0;
+  if (ctx.print_tables()) {
+    table.print();
+    std::printf("\nWith the nominal CPU the update is I/O-bound and depth is "
+                "marginal; with a\nslow CPU, prefetch_ahead >= 1 hides fetch "
+                "time behind the update kernel.\nEither way the paper's "
+                "3-buffer budget (ahead=1) captures the benefit.\n");
+  }
+  return out;
 }
+
+}  // namespace
+
+void register_ablation_prefetch_depth(BenchRegistry& r) {
+  r.add({.name = "ablation_prefetch_depth",
+         .title = "Ablation - prefetch depth (70B, Testbed-1, MLP-Offload)",
+         .paper_claim =
+             "one outstanding prefetch (the paper's 3-buffer budget) "
+             "already hides most fetch latency; deeper pipelines trade host "
+             "memory for little",
+         .labels = {"ablation", "scaled"},
+         .sweep = {{"cpu", {"nominal", "1/8x"}},
+                   {"prefetch_ahead", {"0", "1", "2", "4"}}},
+         .run = run});
+}
+
+}  // namespace mlpo::bench

@@ -2,42 +2,70 @@
 // subgroups instead of DeepSpeed's 1B default because "smaller subgroups
 // achieve better I/O and compute overlap ... which allows better load
 // balancing for our approach" — while being "inconsequential for
-// convergence or accuracy". This harness sweeps the subgroup size for the
+// convergence or accuracy". This case sweeps the subgroup size for the
 // 40B model under both engines.
 #include <cstdio>
 
 #include "bench_common.hpp"
+#include "harness/bench_registry.hpp"
 
-int main() {
-  using namespace mlpo;
-  bench::print_header(
-      "Ablation - subgroup size (40B, Testbed-1)",
-      "100M-param subgroups overlap I/O and compute better than DeepSpeed's "
-      "1B default; very small subgroups pay per-request overheads");
+namespace mlpo::bench {
+namespace {
+
+std::vector<telemetry::Metric> run(BenchContext& ctx) {
+  using telemetry::Better;
+  std::vector<telemetry::Metric> out;
 
   const auto& model = paper_model("40B");
   TablePrinter table({"Subgroup (Mparams)", "Engine", "Update (s)",
                       "Total (s)", "Subgroups/GPU"});
   for (const u64 subgroup_params :
        {50'000'000ull, 100'000'000ull, 250'000'000ull, 1'000'000'000ull}) {
+    const auto pair = run_engine_pair(
+        model, TestbedSpec::testbed1(), 1, [&](TrainerConfig& cfg) {
+          cfg.subgroup_params = subgroup_params;
+        });
+    const ScenarioResult* results[2] = {&pair.ds, &pair.mlp};
     for (const int mlp : {0, 1}) {
-      auto cfg = bench::scenario(model, TestbedSpec::testbed1(),
-                                 mlp ? EngineOptions::mlp_offload()
-                                     : EngineOptions::deepspeed_zero3());
-      if (!mlp) cfg.attach_pfs = false;
-      cfg.subgroup_params = subgroup_params;
-      const auto result = bench::run_scenario(cfg);
+      const auto& result = *results[mlp];
       table.add_row(
           {TablePrinter::num(static_cast<f64>(subgroup_params) / 1e6, 0),
            mlp ? "MLP-Offload" : "DeepSpeed ZeRO-3",
            TablePrinter::num(result.avg.update_seconds, 1),
            TablePrinter::num(result.avg.iteration_seconds(), 1),
            std::to_string(result.avg.subgroups_processed / 4)});
+      const json::Object params{
+          {"subgroup_mparams", std::to_string(subgroup_params / 1'000'000)},
+          {"engine", mlp ? "mlp" : "ds"}};
+      out.push_back(metric("update_seconds", "s", result.avg.update_seconds,
+                           Better::kLower, params));
+      out.push_back(metric("iteration_seconds", "s",
+                           result.avg.iteration_seconds(), Better::kNeither,
+                           params));
     }
   }
-  table.print();
-  std::printf("\nExpected shape: coarse 1B subgroups lose pipeline overlap "
-              "(fill/drain\nbubbles and lumpy multi-path balancing); the "
-              "paper's 100M choice sits near\nthe knee.\n");
-  return 0;
+  if (ctx.print_tables()) {
+    table.print();
+    std::printf("\nExpected shape: coarse 1B subgroups lose pipeline overlap "
+                "(fill/drain\nbubbles and lumpy multi-path balancing); the "
+                "paper's 100M choice sits near\nthe knee.\n");
+  }
+  return out;
 }
+
+}  // namespace
+
+void register_ablation_subgroup_size(BenchRegistry& r) {
+  r.add({.name = "ablation_subgroup_size",
+         .title = "Ablation - subgroup size (40B, Testbed-1)",
+         .paper_claim =
+             "100M-param subgroups overlap I/O and compute better than "
+             "DeepSpeed's 1B default; very small subgroups pay per-request "
+             "overheads",
+         .labels = {"ablation", "scaled"},
+         .sweep = {{"subgroup_mparams", {"50", "100", "250", "1000"}},
+                   {"engine", {"ds", "mlp"}}},
+         .run = run});
+}
+
+}  // namespace mlpo::bench

@@ -1,24 +1,30 @@
 #include "bench_common.hpp"
 
 #include <cstdio>
-#include <cstdlib>
 
 namespace mlpo::bench {
 
-namespace {
-f64 env_f64(const char* name, f64 def) {
-  const char* v = std::getenv(name);
-  return v != nullptr ? std::atof(v) : def;
-}
-u32 env_u32(const char* name, u32 def) {
-  const char* v = std::getenv(name);
-  return v != nullptr ? static_cast<u32>(std::atoi(v)) : def;
-}
-}  // namespace
+f64 env_time_scale() { return env::f64_or("MLPO_TIME_SCALE", 500.0); }
 
-f64 env_time_scale() { return env_f64("MLPO_TIME_SCALE", 500.0); }
-u32 env_iters() { return env_u32("MLPO_BENCH_ITERS", 3); }
-u32 env_warmup() { return env_u32("MLPO_BENCH_WARMUP", 1); }
+u32 env_iters() { return env::u32_or("MLPO_BENCH_ITERS", 3, 1); }
+
+u32 env_warmup() {
+  const u32 iters = env_iters();
+  const u32 warmup =
+      env::u32_or("MLPO_BENCH_WARMUP", iters > 1 ? 1 : 0);
+  if (warmup >= iters) {
+    throw env::EnvError(
+        "MLPO_BENCH_WARMUP=" + std::to_string(warmup) +
+        " must be < MLPO_BENCH_ITERS=" + std::to_string(iters) +
+        " (at least one measured iteration is required)");
+  }
+  return warmup;
+}
+
+void validate_bench_env() {
+  env_time_scale();
+  env_warmup();  // also parses MLPO_BENCH_ITERS
+}
 
 u64 elem_scale_for(u64 params) {
   // Keep whole-model real footprint around tens of MB: params/scale real
@@ -51,12 +57,40 @@ ScenarioResult run_scenario(const TrainerConfig& cfg) {
   return result;
 }
 
+EnginePairResult run_engine_pair(
+    const ModelConfig& model, const TestbedSpec& testbed, u32 nodes,
+    const std::function<void(TrainerConfig&)>& tweak) {
+  EnginePairResult result;
+
+  auto ds_cfg = scenario(model, testbed, EngineOptions::deepspeed_zero3(),
+                         nodes);
+  ds_cfg.attach_pfs = false;  // the baseline never touches the PFS
+  if (tweak) tweak(ds_cfg);
+  result.ds = run_scenario(ds_cfg);
+
+  auto mlp_cfg = scenario(model, testbed, EngineOptions::mlp_offload(), nodes);
+  if (tweak) tweak(mlp_cfg);
+  result.mlp = run_scenario(mlp_cfg);
+  return result;
+}
+
 void print_header(const std::string& id, const std::string& paper_claim) {
   std::printf("\n================================================================\n");
   std::printf("%s\n", id.c_str());
   std::printf("Paper: %s\n", paper_claim.c_str());
   std::printf("(scaled-time emulation; compare shapes/ratios, not absolutes)\n");
   std::printf("================================================================\n");
+}
+
+telemetry::Metric metric(std::string name, std::string unit, f64 value,
+                         telemetry::Better better, json::Object params) {
+  telemetry::Metric m;
+  m.name = std::move(name);
+  m.unit = std::move(unit);
+  m.params = std::move(params);
+  m.value = value;
+  m.better = better;
+  return m;
 }
 
 std::string gb_per_s(f64 bytes_per_vsec) {

@@ -9,10 +9,11 @@
 
 #include "bench_common.hpp"
 #include "core/offload_engine.hpp"
+#include "harness/bench_registry.hpp"
 #include "tiers/memory_tier.hpp"
 
+namespace mlpo::bench {
 namespace {
-using namespace mlpo;
 
 f64 run_with_paths(u32 num_paths, f64 time_scale, std::vector<u32>* quotas) {
   const SimClock clock(time_scale);
@@ -68,15 +69,9 @@ f64 run_with_paths(u32 num_paths, f64 time_scale, std::vector<u32>* quotas) {
   return total / measured;
 }
 
-}  // namespace
-
-int main() {
-  bench::print_header(
-      "Extension - virtual-tier generalization (NVMe -> +PFS -> +object "
-      "store -> +CXL pool)",
-      "each added path joins the Eq.-1 virtual tier with zero engine "
-      "changes; update time falls with aggregate bandwidth (§3.2 "
-      "generalization + conclusion's CXL future work)");
+std::vector<telemetry::Metric> run(BenchContext& ctx) {
+  using telemetry::Better;
+  std::vector<telemetry::Metric> out;
 
   const char* labels[] = {"NVMe only", "+ PFS (VAST)", "+ object store",
                           "+ CXL pool (30 GB/s)"};
@@ -85,7 +80,7 @@ int main() {
   f64 baseline = 0;
   for (u32 paths = 1; paths <= 4; ++paths) {
     std::vector<u32> quotas;
-    const f64 update = run_with_paths(paths, bench::env_time_scale(), &quotas);
+    const f64 update = run_with_paths(paths, env_time_scale(), &quotas);
     if (paths == 1) baseline = update;
     std::string quota_str;
     for (std::size_t i = 0; i < quotas.size(); ++i) {
@@ -95,10 +90,34 @@ int main() {
     table.add_row({labels[paths - 1], std::to_string(paths),
                    TablePrinter::num(update, 1),
                    TablePrinter::num(baseline / update, 2) + "x", quota_str});
+    const json::Object params{{"paths", std::to_string(paths)}};
+    out.push_back(metric("update_seconds", "s", update, Better::kLower,
+                         params));
+    out.push_back(metric("speedup_vs_nvme", "x", baseline / update,
+                         Better::kHigher, params));
   }
-  table.print();
-  std::printf("\nThe CXL pool (memory-class bandwidth) absorbs most of the "
-              "placement once\nadded — the paper's motivation for exploring "
-              "CXL as a next offload level.\n");
-  return 0;
+  if (ctx.print_tables()) {
+    table.print();
+    std::printf("\nThe CXL pool (memory-class bandwidth) absorbs most of the "
+                "placement once\nadded — the paper's motivation for exploring "
+                "CXL as a next offload level.\n");
+  }
+  return out;
 }
+
+}  // namespace
+
+void register_extension_virtual_tiers(BenchRegistry& r) {
+  r.add({.name = "extension_virtual_tiers",
+         .title = "Extension - virtual-tier generalization (NVMe -> +PFS -> "
+                  "+object store -> +CXL pool)",
+         .paper_claim =
+             "each added path joins the Eq.-1 virtual tier with zero engine "
+             "changes; update time falls with aggregate bandwidth (§3.2 "
+             "generalization + conclusion's CXL future work)",
+         .labels = {"extension", "scaled"},
+         .sweep = {{"paths", {"1", "2", "3", "4"}}},
+         .run = run});
+}
+
+}  // namespace mlpo::bench

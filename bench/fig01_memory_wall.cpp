@@ -1,12 +1,14 @@
 // Figure 1: model parameters vs GPU memory growth, 2018-2024.
 // The paper's motivating trend: transformer sizes grow ~450x every 2 years
-// while GPU memory grows ~2x every 2 years. This harness regenerates the
+// while GPU memory grows ~2x every 2 years. This case regenerates the
 // two series and fits their growth rates.
 #include <cmath>
 #include <cstdio>
 
 #include "bench_common.hpp"
+#include "harness/bench_registry.hpp"
 
+namespace mlpo::bench {
 namespace {
 
 struct ModelPoint {
@@ -51,37 +53,56 @@ double growth_per_2yr(const T (&pts)[N], double (*get)(const T&)) {
   return std::pow(2.0, slope * 2.0);
 }
 
-}  // namespace
+std::vector<telemetry::Metric> run(BenchContext& ctx) {
+  if (ctx.print_tables()) {
+    TablePrinter models({"Year", "Model", "Params (B)"});
+    for (const auto& m : kModels) {
+      models.add_row({std::to_string(m.year), m.name,
+                      TablePrinter::num(m.params_b, 3)});
+    }
+    models.print();
+    std::printf("\n");
 
-int main() {
-  using namespace mlpo;
-  bench::print_header(
-      "Figure 1 - Model vs GPU memory growth",
-      "transformer sizes ~450x / 2 years vs GPU memory ~2x / 2 years");
-
-  TablePrinter models({"Year", "Model", "Params (B)"});
-  for (const auto& m : kModels) {
-    models.add_row({std::to_string(m.year), m.name,
-                    TablePrinter::num(m.params_b, 3)});
+    TablePrinter gpus({"Year", "GPU", "Memory (GB)"});
+    for (const auto& g : kGpus) {
+      gpus.add_row({std::to_string(g.year), g.name, TablePrinter::num(g.mem_gb, 0)});
+    }
+    gpus.print();
   }
-  models.print();
-  std::printf("\n");
-
-  TablePrinter gpus({"Year", "GPU", "Memory (GB)"});
-  for (const auto& g : kGpus) {
-    gpus.add_row({std::to_string(g.year), g.name, TablePrinter::num(g.mem_gb, 0)});
-  }
-  gpus.print();
 
   const double model_growth = growth_per_2yr(
       kModels, +[](const ModelPoint& p) { return p.params_b; });
   const double gpu_growth =
       growth_per_2yr(kGpus, +[](const GpuPoint& p) { return p.mem_gb; });
 
-  std::printf("\nFitted growth per 2 years: models %.0fx, GPU memory %.1fx\n",
-              model_growth, gpu_growth);
-  std::printf("Paper's annotation:        models 450x, GPU memory 2x\n");
-  std::printf("Gap factor per 2 years:    %.0fx -> the \"GPU memory wall\"\n",
-              model_growth / gpu_growth);
-  return 0;
+  if (ctx.print_tables()) {
+    std::printf("\nFitted growth per 2 years: models %.0fx, GPU memory %.1fx\n",
+                model_growth, gpu_growth);
+    std::printf("Paper's annotation:        models 450x, GPU memory 2x\n");
+    std::printf("Gap factor per 2 years:    %.0fx -> the \"GPU memory wall\"\n",
+                model_growth / gpu_growth);
+  }
+
+  using telemetry::Better;
+  return {
+      metric("model_growth_per_2yr", "x", model_growth),
+      metric("gpu_growth_per_2yr", "x", gpu_growth),
+      // The wall itself gates: it only moves if the annotated data moves.
+      metric("memory_wall_gap", "x", model_growth / gpu_growth,
+             Better::kHigher),
+  };
 }
+
+}  // namespace
+
+void register_fig01_memory_wall(BenchRegistry& r) {
+  r.add({.name = "fig01_memory_wall",
+         .title = "Figure 1 - Model vs GPU memory growth",
+         .paper_claim =
+             "transformer sizes ~450x / 2 years vs GPU memory ~2x / 2 years",
+         .labels = {"smoke", "figure"},
+         .sweep = {},
+         .run = run});
+}
+
+}  // namespace mlpo::bench

@@ -7,10 +7,11 @@
 
 #include "bench_common.hpp"
 #include "core/cpu_only_engine.hpp"
+#include "harness/bench_registry.hpp"
 #include "train/sharding.hpp"
 
+namespace mlpo::bench {
 namespace {
-using namespace mlpo;
 
 // Paper reference rows (update I/O seconds, compute seconds).
 struct PaperRow {
@@ -22,25 +23,22 @@ const PaperRow kPaper[] = {
     {"20B CPU", 0.0, 2.3},   {"20B", 66.5, 0.7},   {"40B", 211.0, 2.1},
     {"70B", 331.8, 3.2},     {"120B", 479.1, 4.7},
 };
-}  // namespace
 
-int main() {
-  bench::print_header(
-      "Figure 3 - Disk I/O share of the update phase (DeepSpeed ZeRO-3)",
-      "host-resident 20B updates are pure compute; SSD-offloaded models "
-      "spend ~99% of the update phase in disk I/O");
+std::vector<telemetry::Metric> run(BenchContext& ctx) {
+  using telemetry::Better;
+  std::vector<telemetry::Metric> out;
 
   TablePrinter table({"Model", "Update (s)", "I/O time (s)", "Compute (s)",
                       "I/O frac", "Paper I/O frac"});
 
   // Row 1: the 20B host-memory reference (pure CPU update).
   {
-    const SimClock clock(bench::env_time_scale());
+    const SimClock clock(env_time_scale());
     const GradSource grads;
     CpuOnlyEngine::Options opts;
     opts.cpu_update_rate = TestbedSpec::testbed1().cpu_update_rate_node;
     const auto model = baseline_20b();
-    opts.elem_scale = bench::elem_scale_for(model.parameters());
+    opts.elem_scale = elem_scale_for(model.parameters());
     CpuOnlyEngine engine(clock, grads, make_shard_layout(model, 1, 0), opts);
     engine.initialize();
     engine.deposit_gradients(0, true);
@@ -48,6 +46,8 @@ int main() {
     table.add_row({"20B CPU", TablePrinter::num(report.update_seconds),
                    "0.0", TablePrinter::num(report.update_compute_seconds),
                    TablePrinter::pct(0.0), TablePrinter::pct(0.0)});
+    out.push_back(metric("update_seconds", "s", report.update_seconds,
+                         Better::kLower, {{"model", "20B CPU"}}));
   }
 
   // SSD-offloaded rows: DeepSpeed baseline, NVMe only, minimal host cache
@@ -57,25 +57,48 @@ int main() {
   const f64 paper_frac[] = {0.99, 0.99, 0.99, 0.99};
   int i = 0;
   for (const auto& model : rows) {
-    auto cfg = bench::scenario(model, TestbedSpec::testbed1(),
-                               EngineOptions::deepspeed_zero3());
+    auto cfg = scenario(model, TestbedSpec::testbed1(),
+                        EngineOptions::deepspeed_zero3());
     cfg.attach_pfs = false;
     cfg.host_cache_override = 0;
-    const auto result = bench::run_scenario(cfg);
+    const auto result = run_scenario(cfg);
     const f64 io = result.avg.fetch_seconds + result.avg.flush_seconds;
     table.add_row({model.name, TablePrinter::num(result.avg.update_seconds),
                    TablePrinter::num(io),
                    TablePrinter::num(result.avg.update_compute_seconds),
                    TablePrinter::pct(result.avg.update_io_fraction()),
                    TablePrinter::pct(paper_frac[i++])});
+    out.push_back(metric("update_seconds", "s", result.avg.update_seconds,
+                         Better::kLower, {{"model", model.name}}));
+    out.push_back(metric("update_io_fraction", "frac",
+                         result.avg.update_io_fraction(), Better::kNeither,
+                         {{"model", model.name}}));
   }
-  table.print();
-
-  std::printf("\nPaper reference (their testbed):\n");
-  TablePrinter ref({"Model", "I/O (s)", "Compute (s)"});
-  for (const auto& r : kPaper) {
-    ref.add_row({r.label, TablePrinter::num(r.io_s), TablePrinter::num(r.compute_s)});
+  if (ctx.print_tables()) {
+    table.print();
+    std::printf("\nPaper reference (their testbed):\n");
+    TablePrinter ref({"Model", "I/O (s)", "Compute (s)"});
+    for (const auto& r : kPaper) {
+      ref.add_row({r.label, TablePrinter::num(r.io_s),
+                   TablePrinter::num(r.compute_s)});
+    }
+    ref.print();
   }
-  ref.print();
-  return 0;
+  return out;
 }
+
+}  // namespace
+
+void register_fig03_update_io_fraction(BenchRegistry& r) {
+  r.add({.name = "fig03_update_io_fraction",
+         .title =
+             "Figure 3 - Disk I/O share of the update phase (DeepSpeed ZeRO-3)",
+         .paper_claim =
+             "host-resident 20B updates are pure compute; SSD-offloaded "
+             "models spend ~99% of the update phase in disk I/O",
+         .labels = {"figure", "scaled"},
+         .sweep = {{"model", {"20B CPU", "20B", "40B", "70B", "120B"}}},
+         .run = run});
+}
+
+}  // namespace mlpo::bench

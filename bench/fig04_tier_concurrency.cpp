@@ -9,10 +9,11 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "harness/bench_registry.hpp"
 #include "tiers/throttled_tier.hpp"
 
+namespace mlpo::bench {
 namespace {
-using namespace mlpo;
 
 struct Sample {
   f64 aggregate_bps;
@@ -64,13 +65,9 @@ Sample run_procs(StorageTier& tier, const SimClock& clock, int procs,
           mean_latency};
 }
 
-}  // namespace
-
-int main() {
-  bench::print_header(
-      "Figure 4 - SSD (local) vs PFS (remote) bandwidth under concurrency",
-      "aggregate throughput flat at 1/2/4 procs; per-process latency (s/GB) "
-      "grows with contention");
+std::vector<telemetry::Metric> run(BenchContext& ctx) {
+  using telemetry::Better;
+  std::vector<telemetry::Metric> out;
 
   const auto testbed = TestbedSpec::testbed1();
   TablePrinter table({"Device", "Dir", "Procs", "Aggregate (GB/s)",
@@ -79,20 +76,47 @@ int main() {
     for (const bool reads : {true, false}) {
       for (const int procs : {1, 2, 4}) {
         // Fresh tier per cell so queue state never leaks across cells.
-        const SimClock clock(bench::env_time_scale());
+        const SimClock clock(env_time_scale());
         auto tier = local ? testbed.make_nvme_tier(clock, "nvme")
                           : testbed.make_pfs_tier(clock, "pfs");
         const auto s = run_procs(*tier, clock, procs, reads);
         table.add_row({local ? "Local NVMe" : "Remote PFS",
                        reads ? "read" : "write", std::to_string(procs),
-                       bench::gb_per_s(s.aggregate_bps),
+                       gb_per_s(s.aggregate_bps),
                        TablePrinter::num(s.latency_s_per_gb, 3)});
+        const json::Object params{{"device", local ? "nvme" : "pfs"},
+                                  {"dir", reads ? "read" : "write"},
+                                  {"procs", std::to_string(procs)}};
+        out.push_back(metric("aggregate_gbps", "GB/s", s.aggregate_bps / GB,
+                             Better::kHigher, params));
+        out.push_back(metric("latency_s_per_gb", "s/GB", s.latency_s_per_gb,
+                             Better::kLower, params));
       }
     }
   }
-  table.print();
-  std::printf("\nPaper reference: local ~7 R / ~5 W GB/s and remote ~3.6 "
-              "GB/s stay flat;\nlatency grows roughly linearly with process "
-              "count (Fig. 4 lines).\n");
-  return 0;
+  if (ctx.print_tables()) {
+    table.print();
+    std::printf("\nPaper reference: local ~7 R / ~5 W GB/s and remote ~3.6 "
+                "GB/s stay flat;\nlatency grows roughly linearly with process "
+                "count (Fig. 4 lines).\n");
+  }
+  return out;
 }
+
+}  // namespace
+
+void register_fig04_tier_concurrency(BenchRegistry& r) {
+  r.add({.name = "fig04_tier_concurrency",
+         .title = "Figure 4 - SSD (local) vs PFS (remote) bandwidth under "
+                  "concurrency",
+         .paper_claim =
+             "aggregate throughput flat at 1/2/4 procs; per-process latency "
+             "(s/GB) grows with contention",
+         .labels = {"figure", "micro"},
+         .sweep = {{"device", {"nvme", "pfs"}},
+                   {"dir", {"read", "write"}},
+                   {"procs", {"1", "2", "4"}}},
+         .run = run});
+}
+
+}  // namespace mlpo::bench

@@ -6,19 +6,20 @@
 #include <cstdio>
 
 #include "bench_common.hpp"
+#include "harness/bench_registry.hpp"
 #include "util/stats.hpp"
 
-int main() {
-  using namespace mlpo;
-  bench::print_header(
-      "Figure 5 - Per-subgroup effective R/W throughput, 40B on local SSD",
-      "oscillating series; paper means: read 3.68 GB/s, write 1.44 GB/s");
+namespace mlpo::bench {
+namespace {
 
-  auto cfg = bench::scenario(paper_model("40B"), TestbedSpec::testbed1(),
-                             EngineOptions::deepspeed_zero3());
+std::vector<telemetry::Metric> run(BenchContext& ctx) {
+  using telemetry::Better;
+
+  auto cfg = scenario(paper_model("40B"), TestbedSpec::testbed1(),
+                      EngineOptions::deepspeed_zero3());
   cfg.attach_pfs = false;
   cfg.host_cache_override = 0;
-  const auto result = bench::run_scenario(cfg);
+  const auto result = run_scenario(cfg);
 
   // One worker's trace, in processing order (the figure's x axis).
   RunningStats read_stats, write_stats;
@@ -36,12 +37,36 @@ int main() {
                      TablePrinter::num(w, 2)});
     }
   }
-  table.print();
+  if (ctx.print_tables()) {
+    table.print();
+    std::printf("\nMeasured means: read %.2f GB/s (paper 3.68), write %.2f "
+                "GB/s (paper 1.44)\n",
+                read_stats.mean(), write_stats.mean());
+    std::printf("Min/max read: %.2f / %.2f GB/s — the oscillation band\n",
+                read_stats.min(), read_stats.max());
+  }
 
-  std::printf("\nMeasured means: read %.2f GB/s (paper 3.68), write %.2f GB/s "
-              "(paper 1.44)\n",
-              read_stats.mean(), write_stats.mean());
-  std::printf("Min/max read: %.2f / %.2f GB/s — the oscillation band\n",
-              read_stats.min(), read_stats.max());
-  return 0;
+  return {
+      metric("read_mean_gbps", "GB/s", read_stats.mean(), Better::kHigher),
+      metric("write_mean_gbps", "GB/s", write_stats.mean(), Better::kHigher),
+      metric("read_min_gbps", "GB/s", read_stats.min()),
+      metric("read_max_gbps", "GB/s", read_stats.max()),
+  };
 }
+
+}  // namespace
+
+void register_fig05_subgroup_throughput(BenchRegistry& r) {
+  r.add({.name = "fig05_subgroup_throughput",
+         .title =
+             "Figure 5 - Per-subgroup effective R/W throughput, 40B on local "
+             "SSD",
+         .paper_claim =
+             "oscillating series; paper means: read 3.68 GB/s, write 1.44 "
+             "GB/s",
+         .labels = {"figure", "scaled"},
+         .sweep = {},
+         .run = run});
+}
+
+}  // namespace mlpo::bench

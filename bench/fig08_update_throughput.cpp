@@ -6,8 +6,11 @@
 #include <cstdio>
 
 #include "bench_common.hpp"
+#include "harness/bench_registry.hpp"
 
+namespace mlpo::bench {
 namespace {
+
 struct PaperRow {
   const char* model;
   double ds;
@@ -17,33 +20,50 @@ const PaperRow kPaper[] = {
     {"40B", 187.3, 432.1},  {"52B", 248.4, 607.1},  {"70B", 208.1, 499.0},
     {"100B", 199.2, 425.3}, {"120B", 252.4, 464.2},
 };
-}  // namespace
 
-int main() {
-  using namespace mlpo;
-  bench::print_header(
-      "Figure 8 - Update throughput vs model size (Testbed-1)",
-      "MLP-Offload updates 1.8-2.4x more params/s than DeepSpeed ZeRO-3");
+std::vector<telemetry::Metric> run(BenchContext& ctx) {
+  using telemetry::Better;
+  std::vector<telemetry::Metric> out;
 
   TablePrinter table({"Model", "DS (Mparam/s)", "Ours (Mparam/s)", "Gain",
                       "Paper DS", "Paper ours"});
   for (const auto& row : kPaper) {
     const auto& model = paper_model(row.model);
-    f64 thru[2];
-    for (const int mlp : {0, 1}) {
-      auto cfg = bench::scenario(model, TestbedSpec::testbed1(),
-                                 mlp ? EngineOptions::mlp_offload()
-                                     : EngineOptions::deepspeed_zero3());
-      if (!mlp) cfg.attach_pfs = false;
-      thru[mlp] = bench::run_scenario(cfg).avg.update_throughput_mparams();
-    }
+    const auto pair = run_engine_pair(model, TestbedSpec::testbed1());
+    const f64 thru[2] = {pair.ds.avg.update_throughput_mparams(),
+                         pair.mlp.avg.update_throughput_mparams()};
     table.add_row({model.name, TablePrinter::num(thru[0]),
                    TablePrinter::num(thru[1]),
                    TablePrinter::num(thru[1] / thru[0], 2) + "x",
                    TablePrinter::num(row.ds), TablePrinter::num(row.ours)});
+    for (const int mlp : {0, 1}) {
+      out.push_back(metric(
+          "update_mparams_per_s", "Mparam/s", thru[mlp], Better::kHigher,
+          {{"model", model.name}, {"engine", mlp ? "mlp" : "ds"}}));
+    }
+    out.push_back(metric("update_throughput_gain", "x", thru[1] / thru[0],
+                         Better::kHigher, {{"model", model.name}}));
   }
-  table.print();
-  std::printf("\nReference: ~8000 Mparam/s when the optimizer state is fully "
-              "host-resident\n(see bench/fig03 row '20B CPU').\n");
-  return 0;
+  if (ctx.print_tables()) {
+    table.print();
+    std::printf("\nReference: ~8000 Mparam/s when the optimizer state is "
+                "fully host-resident\n(see bench/fig03 row '20B CPU').\n");
+  }
+  return out;
 }
+
+}  // namespace
+
+void register_fig08_update_throughput(BenchRegistry& r) {
+  r.add({.name = "fig08_update_throughput",
+         .title = "Figure 8 - Update throughput vs model size (Testbed-1)",
+         .paper_claim =
+             "MLP-Offload updates 1.8-2.4x more params/s than DeepSpeed "
+             "ZeRO-3",
+         .labels = {"figure", "scaled"},
+         .sweep = {{"model", {"40B", "52B", "70B", "100B", "120B"}},
+                   {"engine", {"ds", "mlp"}}},
+         .run = run});
+}
+
+}  // namespace mlpo::bench

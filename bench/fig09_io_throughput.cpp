@@ -6,8 +6,11 @@
 #include <cstdio>
 
 #include "bench_common.hpp"
+#include "harness/bench_registry.hpp"
 
+namespace mlpo::bench {
 namespace {
+
 struct PaperRow {
   const char* model;
   double ds;
@@ -17,14 +20,10 @@ const PaperRow kPaper[] = {
     {"40B", 3.4, 8.2},  {"52B", 3.2, 8.5},  {"70B", 3.1, 8.0},
     {"100B", 3.2, 7.1}, {"120B", 3.3, 7.0},
 };
-}  // namespace
 
-int main() {
-  using namespace mlpo;
-  bench::print_header(
-      "Figure 9 - Effective I/O throughput vs model size (Testbed-1)",
-      "DeepSpeed ~3.2 GB/s (below the 5.3 GB/s NVMe write peak) vs "
-      "MLP-Offload 7.0-8.5 GB/s via multi-path + concurrency control");
+std::vector<telemetry::Metric> run(BenchContext& ctx) {
+  using telemetry::Better;
+  std::vector<telemetry::Metric> out;
 
   // The figure reports node-aggregate throughput: per-subgroup effective
   // throughput times the number of concurrently offloading workers.
@@ -34,20 +33,39 @@ int main() {
                       "Paper DS", "Paper ours"});
   for (const auto& row : kPaper) {
     const auto& model = paper_model(row.model);
-    f64 thru[2];
-    for (const int mlp : {0, 1}) {
-      auto cfg = bench::scenario(model, TestbedSpec::testbed1(),
-                                 mlp ? EngineOptions::mlp_offload()
-                                     : EngineOptions::deepspeed_zero3());
-      if (!mlp) cfg.attach_pfs = false;
-      thru[mlp] = bench::run_scenario(cfg).avg.effective_io_throughput() *
-                  workers / GB;
-    }
+    const auto pair = run_engine_pair(model, TestbedSpec::testbed1());
+    const f64 thru[2] = {
+        pair.ds.avg.effective_io_throughput() * workers / GB,
+        pair.mlp.avg.effective_io_throughput() * workers / GB};
     table.add_row({model.name, TablePrinter::num(thru[0], 2),
                    TablePrinter::num(thru[1], 2),
                    TablePrinter::num(thru[1] / thru[0], 2) + "x",
                    TablePrinter::num(row.ds, 1), TablePrinter::num(row.ours, 1)});
+    for (const int mlp : {0, 1}) {
+      out.push_back(metric(
+          "effective_io_gbps", "GB/s", thru[mlp], Better::kHigher,
+          {{"model", model.name}, {"engine", mlp ? "mlp" : "ds"}}));
+    }
+    out.push_back(metric("io_throughput_gain", "x", thru[1] / thru[0],
+                         Better::kHigher, {{"model", model.name}}));
   }
-  table.print();
-  return 0;
+  if (ctx.print_tables()) table.print();
+  return out;
 }
+
+}  // namespace
+
+void register_fig09_io_throughput(BenchRegistry& r) {
+  r.add({.name = "fig09_io_throughput",
+         .title = "Figure 9 - Effective I/O throughput vs model size "
+                  "(Testbed-1)",
+         .paper_claim =
+             "DeepSpeed ~3.2 GB/s (below the 5.3 GB/s NVMe write peak) vs "
+             "MLP-Offload 7.0-8.5 GB/s via multi-path + concurrency control",
+         .labels = {"figure", "scaled"},
+         .sweep = {{"model", {"40B", "52B", "70B", "100B", "120B"}},
+                   {"engine", {"ds", "mlp"}}},
+         .run = run});
+}
+
+}  // namespace mlpo::bench

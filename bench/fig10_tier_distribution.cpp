@@ -6,38 +6,62 @@
 #include <cstdio>
 
 #include "bench_common.hpp"
+#include "harness/bench_registry.hpp"
 
-int main() {
-  using namespace mlpo;
-  bench::print_header(
-      "Figure 10 - Optimizer-state distribution across tiers (MLP-Offload)",
-      "host share shrinks with model size; NVMe:PFS split follows the "
-      "bandwidth-proportional performance model");
+namespace mlpo::bench {
+namespace {
+
+std::vector<telemetry::Metric> run(BenchContext& ctx) {
+  std::vector<telemetry::Metric> out;
 
   TablePrinter table({"Model", "Host", "NVMe", "PFS", "Host %", "NVMe %",
                       "PFS %", "NVMe:PFS"});
   for (const char* name : {"40B", "52B", "70B", "100B", "120B"}) {
     const auto& model = paper_model(name);
-    auto cfg = bench::scenario(model, TestbedSpec::testbed1(),
-                               EngineOptions::mlp_offload());
-    const auto result = bench::run_scenario(cfg);
+    auto cfg = scenario(model, TestbedSpec::testbed1(),
+                        EngineOptions::mlp_offload());
+    const auto result = run_scenario(cfg);
     const auto& d = result.distribution;
     const u64 nvme = d.path_sim_bytes.size() > 0 ? d.path_sim_bytes[0] : 0;
     const u64 pfs = d.path_sim_bytes.size() > 1 ? d.path_sim_bytes[1] : 0;
     const f64 total = static_cast<f64>(d.host_sim_bytes + nvme + pfs);
     table.add_row(
-        {name, bench::gib(d.host_sim_bytes), bench::gib(nvme), bench::gib(pfs),
+        {name, gib(d.host_sim_bytes), gib(nvme), gib(pfs),
          TablePrinter::pct(d.host_sim_bytes / total),
          TablePrinter::pct(nvme / total), TablePrinter::pct(pfs / total),
          pfs ? TablePrinter::num(static_cast<f64>(nvme) / pfs, 2) : "inf"});
+    const json::Object params{{"model", name}};
+    out.push_back(metric("host_share", "frac", d.host_sim_bytes / total,
+                         telemetry::Better::kNeither, params));
+    out.push_back(metric("nvme_share", "frac", nvme / total,
+                         telemetry::Better::kNeither, params));
+    out.push_back(metric("pfs_share", "frac", pfs / total,
+                         telemetry::Better::kNeither, params));
   }
-  table.print();
-
-  const auto t1 = TestbedSpec::testbed1();
-  std::printf("\nEq. 1 expectation: NVMe:PFS = min(R,W) ratio = %.2f (paper "
-              "reports ~2:1).\nPaper host shares: 40B 145G ... 120B 60G, "
-              "shrinking with model size.\n",
-              std::min(t1.nvme_read_bw, t1.nvme_write_bw) /
-                  std::min(t1.pfs_read_bw, t1.pfs_write_bw));
-  return 0;
+  if (ctx.print_tables()) {
+    table.print();
+    const auto t1 = TestbedSpec::testbed1();
+    std::printf("\nEq. 1 expectation: NVMe:PFS = min(R,W) ratio = %.2f (paper "
+                "reports ~2:1).\nPaper host shares: 40B 145G ... 120B 60G, "
+                "shrinking with model size.\n",
+                std::min(t1.nvme_read_bw, t1.nvme_write_bw) /
+                    std::min(t1.pfs_read_bw, t1.pfs_write_bw));
+  }
+  return out;
 }
+
+}  // namespace
+
+void register_fig10_tier_distribution(BenchRegistry& r) {
+  r.add({.name = "fig10_tier_distribution",
+         .title = "Figure 10 - Optimizer-state distribution across tiers "
+                  "(MLP-Offload)",
+         .paper_claim =
+             "host share shrinks with model size; NVMe:PFS split follows "
+             "the bandwidth-proportional performance model",
+         .labels = {"figure", "scaled"},
+         .sweep = {{"model", {"40B", "52B", "70B", "100B", "120B"}}},
+         .run = run});
+}
+
+}  // namespace mlpo::bench

@@ -4,13 +4,17 @@
 // faster than DeepSpeed ZeRO-3 at scale; also the §4.4 cost-effectiveness
 // argument (70B offloaded on 8 GPUs vs GPU-only on ~80).
 #include <cstdio>
+#include <string>
 
 #include "bench_common.hpp"
+#include "harness/bench_registry.hpp"
 
+namespace mlpo::bench {
 namespace {
+
 struct Config {
   const char* model;
-  mlpo::u32 nodes;
+  u32 nodes;
   double paper_ds;
   double paper_ours;
 };
@@ -21,32 +25,20 @@ const Config kConfigs[] = {
     {"130B", 4, 155.6, 79.4},
     {"280B", 8, 0.0, 0.0},  // §4.4 text configuration; no figure reference
 };
-}  // namespace
 
-int main() {
-  using namespace mlpo;
-  bench::print_header(
-      "Figure 11 - Weak scaling iteration time (Testbed-2, TP+DP)",
-      "iteration time falls with node count; MLP-Offload keeps a ~2x lead "
-      "over DeepSpeed ZeRO-3 at every scale");
+std::vector<telemetry::Metric> run(BenchContext& ctx) {
+  using telemetry::Better;
+  std::vector<telemetry::Metric> out;
 
   TablePrinter table({"Model [GPUs]", "Engine", "Fwd (s)", "Bwd (s)",
                       "Update (s)", "Total (s)", "Speedup", "Paper"});
   f64 ours_70b_total = 0;
   for (const auto& c : kConfigs) {
     const auto& model = paper_model(c.model);
-    f64 totals[2] = {0, 0};
-    IterationReport reports[2];
-    for (const int mlp : {0, 1}) {
-      auto cfg = bench::scenario(model, TestbedSpec::testbed2(),
-                                 mlp ? EngineOptions::mlp_offload()
-                                     : EngineOptions::deepspeed_zero3(),
-                                 c.nodes);
-      if (!mlp) cfg.attach_pfs = false;
-      const auto result = bench::run_scenario(cfg);
-      reports[mlp] = result.avg;
-      totals[mlp] = result.avg.iteration_seconds();
-    }
+    const auto pair = run_engine_pair(model, TestbedSpec::testbed2(), c.nodes);
+    const IterationReport reports[2] = {pair.ds.avg, pair.mlp.avg};
+    const f64 totals[2] = {pair.ds.avg.iteration_seconds(),
+                           pair.mlp.avg.iteration_seconds()};
     if (std::string(c.model) == "70B") ours_70b_total = totals[1];
     const std::string label = std::string(c.model) + " [" +
                               std::to_string(c.nodes * 4) + "]";
@@ -61,16 +53,42 @@ int main() {
            TablePrinter::num(r.iteration_seconds(), 1),
            mlp ? TablePrinter::num(totals[0] / totals[1], 2) + "x" : "1.00x",
            paper > 0 ? TablePrinter::num(paper, 1) : "-"});
+      out.push_back(metric("iteration_seconds", "s", r.iteration_seconds(),
+                           Better::kLower,
+                           {{"model", c.model},
+                            {"gpus", std::to_string(c.nodes * 4)},
+                            {"engine", mlp ? "mlp" : "ds"}}));
     }
+    out.push_back(metric("iteration_speedup", "x", totals[0] / totals[1],
+                         Better::kHigher,
+                         {{"model", c.model},
+                          {"gpus", std::to_string(c.nodes * 4)}}));
   }
-  table.print();
-
-  // §4.4 cost-effectiveness: GPU-only 70B takes ~24 s/iter on ~80 A100s.
-  std::printf("\nCost-effectiveness (paper §4.4): 70B GPU-only needs ~80 "
-              "A100-40GB and runs 24 s/iter.\nOffloaded on 8 GPUs (10x "
-              "fewer): ours %.1f s/iter = %.1fx slower -> %.1fx better "
-              "cost-efficiency\n(paper: 4.8x slower, ~2x better).\n",
-              ours_70b_total, ours_70b_total / 24.0,
-              10.0 / (ours_70b_total / 24.0));
-  return 0;
+  if (ctx.print_tables()) {
+    table.print();
+    // §4.4 cost-effectiveness: GPU-only 70B takes ~24 s/iter on ~80 A100s.
+    std::printf("\nCost-effectiveness (paper §4.4): 70B GPU-only needs ~80 "
+                "A100-40GB and runs 24 s/iter.\nOffloaded on 8 GPUs (10x "
+                "fewer): ours %.1f s/iter = %.1fx slower -> %.1fx better "
+                "cost-efficiency\n(paper: 4.8x slower, ~2x better).\n",
+                ours_70b_total, ours_70b_total / 24.0,
+                10.0 / (ours_70b_total / 24.0));
+  }
+  return out;
 }
+
+}  // namespace
+
+void register_fig11_weak_scaling_time(BenchRegistry& r) {
+  r.add({.name = "fig11_weak_scaling_time",
+         .title = "Figure 11 - Weak scaling iteration time (Testbed-2, TP+DP)",
+         .paper_claim =
+             "iteration time falls with node count; MLP-Offload keeps a ~2x "
+             "lead over DeepSpeed ZeRO-3 at every scale",
+         .labels = {"figure", "scaled", "multinode"},
+         .sweep = {{"model", {"40B", "70B", "100B", "130B", "280B"}},
+                   {"engine", {"ds", "mlp"}}},
+         .run = run});
+}
+
+}  // namespace mlpo::bench

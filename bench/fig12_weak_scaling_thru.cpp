@@ -3,13 +3,17 @@
 // for DeepSpeed and 371 -> 3880 for MLP-Offload between 4 and 16 GPUs —
 // confirming I/O, not compute, stays the bottleneck.
 #include <cstdio>
+#include <string>
 
 #include "bench_common.hpp"
+#include "harness/bench_registry.hpp"
 
+namespace mlpo::bench {
 namespace {
+
 struct Config {
   const char* model;
-  mlpo::u32 nodes;
+  u32 nodes;
   double paper_ds;
   double paper_ours;
 };
@@ -19,34 +23,51 @@ const Config kConfigs[] = {
     {"100B", 3, 788.2, 2171.7},
     {"130B", 4, 1168.3, 3879.7},
 };
-}  // namespace
 
-int main() {
-  using namespace mlpo;
-  bench::print_header(
-      "Figure 12 - Weak scaling update throughput (Testbed-2)",
-      "aggregate Mparam/s grows with node count; MLP-Offload holds a 2-4x "
-      "lead over DeepSpeed ZeRO-3");
+std::vector<telemetry::Metric> run(BenchContext& ctx) {
+  using telemetry::Better;
+  std::vector<telemetry::Metric> out;
 
   TablePrinter table({"Model [GPUs]", "DS (Mparam/s)", "Ours (Mparam/s)",
                       "Gain", "Paper DS", "Paper ours"});
   for (const auto& c : kConfigs) {
     const auto& model = paper_model(c.model);
-    f64 thru[2];
-    for (const int mlp : {0, 1}) {
-      auto cfg = bench::scenario(model, TestbedSpec::testbed2(),
-                                 mlp ? EngineOptions::mlp_offload()
-                                     : EngineOptions::deepspeed_zero3(),
-                                 c.nodes);
-      if (!mlp) cfg.attach_pfs = false;
-      thru[mlp] = bench::run_scenario(cfg).avg.update_throughput_mparams();
-    }
+    const auto pair = run_engine_pair(model, TestbedSpec::testbed2(), c.nodes);
+    const f64 thru[2] = {pair.ds.avg.update_throughput_mparams(),
+                         pair.mlp.avg.update_throughput_mparams()};
     table.add_row({std::string(c.model) + " [" + std::to_string(c.nodes * 4) +
                        "]",
                    TablePrinter::num(thru[0]), TablePrinter::num(thru[1]),
                    TablePrinter::num(thru[1] / thru[0], 2) + "x",
                    TablePrinter::num(c.paper_ds), TablePrinter::num(c.paper_ours)});
+    for (const int mlp : {0, 1}) {
+      out.push_back(metric("update_mparams_per_s", "Mparam/s", thru[mlp],
+                           Better::kHigher,
+                           {{"model", c.model},
+                            {"gpus", std::to_string(c.nodes * 4)},
+                            {"engine", mlp ? "mlp" : "ds"}}));
+    }
+    out.push_back(metric("update_throughput_gain", "x", thru[1] / thru[0],
+                         Better::kHigher,
+                         {{"model", c.model},
+                          {"gpus", std::to_string(c.nodes * 4)}}));
   }
-  table.print();
-  return 0;
+  if (ctx.print_tables()) table.print();
+  return out;
 }
+
+}  // namespace
+
+void register_fig12_weak_scaling_thru(BenchRegistry& r) {
+  r.add({.name = "fig12_weak_scaling_thru",
+         .title = "Figure 12 - Weak scaling update throughput (Testbed-2)",
+         .paper_claim =
+             "aggregate Mparam/s grows with node count; MLP-Offload holds a "
+             "2-4x lead over DeepSpeed ZeRO-3",
+         .labels = {"figure", "scaled", "multinode"},
+         .sweep = {{"model", {"40B", "70B", "100B", "130B"}},
+                   {"engine", {"ds", "mlp"}}},
+         .run = run});
+}
+
+}  // namespace mlpo::bench

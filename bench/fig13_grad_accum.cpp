@@ -3,13 +3,17 @@
 // 32-512). The update phase amortises over more forward/backward work, yet
 // the paper still measures MLP-Offload at least 40% faster end-to-end.
 #include <cstdio>
+#include <string>
 
 #include "bench_common.hpp"
+#include "harness/bench_registry.hpp"
 
+namespace mlpo::bench {
 namespace {
+
 struct Row {
-  mlpo::u32 accum;
-  mlpo::u32 batch;
+  u32 accum;
+  u32 batch;
   double paper_ds;
   double paper_ours;
 };
@@ -19,32 +23,23 @@ const Row kRows[] = {
     {8, 256, 354.0, 217.7},
     {16, 512, 478.8, 342.7},
 };
-}  // namespace
 
-int main() {
-  using namespace mlpo;
-  bench::print_header(
-      "Figure 13 - Gradient accumulation, 40B on Testbed-1 (microbatch 8)",
-      "even with update phases amortised over up to 16 micro-steps, "
-      "MLP-Offload stays >=40% faster than DeepSpeed ZeRO-3");
+std::vector<telemetry::Metric> run(BenchContext& ctx) {
+  using telemetry::Better;
+  std::vector<telemetry::Metric> out;
 
   const auto& model = paper_model("40B");
   TablePrinter table({"Batch", "Engine", "Fwd+Bwd (s)", "Update (s)",
                       "Total (s)", "Speedup", "Paper"});
   for (const auto& row : kRows) {
-    f64 totals[2] = {0, 0};
-    IterationReport reports[2];
-    for (const int mlp : {0, 1}) {
-      auto cfg = bench::scenario(model, TestbedSpec::testbed1(),
-                                 mlp ? EngineOptions::mlp_offload()
-                                     : EngineOptions::deepspeed_zero3());
-      if (!mlp) cfg.attach_pfs = false;
-      cfg.microbatch = 8;
-      cfg.accum_steps = row.accum;
-      const auto result = bench::run_scenario(cfg);
-      reports[mlp] = result.avg;
-      totals[mlp] = result.avg.iteration_seconds();
-    }
+    const auto pair = run_engine_pair(
+        model, TestbedSpec::testbed1(), 1, [&](TrainerConfig& cfg) {
+          cfg.microbatch = 8;
+          cfg.accum_steps = row.accum;
+        });
+    const IterationReport reports[2] = {pair.ds.avg, pair.mlp.avg};
+    const f64 totals[2] = {pair.ds.avg.iteration_seconds(),
+                           pair.mlp.avg.iteration_seconds()};
     for (const int mlp : {0, 1}) {
       const auto& r = reports[mlp];
       table.add_row(
@@ -54,8 +49,32 @@ int main() {
            TablePrinter::num(r.iteration_seconds(), 1),
            mlp ? TablePrinter::num(totals[0] / totals[1], 2) + "x" : "1.00x",
            TablePrinter::num(mlp ? row.paper_ours : row.paper_ds, 1)});
+      out.push_back(metric("iteration_seconds", "s", r.iteration_seconds(),
+                           Better::kLower,
+                           {{"batch", std::to_string(row.batch)},
+                            {"engine", mlp ? "mlp" : "ds"}}));
     }
+    out.push_back(metric("iteration_speedup", "x", totals[0] / totals[1],
+                         Better::kHigher,
+                         {{"batch", std::to_string(row.batch)}}));
   }
-  table.print();
-  return 0;
+  if (ctx.print_tables()) table.print();
+  return out;
 }
+
+}  // namespace
+
+void register_fig13_grad_accum(BenchRegistry& r) {
+  r.add({.name = "fig13_grad_accum",
+         .title = "Figure 13 - Gradient accumulation, 40B on Testbed-1 "
+                  "(microbatch 8)",
+         .paper_claim =
+             "even with update phases amortised over up to 16 micro-steps, "
+             "MLP-Offload stays >=40% faster than DeepSpeed ZeRO-3",
+         .labels = {"figure", "scaled"},
+         .sweep = {{"batch", {"32", "128", "256", "512"}},
+                   {"engine", {"ds", "mlp"}}},
+         .run = run});
+}
+
+}  // namespace mlpo::bench

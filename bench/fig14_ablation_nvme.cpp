@@ -7,8 +7,11 @@
 #include <cstdio>
 
 #include "bench_common.hpp"
+#include "harness/bench_registry.hpp"
 
+namespace mlpo::bench {
 namespace {
+
 struct Step {
   const char* label;
   bool cache, delayed, locking;
@@ -28,14 +31,10 @@ const PaperRow kPaper[] = {
     {"70B", {370.6, 326.5, 228.7, 208.0}},
     {"100B", {572.0, 536.5, 397.0, 397.4}},
 };
-}  // namespace
 
-int main() {
-  using namespace mlpo;
-  bench::print_header(
-      "Figure 14 - Ablation on node-local NVMe (no PFS)",
-      "progressive activation: caching, delayed gradient conversion, "
-      "process-atomic R/W -> up to 1.6x without multi-path");
+std::vector<telemetry::Metric> run(BenchContext& ctx) {
+  using telemetry::Better;
+  std::vector<telemetry::Metric> out;
 
   TablePrinter table({"Model", "Configuration", "Total (s)",
                       "vs DeepSpeed", "Paper (s)"});
@@ -47,16 +46,43 @@ int main() {
       opts.cache_friendly_order = kSteps[s].cache;
       opts.delayed_grad_conversion = kSteps[s].delayed;
       opts.tier_exclusive_locking = kSteps[s].locking;
-      auto cfg = bench::scenario(model, TestbedSpec::testbed1(), opts);
+      auto cfg = scenario(model, TestbedSpec::testbed1(), opts);
       cfg.attach_pfs = false;
-      const auto result = bench::run_scenario(cfg);
+      const auto result = run_scenario(cfg);
       const f64 total = result.avg.iteration_seconds();
       if (s == 0) baseline = total;
       table.add_row({model.name, kSteps[s].label, TablePrinter::num(total, 1),
                      TablePrinter::num(baseline / total, 2) + "x",
                      TablePrinter::num(paper.totals[s], 1)});
+      out.push_back(metric("iteration_seconds", "s", total, Better::kLower,
+                           {{"model", paper.model},
+                            {"config", kSteps[s].label}}));
+      if (s > 0) {
+        out.push_back(metric("speedup_vs_ds", "x", baseline / total,
+                             Better::kHigher,
+                             {{"model", paper.model},
+                              {"config", kSteps[s].label}}));
+      }
     }
   }
-  table.print();
-  return 0;
+  if (ctx.print_tables()) table.print();
+  return out;
 }
+
+}  // namespace
+
+void register_fig14_ablation_nvme(BenchRegistry& r) {
+  r.add({.name = "fig14_ablation_nvme",
+         .title = "Figure 14 - Ablation on node-local NVMe (no PFS)",
+         .paper_claim =
+             "progressive activation: caching, delayed gradient conversion, "
+             "process-atomic R/W -> up to 1.6x without multi-path",
+         .labels = {"figure", "ablation", "scaled"},
+         .sweep = {{"model", {"40B", "70B", "100B"}},
+                   {"config",
+                    {"DeepSpeed ZeRO-3", "Enable Caching", "Skip Gradients",
+                     "Process Atomic R/W"}}},
+         .run = run});
+}
+
+}  // namespace mlpo::bench

@@ -8,8 +8,11 @@
 #include <cstdio>
 
 #include "bench_common.hpp"
+#include "harness/bench_registry.hpp"
 
+namespace mlpo::bench {
 namespace {
+
 struct Step {
   const char* label;
   bool delayed, locking;
@@ -29,40 +32,64 @@ const PaperRow kPaper[] = {
     {"70B", {244.3, 157.8, 144.4}, 370.6},
     {"100B", {404.8, 272.8, 241.4}, 572.0},
 };
-}  // namespace
 
-int main() {
-  using namespace mlpo;
-  bench::print_header(
-      "Figure 15 - Ablation with NVMe + PFS (multi-path)",
-      "multi-path + caching + delayed gradients + atomic R/W = full "
-      "MLP-Offload, 2.5x faster than DeepSpeed ZeRO-3");
+std::vector<telemetry::Metric> run(BenchContext& ctx) {
+  using telemetry::Better;
+  std::vector<telemetry::Metric> out;
 
   TablePrinter table({"Model", "Configuration", "Total (s)", "vs DeepSpeed",
                       "Paper (s)"});
   for (const auto& paper : kPaper) {
     const auto& model = paper_model(paper.model);
     // DeepSpeed reference for the ratio column (NVMe only).
-    auto ds_cfg = bench::scenario(model, TestbedSpec::testbed1(),
-                                  EngineOptions::deepspeed_zero3());
+    auto ds_cfg = scenario(model, TestbedSpec::testbed1(),
+                           EngineOptions::deepspeed_zero3());
     ds_cfg.attach_pfs = false;
-    const f64 ds_total = bench::run_scenario(ds_cfg).avg.iteration_seconds();
+    const f64 ds_total = run_scenario(ds_cfg).avg.iteration_seconds();
     table.add_row({model.name, "DeepSpeed ZeRO-3 (ref)",
                    TablePrinter::num(ds_total, 1), "1.00x",
                    TablePrinter::num(paper.paper_ds, 1)});
+    out.push_back(metric("iteration_seconds", "s", ds_total, Better::kLower,
+                         {{"model", paper.model},
+                          {"config", "DeepSpeed ZeRO-3 (ref)"}}));
 
     for (std::size_t s = 0; s < 3; ++s) {
       EngineOptions opts = EngineOptions::mlp_offload();
       opts.delayed_grad_conversion = kSteps[s].delayed;
       opts.tier_exclusive_locking = kSteps[s].locking;
-      auto cfg = bench::scenario(model, TestbedSpec::testbed1(), opts);
-      const auto result = bench::run_scenario(cfg);
+      auto cfg = scenario(model, TestbedSpec::testbed1(), opts);
+      const auto result = run_scenario(cfg);
       const f64 total = result.avg.iteration_seconds();
       table.add_row({model.name, kSteps[s].label, TablePrinter::num(total, 1),
                      TablePrinter::num(ds_total / total, 2) + "x",
                      TablePrinter::num(paper.totals[s], 1)});
+      out.push_back(metric("iteration_seconds", "s", total, Better::kLower,
+                           {{"model", paper.model},
+                            {"config", kSteps[s].label}}));
+      out.push_back(metric("speedup_vs_ds", "x", ds_total / total,
+                           Better::kHigher,
+                           {{"model", paper.model},
+                            {"config", kSteps[s].label}}));
     }
   }
-  table.print();
-  return 0;
+  if (ctx.print_tables()) table.print();
+  return out;
 }
+
+}  // namespace
+
+void register_fig15_ablation_multipath(BenchRegistry& r) {
+  r.add({.name = "fig15_ablation_multipath",
+         .title = "Figure 15 - Ablation with NVMe + PFS (multi-path)",
+         .paper_claim =
+             "multi-path + caching + delayed gradients + atomic R/W = full "
+             "MLP-Offload, 2.5x faster than DeepSpeed ZeRO-3",
+         .labels = {"figure", "ablation", "scaled"},
+         .sweep = {{"model", {"40B", "70B", "100B"}},
+                   {"config",
+                    {"DeepSpeed ZeRO-3 (ref)", "Multi-Path (with caching)",
+                     "MP Skip Grads", "Our Approach"}}},
+         .run = run});
+}
+
+}  // namespace mlpo::bench

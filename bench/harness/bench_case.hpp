@@ -1,0 +1,58 @@
+// The unit of the registry-driven bench harness.
+//
+// A BenchCase is one reproduced figure/table/ablation from the paper: a
+// name the driver filters on, labels that group cases into suites (smoke /
+// figure / table / ablation / scaled), sweep metadata describing the
+// parameter axes the case iterates, and a run() callback that performs the
+// measurement and returns Metric rows for the JSON reporter. Cases signal
+// hard failure (a claim that stopped holding, e.g. priority scheduling no
+// longer beating FIFO) by throwing; the driver reports it and exits
+// non-zero.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "telemetry/json_reporter.hpp"
+
+namespace mlpo::bench {
+
+/// One parameter axis a case sweeps, for --list and the JSON header.
+struct SweepAxis {
+  std::string name;                 ///< e.g. "model"
+  std::vector<std::string> values;  ///< e.g. {"40B", "70B", "120B"}
+};
+
+/// Per-invocation state handed to a case's run().
+class BenchContext {
+ public:
+  BenchContext(u32 repeat_index, u32 repeats, bool print_tables)
+      : repeat_index_(repeat_index),
+        repeats_(repeats),
+        print_tables_(print_tables) {}
+
+  u32 repeat_index() const { return repeat_index_; }
+  u32 repeats() const { return repeats_; }
+  /// Human-readable tables print on the first repeat only (and never under
+  /// --quiet); the metric rows are returned on every repeat.
+  bool print_tables() const { return print_tables_; }
+
+ private:
+  u32 repeat_index_;
+  u32 repeats_;
+  bool print_tables_;
+};
+
+using BenchFn = std::function<std::vector<telemetry::Metric>(BenchContext&)>;
+
+struct BenchCase {
+  std::string name;         ///< registry id == wrapper binary name
+  std::string title;        ///< banner, e.g. "Figure 7 - Iteration breakdown"
+  std::string paper_claim;  ///< what the paper shows
+  std::vector<std::string> labels;
+  std::vector<SweepAxis> sweep;
+  BenchFn run;
+};
+
+}  // namespace mlpo::bench

@@ -1,0 +1,285 @@
+#include "harness/bench_driver.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "harness/bench_registry.hpp"
+#include "telemetry/json_reporter.hpp"
+#include "telemetry/table_printer.hpp"
+
+namespace mlpo::bench {
+
+namespace {
+
+struct Options {
+  bool list = false;
+  bool quiet = false;
+  bool help = false;
+  std::string filter;
+  u32 repeat = 1;
+  std::string json_path;
+  std::string baseline_path;
+  f64 threshold_pct = 10.0;
+};
+
+void print_usage(const char* argv0) {
+  std::printf(
+      "Usage: %s [options]\n"
+      "\n"
+      "Registry-driven benchmark harness: every paper figure/table/ablation\n"
+      "is a registered case; one driver runs any subset and emits JSON perf\n"
+      "telemetry.\n"
+      "\n"
+      "  --list             enumerate registered cases and exit\n"
+      "  --filter <spec>    comma-separated terms; each matches a name\n"
+      "                     substring or a whole label (default: all cases)\n"
+      "  --repeat <N>       repeats per case; series report median/min/max\n"
+      "  --json <path>      write the mlpo-bench-v1 JSON document\n"
+      "  --baseline <path>  compare against a baseline document and fail on\n"
+      "                     gated-metric regressions or missing metrics\n"
+      "  --threshold <pct>  regression threshold for --baseline (default 10)\n"
+      "  --quiet            suppress per-case tables and banners\n"
+      "  --help             this text\n"
+      "\n"
+      "Environment: MLPO_TIME_SCALE, MLPO_BENCH_ITERS, MLPO_BENCH_WARMUP\n"
+      "(strictly validated before any case runs).\n",
+      argv0);
+}
+
+/// Returns false on a malformed command line (after printing the problem).
+bool parse_args(int argc, char** argv, Options* opts) {
+  const auto value_of = [&](int* i) -> const char* {
+    if (*i + 1 >= argc) {
+      std::fprintf(stderr, "mlpo-bench: %s needs a value\n", argv[*i]);
+      return nullptr;
+    }
+    return argv[++*i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--list") {
+      opts->list = true;
+    } else if (arg == "--quiet") {
+      opts->quiet = true;
+    } else if (arg == "--help" || arg == "-h") {
+      opts->help = true;
+      print_usage(argv[0]);
+      return false;
+    } else if (arg == "--filter") {
+      const char* v = value_of(&i);
+      if (v == nullptr) return false;
+      opts->filter = v;
+    } else if (arg == "--json") {
+      const char* v = value_of(&i);
+      if (v == nullptr) return false;
+      opts->json_path = v;
+    } else if (arg == "--baseline") {
+      const char* v = value_of(&i);
+      if (v == nullptr) return false;
+      opts->baseline_path = v;
+    } else if (arg == "--repeat") {
+      const char* v = value_of(&i);
+      if (v == nullptr) return false;
+      errno = 0;
+      char* end = nullptr;
+      const long long n = std::strtoll(v, &end, 10);
+      if (end == v || *end != '\0' || errno == ERANGE || n < 1 ||
+          n > std::numeric_limits<u32>::max()) {
+        std::fprintf(stderr, "mlpo-bench: --repeat wants an integer >= 1, got \"%s\"\n", v);
+        return false;
+      }
+      opts->repeat = static_cast<u32>(n);
+    } else if (arg == "--threshold") {
+      const char* v = value_of(&i);
+      if (v == nullptr) return false;
+      char* end = nullptr;
+      const f64 t = std::strtod(v, &end);
+      if (end == v || *end != '\0' || !std::isfinite(t) || t < 0) {
+        std::fprintf(stderr, "mlpo-bench: --threshold wants a finite percentage >= 0, got \"%s\"\n", v);
+        return false;
+      }
+      opts->threshold_pct = t;
+    } else {
+      std::fprintf(stderr, "mlpo-bench: unknown argument \"%s\" (--help for usage)\n",
+                   arg.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string join(const std::vector<std::string>& parts, const char* sep) {
+  std::string out;
+  for (const auto& p : parts) {
+    if (!out.empty()) out += sep;
+    out += p;
+  }
+  return out;
+}
+
+void list_cases(const std::vector<const BenchCase*>& cases) {
+  TablePrinter table({"Case", "Labels", "Sweep", "Title"});
+  for (const BenchCase* c : cases) {
+    std::vector<std::string> axes;
+    for (const SweepAxis& axis : c->sweep) {
+      axes.push_back(axis.name + "[" + std::to_string(axis.values.size()) + "]");
+    }
+    table.add_row({c->name, join(c->labels, ","), join(axes, " x "), c->title});
+  }
+  table.print();
+  std::printf("\n%zu case(s). Run a subset with --filter <name-substring|label>.\n",
+              cases.size());
+}
+
+const char* kind_name(telemetry::BaselineDelta::Kind kind) {
+  using Kind = telemetry::BaselineDelta::Kind;
+  switch (kind) {
+    case Kind::kPass: return "pass";
+    case Kind::kImprovement: return "improvement";
+    case Kind::kRegression: return "REGRESSION";
+    case Kind::kMissing: return "MISSING";
+    case Kind::kNew: return "new";
+    case Kind::kDirectionChanged: return "DIRECTION-CHANGED";
+  }
+  return "?";
+}
+
+void print_baseline_report(const telemetry::BaselineReport& report,
+                           f64 threshold_pct) {
+  TablePrinter table({"Metric", "Baseline", "Current", "Delta %", "Gate",
+                      "Verdict"});
+  for (const auto& d : report.deltas) {
+    const bool compared = d.kind != telemetry::BaselineDelta::Kind::kNew &&
+                          d.kind != telemetry::BaselineDelta::Kind::kMissing;
+    table.add_row({d.key,
+                   d.kind == telemetry::BaselineDelta::Kind::kNew
+                       ? "-"
+                       : TablePrinter::num(d.baseline_median, 4),
+                   d.kind == telemetry::BaselineDelta::Kind::kMissing
+                       ? "-"
+                       : TablePrinter::num(d.current_median, 4),
+                   compared ? TablePrinter::num(d.delta_pct, 1) : "-",
+                   telemetry::to_string(d.better), kind_name(d.kind)});
+  }
+  table.print();
+  std::printf(
+      "\nBaseline gate (threshold %.1f%%): %u pass, %u improvement, "
+      "%u regression, %u missing, %u direction-changed, %u new -> %s\n",
+      threshold_pct, report.passes, report.improvements, report.regressions,
+      report.missing, report.direction_changes, report.added,
+      report.ok() ? "OK" : "FAIL");
+}
+
+}  // namespace
+
+int bench_main(int argc, char** argv, const char* forced_filter) {
+  Options opts;
+  if (!parse_args(argc, argv, &opts)) {
+    // Only a clean --help exits 0; malformed args already printed why.
+    return opts.help ? 0 : 2;
+  }
+  if (opts.filter.empty() && forced_filter != nullptr) {
+    opts.filter = forced_filter;
+  }
+
+  BenchRegistry& registry = BenchRegistry::instance();
+  const auto selected = registry.select(opts.filter);
+  if (selected.empty()) {
+    std::fprintf(stderr,
+                 "mlpo-bench: no case matches filter \"%s\"; --list shows the "
+                 "registry\n",
+                 opts.filter.c_str());
+    return 2;
+  }
+  if (opts.list) {
+    list_cases(selected);
+    return 0;
+  }
+
+  try {
+    validate_bench_env();
+  } catch (const env::EnvError& e) {
+    std::fprintf(stderr, "mlpo-bench: bad environment: %s\n", e.what());
+    return 2;
+  }
+
+  telemetry::JsonReporter reporter;
+  reporter.set_context(env_time_scale(), opts.repeat);
+
+  u32 failures = 0;
+  for (const BenchCase* c : selected) {
+    if (!opts.quiet) print_header(c->title, c->paper_claim);
+    for (u32 r = 0; r < opts.repeat; ++r) {
+      BenchContext ctx(r, opts.repeat, !opts.quiet && r == 0);
+      try {
+        reporter.add(c->name, c->labels, c->run(ctx));
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "mlpo-bench: case %s failed (repeat %u): %s\n",
+                     c->name.c_str(), r, e.what());
+        ++failures;
+        break;
+      }
+    }
+  }
+
+  if (!opts.quiet && !reporter.series().empty()) {
+    std::printf("\nCollected metrics (%u repeat%s):\n", opts.repeat,
+                opts.repeat == 1 ? "" : "s");
+    TablePrinter table({"Metric", "Unit", "Median", "Min", "Max", "Gate"});
+    for (const auto& s : reporter.series()) {
+      table.add_row({s.key(), s.unit, TablePrinter::num(s.median(), 4),
+                     TablePrinter::num(s.min(), 4),
+                     TablePrinter::num(s.max(), 4),
+                     telemetry::to_string(s.better)});
+    }
+    table.print();
+  }
+
+  if (!opts.json_path.empty()) {
+    try {
+      reporter.write(opts.json_path);
+      std::printf("\nWrote %s (%zu series)\n", opts.json_path.c_str(),
+                  reporter.series().size());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "mlpo-bench: %s\n", e.what());
+      return 2;
+    }
+  }
+
+  bool gate_ok = true;
+  if (!opts.baseline_path.empty()) {
+    std::vector<telemetry::MetricSeries> baseline;
+    try {
+      baseline = telemetry::JsonReporter::load(opts.baseline_path);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "mlpo-bench: cannot load baseline: %s\n", e.what());
+      return 2;
+    }
+    // Judge missing coverage only within the selected cases, so a filtered
+    // run (or a per-figure wrapper) can be held against the full smoke
+    // baseline without the unselected benches reading as MISSING.
+    std::erase_if(baseline, [&](const telemetry::MetricSeries& s) {
+      return std::none_of(selected.begin(), selected.end(),
+                          [&](const BenchCase* c) { return c->name == s.bench; });
+    });
+    const auto report = telemetry::compare_to_baseline(
+        reporter.series(), baseline, opts.threshold_pct);
+    print_baseline_report(report, opts.threshold_pct);
+    gate_ok = report.ok();
+  }
+
+  if (failures > 0) {
+    std::fprintf(stderr, "mlpo-bench: %u case(s) failed\n", failures);
+  }
+  return failures > 0 || !gate_ok ? 1 : 0;
+}
+
+}  // namespace mlpo::bench

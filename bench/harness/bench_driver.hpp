@@ -1,0 +1,15 @@
+// CLI driver behind the mlpo-bench binary and every per-figure wrapper.
+#pragma once
+
+namespace mlpo::bench {
+
+/// Run the registry-driven bench CLI:
+///   mlpo-bench [--list] [--filter spec] [--repeat N] [--json path]
+///              [--baseline path] [--threshold pct] [--quiet]
+///
+/// `forced_filter` (wrapper binaries) applies when the command line carries
+/// no --filter of its own. Exit codes: 0 success; 1 a case failed or the
+/// baseline gate tripped; 2 usage, environment, or file errors.
+int bench_main(int argc, char** argv, const char* forced_filter = nullptr);
+
+}  // namespace mlpo::bench

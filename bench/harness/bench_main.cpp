@@ -1,0 +1,8 @@
+// The mlpo-bench driver binary: every registered case, one CLI.
+#include "harness/bench_driver.hpp"
+#include "harness/bench_registry.hpp"
+
+int main(int argc, char** argv) {
+  mlpo::bench::register_all_cases(mlpo::bench::BenchRegistry::instance());
+  return mlpo::bench::bench_main(argc, argv);
+}

@@ -1,0 +1,57 @@
+#include "harness/bench_registry.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace mlpo::bench {
+
+BenchRegistry& BenchRegistry::instance() {
+  static BenchRegistry registry;
+  return registry;
+}
+
+void BenchRegistry::add(BenchCase c) {
+  if (c.name.empty()) {
+    throw std::logic_error("bench registry: case with empty name");
+  }
+  if (find(c.name) != nullptr) {
+    throw std::logic_error("bench registry: duplicate case \"" + c.name + "\"");
+  }
+  if (!c.run) {
+    throw std::logic_error("bench registry: case \"" + c.name +
+                           "\" has no run()");
+  }
+  cases_.push_back(std::move(c));
+}
+
+const BenchCase* BenchRegistry::find(const std::string& name) const {
+  const auto it = std::find_if(cases_.begin(), cases_.end(),
+                               [&](const BenchCase& c) { return c.name == name; });
+  return it != cases_.end() ? &*it : nullptr;
+}
+
+std::vector<const BenchCase*> BenchRegistry::select(
+    const std::string& spec) const {
+  std::vector<std::string> terms;
+  std::istringstream in(spec);
+  std::string term;
+  while (std::getline(in, term, ',')) {
+    if (!term.empty()) terms.push_back(term);
+  }
+
+  std::vector<const BenchCase*> out;
+  for (const BenchCase& c : cases_) {
+    const bool hit =
+        terms.empty() ||
+        std::any_of(terms.begin(), terms.end(), [&](const std::string& t) {
+          if (c.name.find(t) != std::string::npos) return true;
+          return std::find(c.labels.begin(), c.labels.end(), t) !=
+                 c.labels.end();
+        });
+    if (hit) out.push_back(&c);
+  }
+  return out;
+}
+
+}  // namespace mlpo::bench

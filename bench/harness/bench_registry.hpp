@@ -1,0 +1,38 @@
+// Process-wide registry of bench cases.
+//
+// Cases register through explicit register_<case>() functions collected by
+// register_all_cases() (no static-initializer registration: those silently
+// drop out of static archives unless every link line says --whole-archive).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "harness/bench_case.hpp"
+
+namespace mlpo::bench {
+
+class BenchRegistry {
+ public:
+  static BenchRegistry& instance();
+
+  /// Add a case; throws std::logic_error on a duplicate or empty name.
+  void add(BenchCase c);
+
+  const std::vector<BenchCase>& cases() const { return cases_; }
+  const BenchCase* find(const std::string& name) const;
+
+  /// Select cases by a comma-separated filter spec. Each term matches a
+  /// substring of the case name or a whole label ("smoke"); a case is
+  /// selected when any term matches. An empty spec selects everything.
+  std::vector<const BenchCase*> select(const std::string& spec) const;
+
+ private:
+  std::vector<BenchCase> cases_;
+};
+
+/// Defined in harness/register_all.cpp: registers every fig/table/ablation/
+/// extension case exactly once (idempotent).
+void register_all_cases(BenchRegistry& registry);
+
+}  // namespace mlpo::bench

@@ -1,0 +1,14 @@
+// Compatibility main for the historical per-figure binaries: each one is
+// mlpo-bench with a compiled-in --filter for its case name (an explicit
+// --filter on the command line still wins).
+#include "harness/bench_driver.hpp"
+#include "harness/bench_registry.hpp"
+
+#ifndef MLPO_BENCH_FORCED_FILTER
+#error "filter_main.cpp must be compiled with -DMLPO_BENCH_FORCED_FILTER=\"<case>\""
+#endif
+
+int main(int argc, char** argv) {
+  mlpo::bench::register_all_cases(mlpo::bench::BenchRegistry::instance());
+  return mlpo::bench::bench_main(argc, argv, MLPO_BENCH_FORCED_FILTER);
+}

@@ -6,11 +6,11 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "harness/bench_registry.hpp"
 #include "tiers/throttled_tier.hpp"
 
+namespace mlpo::bench {
 namespace {
-
-using namespace mlpo;
 
 // Measure single-stream throughput of an emulated tier.
 struct Measured {
@@ -37,41 +37,43 @@ Measured measure(StorageTier& tier, const SimClock& clock) {
   return {4.0 * kSim / (r1 - r0), 4.0 * kSim / (w1 - w0)};
 }
 
-}  // namespace
+std::vector<telemetry::Metric> run(BenchContext& ctx) {
+  using telemetry::Better;
+  std::vector<telemetry::Metric> out;
 
-int main() {
-  bench::print_header("Table 1 - Testbed configurations",
-                      "Testbed-1 (JLSE H100) and Testbed-2 (Polaris A100) "
-                      "specs; emulated devices must match the listed rates");
-
-  TablePrinter spec({"Feature", "Testbed-1", "Testbed-2"});
   const auto t1 = TestbedSpec::testbed1();
   const auto t2 = TestbedSpec::testbed2();
-  spec.add_row({"GPUs", "4x H100-80GB", "4x A100-40GB"});
-  spec.add_row({"Pinned D<->H B/W (GB/s)", bench::gb_per_s(t1.d2h_bandwidth),
-                bench::gb_per_s(t2.d2h_bandwidth)});
-  spec.add_row({"CPU cores", std::to_string(t1.cpu_cores),
-                std::to_string(t2.cpu_cores)});
-  spec.add_row({"Host memory (GB)", bench::gib(t1.host_memory_bytes),
-                bench::gib(t2.host_memory_bytes)});
-  spec.add_row({"NVMe R|W (GB/s)",
-                bench::gb_per_s(t1.nvme_read_bw) + " | " + bench::gb_per_s(t1.nvme_write_bw),
-                bench::gb_per_s(t2.nvme_read_bw) + " | " + bench::gb_per_s(t2.nvme_write_bw)});
-  spec.add_row({"PFS", "VAST FS", "Lustre FS"});
-  spec.add_row({"PFS R|W (GB/s)",
-                bench::gb_per_s(t1.pfs_read_bw) + " | " + bench::gb_per_s(t1.pfs_write_bw),
-                bench::gb_per_s(t2.pfs_read_bw) + " | " + bench::gb_per_s(t2.pfs_write_bw)});
-  spec.print();
+  if (ctx.print_tables()) {
+    TablePrinter spec({"Feature", "Testbed-1", "Testbed-2"});
+    spec.add_row({"GPUs", "4x H100-80GB", "4x A100-40GB"});
+    spec.add_row({"Pinned D<->H B/W (GB/s)", gb_per_s(t1.d2h_bandwidth),
+                  gb_per_s(t2.d2h_bandwidth)});
+    spec.add_row({"CPU cores", std::to_string(t1.cpu_cores),
+                  std::to_string(t2.cpu_cores)});
+    spec.add_row({"Host memory (GB)", gib(t1.host_memory_bytes),
+                  gib(t2.host_memory_bytes)});
+    spec.add_row({"NVMe R|W (GB/s)",
+                  gb_per_s(t1.nvme_read_bw) + " | " + gb_per_s(t1.nvme_write_bw),
+                  gb_per_s(t2.nvme_read_bw) + " | " + gb_per_s(t2.nvme_write_bw)});
+    spec.add_row({"PFS", "VAST FS", "Lustre FS"});
+    spec.add_row({"PFS R|W (GB/s)",
+                  gb_per_s(t1.pfs_read_bw) + " | " + gb_per_s(t1.pfs_write_bw),
+                  gb_per_s(t2.pfs_read_bw) + " | " + gb_per_s(t2.pfs_write_bw)});
+    spec.print();
+    std::printf("\nEmulated-device microbenchmark (single stream):\n\n");
+  }
 
-  std::printf("\nEmulated-device microbenchmark (single stream):\n\n");
   TablePrinter measured({"Device", "Spec R|W (GB/s)", "Measured R|W (GB/s)"});
-  const SimClock clock(bench::env_time_scale());
+  const SimClock clock(env_time_scale());
   const auto bench_tier = [&](const std::string& name,
                               std::shared_ptr<ThrottledTier> tier, f64 r, f64 w) {
     const auto m = measure(*tier, clock);
-    measured.add_row({name, bench::gb_per_s(r) + " | " + bench::gb_per_s(w),
-                      bench::gb_per_s(m.read_bps) + " | " +
-                          bench::gb_per_s(m.write_bps)});
+    measured.add_row({name, gb_per_s(r) + " | " + gb_per_s(w),
+                      gb_per_s(m.read_bps) + " | " + gb_per_s(m.write_bps)});
+    out.push_back(metric("measured_read_gbps", "GB/s", m.read_bps / GB,
+                         Better::kHigher, {{"device", name}}));
+    out.push_back(metric("measured_write_gbps", "GB/s", m.write_bps / GB,
+                         Better::kHigher, {{"device", name}}));
   };
   bench_tier("T1 NVMe", t1.make_nvme_tier(clock, "t1nvme"), t1.nvme_read_bw,
              t1.nvme_write_bw);
@@ -81,6 +83,23 @@ int main() {
              t2.nvme_write_bw);
   bench_tier("T2 PFS (Lustre)", t2.make_pfs_tier(clock, "t2pfs"), t2.pfs_read_bw,
              t2.pfs_write_bw);
-  measured.print();
-  return 0;
+  if (ctx.print_tables()) measured.print();
+  return out;
 }
+
+}  // namespace
+
+void register_table1_testbeds(BenchRegistry& r) {
+  r.add({.name = "table1_testbeds",
+         .title = "Table 1 - Testbed configurations",
+         .paper_claim =
+             "Testbed-1 (JLSE H100) and Testbed-2 (Polaris A100) specs; "
+             "emulated devices must match the listed rates",
+         .labels = {"smoke", "table", "micro"},
+         .sweep = {{"device",
+                    {"T1 NVMe", "T1 PFS (VAST)", "T2 NVMe",
+                     "T2 PFS (Lustre)"}}},
+         .run = run});
+}
+
+}  // namespace mlpo::bench

@@ -3,12 +3,13 @@
 #include <cstdio>
 
 #include "bench_common.hpp"
+#include "harness/bench_registry.hpp"
 
-int main() {
-  using namespace mlpo;
-  bench::print_header("Table 2 - Evaluation models",
-                      "N_L/D_H/A_H for 40B..280B; optimizer state is 6x the "
-                      "FP16 model and exceeds host memory beyond ~40B");
+namespace mlpo::bench {
+namespace {
+
+std::vector<telemetry::Metric> run(BenchContext& ctx) {
+  std::vector<telemetry::Metric> out;
 
   TablePrinter table({"Model", "N_L", "D_H", "A_H", "Params (B)",
                       "FP16 model", "Optim state (12B/p)", "Fits host mem?"});
@@ -21,14 +22,38 @@ int main() {
                    std::to_string(m.hidden_dim),
                    std::to_string(m.attention_heads),
                    TablePrinter::num(static_cast<f64>(m.parameters()) / 1e9, 1),
-                   bench::gib(m.fp16_param_bytes()),
-                   bench::gib(m.optimizer_state_bytes()),
+                   gib(m.fp16_param_bytes()),
+                   gib(m.optimizer_state_bytes()),
                    m.optimizer_state_bytes() < usable_host ? "yes" : "no"});
+    const json::Object params{{"model", m.name}};
+    out.push_back(metric("params_b", "B",
+                         static_cast<f64>(m.parameters()) / 1e9,
+                         telemetry::Better::kNeither, params));
+    out.push_back(metric("optim_state_gb", "GB",
+                         static_cast<f64>(m.optimizer_state_bytes()) / 1e9,
+                         telemetry::Better::kNeither, params));
   };
   add(baseline_20b());
   for (const auto& m : paper_models()) add(m);
-  table.print();
-  std::printf("\nParameter counts derive from 12*H^2+13*H per layer plus "
-              "embeddings;\nthe paper quotes rounded headline sizes.\n");
-  return 0;
+  if (ctx.print_tables()) {
+    table.print();
+    std::printf("\nParameter counts derive from 12*H^2+13*H per layer plus "
+                "embeddings;\nthe paper quotes rounded headline sizes.\n");
+  }
+  return out;
 }
+
+}  // namespace
+
+void register_table2_models(BenchRegistry& r) {
+  r.add({.name = "table2_models",
+         .title = "Table 2 - Evaluation models",
+         .paper_claim =
+             "N_L/D_H/A_H for 40B..280B; optimizer state is 6x the FP16 "
+             "model and exceeds host memory beyond ~40B",
+         .labels = {"smoke", "table"},
+         .sweep = {{"model", {"20B", "40B..280B"}}},
+         .run = run});
+}
+
+}  // namespace mlpo::bench

@@ -1,0 +1,250 @@
+#include "telemetry/json_reporter.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace mlpo::telemetry {
+
+std::string to_string(Better better) {
+  switch (better) {
+    case Better::kLower: return "lower";
+    case Better::kHigher: return "higher";
+    case Better::kNeither: return "neither";
+  }
+  return "neither";
+}
+
+Better better_from_string(const std::string& text) {
+  if (text == "lower") return Better::kLower;
+  if (text == "higher") return Better::kHigher;
+  if (text == "neither") return Better::kNeither;
+  throw std::runtime_error("json_reporter: unknown gate direction \"" + text +
+                           "\" (expected lower/higher/neither)");
+}
+
+f64 MetricSeries::median() const {
+  if (values.empty()) return 0;
+  std::vector<f64> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  const std::size_t n = sorted.size();
+  return n % 2 == 1 ? sorted[n / 2]
+                    : (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0;
+}
+
+f64 MetricSeries::min() const {
+  return values.empty() ? 0 : *std::min_element(values.begin(), values.end());
+}
+
+f64 MetricSeries::max() const {
+  return values.empty() ? 0 : *std::max_element(values.begin(), values.end());
+}
+
+std::string MetricSeries::key() const {
+  // json::Object is a std::map, so dump() is canonical for the params set.
+  return bench + "/" + name + json::Value(params).dump();
+}
+
+void JsonReporter::set_context(f64 time_scale, u32 repeats) {
+  time_scale_ = time_scale;
+  repeats_ = repeats;
+}
+
+void JsonReporter::add(const std::string& bench,
+                       const std::vector<std::string>& labels,
+                       const std::vector<Metric>& metrics) {
+  const auto known = std::find_if(benches_.begin(), benches_.end(),
+                                  [&](const BenchEntry& e) { return e.name == bench; });
+  if (known == benches_.end()) benches_.push_back({bench, labels});
+
+  for (const Metric& m : metrics) {
+    MetricSeries probe;
+    probe.bench = bench;
+    probe.name = m.name;
+    probe.params = m.params;
+    auto [it, inserted] = series_index_.try_emplace(probe.key(), series_.size());
+    if (inserted) {
+      probe.unit = m.unit;
+      probe.better = m.better;
+      series_.push_back(std::move(probe));
+    }
+    series_[it->second].values.push_back(m.value);
+  }
+}
+
+json::Value JsonReporter::to_json() const {
+  json::Array benchmarks;
+  for (const BenchEntry& bench : benches_) {
+    json::Array labels;
+    for (const std::string& l : bench.labels) labels.emplace_back(l);
+
+    json::Array metrics;
+    for (const MetricSeries& s : series_) {
+      if (s.bench != bench.name) continue;
+      json::Array values;
+      for (const f64 v : s.values) values.emplace_back(v);
+      metrics.push_back(json::Object{
+          {"name", s.name},
+          {"unit", s.unit},
+          {"better", to_string(s.better)},
+          {"params", s.params},
+          {"repeats", static_cast<u64>(s.values.size())},
+          {"median", s.median()},
+          {"min", s.min()},
+          {"max", s.max()},
+          {"values", std::move(values)},
+      });
+    }
+    benchmarks.push_back(json::Object{
+        {"name", bench.name},
+        {"labels", std::move(labels)},
+        {"metrics", std::move(metrics)},
+    });
+  }
+  return json::Object{
+      {"schema", "mlpo-bench-v1"},
+      {"time_scale", time_scale_},
+      {"repeats", static_cast<u64>(repeats_)},
+      {"benchmarks", std::move(benchmarks)},
+  };
+}
+
+std::string JsonReporter::dump() const { return to_json().dump(2); }
+
+void JsonReporter::write(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("json_reporter: cannot open \"" + path +
+                             "\" for writing");
+  }
+  out << dump() << "\n";
+  if (!out) {
+    throw std::runtime_error("json_reporter: failed writing \"" + path + "\"");
+  }
+}
+
+std::vector<MetricSeries> JsonReporter::from_json(const json::Value& doc) {
+  const std::string schema = doc.string_or("schema", "");
+  if (schema != "mlpo-bench-v1") {
+    throw std::runtime_error(
+        "json_reporter: unsupported schema \"" + schema +
+        "\" (expected mlpo-bench-v1)");
+  }
+  std::vector<MetricSeries> out;
+  for (const json::Value& bench : doc.at("benchmarks").as_array()) {
+    const std::string bench_name = bench.at("name").as_string();
+    for (const json::Value& metric : bench.at("metrics").as_array()) {
+      MetricSeries s;
+      s.bench = bench_name;
+      s.name = metric.at("name").as_string();
+      s.unit = metric.string_or("unit", "");
+      s.better = better_from_string(metric.string_or("better", "neither"));
+      if (metric.contains("params")) s.params = metric.at("params").as_object();
+      for (const json::Value& v : metric.at("values").as_array()) {
+        s.values.push_back(v.as_number());
+      }
+      out.push_back(std::move(s));
+    }
+  }
+  return out;
+}
+
+std::vector<MetricSeries> JsonReporter::load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("json_reporter: cannot open \"" + path + "\"");
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  return from_json(json::parse(text.str()));
+}
+
+namespace {
+
+BaselineDelta::Kind classify(Better better, f64 baseline, f64 current,
+                             f64 threshold_pct) {
+  if (better == Better::kNeither) return BaselineDelta::Kind::kPass;
+  if (baseline == current) return BaselineDelta::Kind::kPass;
+  if (baseline == 0) {
+    // No margin to scale a percentage by: any movement in the bad direction
+    // gates, movement in the good direction is an improvement.
+    const bool worse = better == Better::kLower ? current > 0 : current < 0;
+    return worse ? BaselineDelta::Kind::kRegression
+                 : BaselineDelta::Kind::kImprovement;
+  }
+  const f64 delta_pct = (current - baseline) / std::abs(baseline) * 100.0;
+  const f64 bad_pct = better == Better::kLower ? delta_pct : -delta_pct;
+  if (bad_pct > threshold_pct) return BaselineDelta::Kind::kRegression;
+  if (bad_pct < -threshold_pct) return BaselineDelta::Kind::kImprovement;
+  return BaselineDelta::Kind::kPass;
+}
+
+}  // namespace
+
+BaselineReport compare_to_baseline(const std::vector<MetricSeries>& current,
+                                   const std::vector<MetricSeries>& baseline,
+                                   f64 threshold_pct) {
+  BaselineReport report;
+  std::vector<bool> matched(baseline.size(), false);
+  std::unordered_map<std::string, std::size_t> baseline_index;
+  for (std::size_t i = 0; i < baseline.size(); ++i) {
+    baseline_index.emplace(baseline[i].key(), i);
+  }
+
+  for (const MetricSeries& cur : current) {
+    const std::string key = cur.key();
+    const auto found = baseline_index.find(key);
+
+    BaselineDelta delta;
+    delta.key = key;
+    delta.unit = cur.unit;
+    delta.better = cur.better;
+    delta.current_median = cur.median();
+    if (found == baseline_index.end()) {
+      delta.kind = BaselineDelta::Kind::kNew;
+      ++report.added;
+    } else {
+      const MetricSeries& base = baseline[found->second];
+      matched[found->second] = true;
+      delta.baseline_median = base.median();
+      delta.delta_pct =
+          delta.baseline_median != 0
+              ? (delta.current_median - delta.baseline_median) /
+                    std::abs(delta.baseline_median) * 100.0
+              : (delta.current_median == 0 ? 0.0 : 100.0);
+      if (cur.better != base.better) {
+        // A gate that silently flips (worst case: to kNeither) would stop
+        // protecting the metric; force the baseline to be refreshed instead.
+        delta.kind = BaselineDelta::Kind::kDirectionChanged;
+        ++report.direction_changes;
+      } else {
+        delta.kind = classify(cur.better, delta.baseline_median,
+                              delta.current_median, threshold_pct);
+        switch (delta.kind) {
+          case BaselineDelta::Kind::kRegression: ++report.regressions; break;
+          case BaselineDelta::Kind::kImprovement: ++report.improvements; break;
+          default: ++report.passes; break;
+        }
+      }
+    }
+    report.deltas.push_back(std::move(delta));
+  }
+
+  for (std::size_t i = 0; i < baseline.size(); ++i) {
+    if (matched[i]) continue;
+    BaselineDelta delta;
+    delta.kind = BaselineDelta::Kind::kMissing;
+    delta.key = baseline[i].key();
+    delta.unit = baseline[i].unit;
+    delta.better = baseline[i].better;
+    delta.baseline_median = baseline[i].median();
+    report.deltas.push_back(std::move(delta));
+    ++report.missing;
+  }
+  return report;
+}
+
+}  // namespace mlpo::telemetry

@@ -1,0 +1,138 @@
+// Machine-readable benchmark telemetry.
+//
+// Every bench case reports its results as Metric rows (name, unit, scenario
+// params, gate direction); the JsonReporter aggregates the rows across
+// repeats into MetricSeries (median/min/max) and serializes the whole run as
+// a `mlpo-bench-v1` JSON document. The same document format doubles as the
+// checked-in baseline: compare_to_baseline() matches series by
+// (bench, metric, params) and flags median regressions past a percentage
+// threshold, which is what the CI perf-smoke gate exits non-zero on.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/common.hpp"
+#include "util/json.hpp"
+
+namespace mlpo::telemetry {
+
+/// Gate direction: which way a change in the metric counts as a regression.
+/// kNeither marks informational metrics that are recorded but never gated.
+enum class Better { kNeither, kLower, kHigher };
+
+std::string to_string(Better better);
+Better better_from_string(const std::string& text);
+
+/// One measured value from one repeat of a bench case.
+struct Metric {
+  std::string name;     ///< e.g. "demand_p99_wait"
+  std::string unit;     ///< e.g. "s", "GB/s", "Mparam/s", "x"
+  json::Object params;  ///< scenario coordinates, e.g. {"model":"40B"}
+  f64 value = 0;
+  Better better = Better::kNeither;
+};
+
+/// A metric aggregated across the repeats of one run (or parsed back from a
+/// document; baselines are just previous runs).
+struct MetricSeries {
+  std::string bench;  ///< owning case, e.g. "fig_io_scheduler"
+  std::string name;
+  std::string unit;
+  json::Object params;
+  Better better = Better::kNeither;
+  std::vector<f64> values;  ///< one entry per repeat
+
+  f64 median() const;
+  f64 min() const;
+  f64 max() const;
+  /// Identity for baseline matching: bench, name and canonical params.
+  std::string key() const;
+};
+
+/// Collects Metric rows per bench case and emits/parses the JSON document.
+class JsonReporter {
+ public:
+  /// Run-wide context recorded in the document header.
+  void set_context(f64 time_scale, u32 repeats);
+
+  /// Record one repeat's metrics for `bench`. Values append to the series
+  /// matched by (bench, metric name, params); labels are recorded once.
+  void add(const std::string& bench, const std::vector<std::string>& labels,
+           const std::vector<Metric>& metrics);
+
+  const std::vector<MetricSeries>& series() const { return series_; }
+
+  json::Value to_json() const;
+  std::string dump() const;
+  /// Write the pretty-printed document; throws std::runtime_error on I/O
+  /// failure.
+  void write(const std::string& path) const;
+
+  /// Parse a document produced by to_json(). Throws json::ParseError /
+  /// std::runtime_error on malformed input.
+  static std::vector<MetricSeries> from_json(const json::Value& doc);
+  static std::vector<MetricSeries> load(const std::string& path);
+
+ private:
+  struct BenchEntry {
+    std::string name;
+    std::vector<std::string> labels;
+  };
+
+  f64 time_scale_ = 0;
+  u32 repeats_ = 0;
+  std::vector<BenchEntry> benches_;   ///< registration order
+  std::vector<MetricSeries> series_;  ///< emission order
+  /// MetricSeries::key() -> index into series_, so appending a repeat is
+  /// O(1) instead of re-serializing every series' params per lookup.
+  std::unordered_map<std::string, std::size_t> series_index_;
+};
+
+/// Outcome for one metric of a baseline comparison.
+struct BaselineDelta {
+  enum class Kind {
+    kPass,          ///< within threshold (or not gated)
+    kImprovement,   ///< moved past threshold in the good direction
+    kRegression,    ///< moved past threshold in the bad direction
+    kMissing,       ///< in the baseline but absent from the current run
+    kNew,           ///< in the current run but absent from the baseline
+    kDirectionChanged,  ///< gate direction differs from the baseline's
+  };
+  Kind kind = Kind::kPass;
+  std::string key;
+  std::string unit;
+  Better better = Better::kNeither;
+  f64 baseline_median = 0;
+  f64 current_median = 0;
+  f64 delta_pct = 0;  ///< (current - baseline) / |baseline| * 100
+};
+
+struct BaselineReport {
+  std::vector<BaselineDelta> deltas;
+  u32 passes = 0;
+  u32 improvements = 0;
+  u32 regressions = 0;
+  u32 missing = 0;  ///< baseline coverage silently dropped -> failure
+  u32 added = 0;    ///< new metrics -> informational only
+  /// A metric's gate direction no longer matches the baseline's. Fails the
+  /// gate: silently dropping a metric to kNeither would disarm it, so the
+  /// change must come with a baseline refresh.
+  u32 direction_changes = 0;
+
+  /// The gate verdict: no regressions, no vanished coverage, no disarmed
+  /// gates.
+  bool ok() const {
+    return regressions == 0 && missing == 0 && direction_changes == 0;
+  }
+};
+
+/// Compare current series against a baseline run. A gated metric regresses
+/// when its median moves more than `threshold_pct` percent in its bad
+/// direction; kNeither metrics always pass. Matching is by MetricSeries::key.
+BaselineReport compare_to_baseline(const std::vector<MetricSeries>& current,
+                                   const std::vector<MetricSeries>& baseline,
+                                   f64 threshold_pct);
+
+}  // namespace mlpo::telemetry

@@ -1,0 +1,66 @@
+#include "util/env.hpp"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+
+namespace mlpo::env {
+
+namespace {
+
+[[noreturn]] void fail(const char* name, const char* value,
+                       const std::string& expected) {
+  throw EnvError(std::string(name) + "=\"" + value + "\" is invalid: " +
+                 expected);
+}
+
+/// True when `end` consumed the whole value (trailing whitespace allowed).
+bool fully_consumed(const char* end) {
+  while (*end == ' ' || *end == '\t') ++end;
+  return *end == '\0';
+}
+
+}  // namespace
+
+f64 f64_or(const char* name, f64 def, bool require_positive) {
+  const char* v = std::getenv(name);
+  if (v == nullptr) return def;
+  errno = 0;
+  char* end = nullptr;
+  const f64 parsed = std::strtod(v, &end);
+  if (end == v || !fully_consumed(end)) {
+    fail(name, v, "expected a numeric value");
+  }
+  if (errno == ERANGE || !std::isfinite(parsed)) {
+    fail(name, v, "value overflows a double");
+  }
+  if (require_positive && parsed <= 0.0) {
+    fail(name, v, "expected a value > 0");
+  }
+  return parsed;
+}
+
+u32 u32_or(const char* name, u32 def, u32 min_value) {
+  const char* v = std::getenv(name);
+  if (v == nullptr) return def;
+  // strtoul accepts "-1" by wrapping; reject any minus sign up front.
+  for (const char* p = v; *p != '\0'; ++p) {
+    if (*p == '-') fail(name, v, "expected a non-negative integer");
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long parsed = std::strtoul(v, &end, 10);
+  if (end == v || !fully_consumed(end)) {
+    fail(name, v, "expected a non-negative integer");
+  }
+  if (errno == ERANGE || parsed > std::numeric_limits<u32>::max()) {
+    fail(name, v, "value overflows a 32-bit unsigned integer");
+  }
+  if (parsed < min_value) {
+    fail(name, v, "expected a value >= " + std::to_string(min_value));
+  }
+  return static_cast<u32>(parsed);
+}
+
+}  // namespace mlpo::env

@@ -1,0 +1,33 @@
+// Strict environment-variable parsing for runtime knobs.
+//
+// The bench harnesses (and anything else steered by MLPO_* variables) must
+// fail loudly on a malformed knob: a typo like MLPO_TIME_SCALE=5OO silently
+// parsed as 5 (or 0) misconfigures an entire perf run and poisons the
+// recorded telemetry. These helpers reject anything that is not a complete,
+// in-range numeric literal, naming the variable and the offending value.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "util/common.hpp"
+
+namespace mlpo::env {
+
+/// A knob was set to something unusable. The message always contains the
+/// variable name, the raw value, and what was expected.
+struct EnvError : std::runtime_error {
+  explicit EnvError(const std::string& msg) : std::runtime_error(msg) {}
+};
+
+/// Read a floating-point variable. Unset -> `def`. The value must be a
+/// complete finite numeric literal, strictly positive when
+/// `require_positive`; otherwise EnvError.
+f64 f64_or(const char* name, f64 def, bool require_positive = true);
+
+/// Read an unsigned integer variable. Unset -> `def`. The value must be a
+/// complete decimal literal with `min_value <= value <= UINT32_MAX`;
+/// otherwise EnvError.
+u32 u32_or(const char* name, u32 def, u32 min_value = 0);
+
+}  // namespace mlpo::env

@@ -1,0 +1,85 @@
+// Strict env-knob parsing: defaults, valid values, and loud rejection of
+// malformed/zero/out-of-range settings (the bench harness builds its
+// MLPO_TIME_SCALE / MLPO_BENCH_ITERS / MLPO_BENCH_WARMUP validation on it).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "util/env.hpp"
+
+namespace mlpo::env {
+namespace {
+
+constexpr const char* kVar = "MLPO_ENV_TEST_VAR";
+
+class EnvTest : public ::testing::Test {
+ protected:
+  void TearDown() override { ::unsetenv(kVar); }
+  void set(const char* value) { ::setenv(kVar, value, 1); }
+};
+
+TEST_F(EnvTest, UnsetReturnsDefault) {
+  EXPECT_DOUBLE_EQ(f64_or(kVar, 500.0), 500.0);
+  EXPECT_EQ(u32_or(kVar, 3), 3u);
+}
+
+TEST_F(EnvTest, ParsesValidValues) {
+  set("250.5");
+  EXPECT_DOUBLE_EQ(f64_or(kVar, 1.0), 250.5);
+  set("1e2");
+  EXPECT_DOUBLE_EQ(f64_or(kVar, 1.0), 100.0);
+  set("42");
+  EXPECT_EQ(u32_or(kVar, 1), 42u);
+  set("42  ");  // trailing whitespace tolerated
+  EXPECT_EQ(u32_or(kVar, 1), 42u);
+}
+
+TEST_F(EnvTest, RejectsNonNumeric) {
+  for (const char* bad : {"abc", "5OO", "12x", "1.5.2", ""}) {
+    set(bad);
+    EXPECT_THROW(f64_or(kVar, 1.0), EnvError) << "value: " << bad;
+    EXPECT_THROW(u32_or(kVar, 1), EnvError) << "value: " << bad;
+  }
+}
+
+TEST_F(EnvTest, RejectsNonPositiveFloatWhenRequired) {
+  set("0");
+  EXPECT_THROW(f64_or(kVar, 1.0), EnvError);
+  set("-3");
+  EXPECT_THROW(f64_or(kVar, 1.0), EnvError);
+  // ... but allows them when positivity is not required.
+  set("0");
+  EXPECT_DOUBLE_EQ(f64_or(kVar, 1.0, /*require_positive=*/false), 0.0);
+}
+
+TEST_F(EnvTest, RejectsIntegerBelowMinimumOrNegative) {
+  set("0");
+  EXPECT_THROW(u32_or(kVar, 3, /*min_value=*/1), EnvError);
+  EXPECT_EQ(u32_or(kVar, 3, /*min_value=*/0), 0u);
+  set("-1");
+  EXPECT_THROW(u32_or(kVar, 3), EnvError);
+}
+
+TEST_F(EnvTest, RejectsOverflow) {
+  set("1e999");
+  EXPECT_THROW(f64_or(kVar, 1.0), EnvError);
+  set("4294967296");  // UINT32_MAX + 1
+  EXPECT_THROW(u32_or(kVar, 1), EnvError);
+  set("4294967295");
+  EXPECT_EQ(u32_or(kVar, 1), 4294967295u);
+}
+
+TEST_F(EnvTest, ErrorNamesVariableAndValue) {
+  set("bogus");
+  try {
+    f64_or(kVar, 1.0);
+    FAIL() << "expected EnvError";
+  } catch (const EnvError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find(kVar), std::string::npos);
+    EXPECT_NE(msg.find("bogus"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace mlpo::env

@@ -1,0 +1,240 @@
+// JsonReporter: repeat aggregation, emit -> parse round-trip, and baseline
+// comparison verdicts (pass / regression / improvement / missing / new).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "telemetry/json_reporter.hpp"
+
+namespace mlpo::telemetry {
+namespace {
+
+Metric make(const std::string& name, f64 value,
+            Better better = Better::kNeither, json::Object params = {}) {
+  Metric m;
+  m.name = name;
+  m.unit = "s";
+  m.params = std::move(params);
+  m.value = value;
+  m.better = better;
+  return m;
+}
+
+MetricSeries series_of(const std::string& bench, const std::string& name,
+                       std::vector<f64> values,
+                       Better better = Better::kNeither,
+                       json::Object params = {}) {
+  MetricSeries s;
+  s.bench = bench;
+  s.name = name;
+  s.unit = "s";
+  s.params = std::move(params);
+  s.better = better;
+  s.values = std::move(values);
+  return s;
+}
+
+TEST(MetricSeries, MedianMinMax) {
+  const auto odd = series_of("b", "m", {3.0, 1.0, 2.0});
+  EXPECT_DOUBLE_EQ(odd.median(), 2.0);
+  EXPECT_DOUBLE_EQ(odd.min(), 1.0);
+  EXPECT_DOUBLE_EQ(odd.max(), 3.0);
+
+  const auto even = series_of("b", "m", {4.0, 1.0, 2.0, 3.0});
+  EXPECT_DOUBLE_EQ(even.median(), 2.5);
+
+  const auto empty = series_of("b", "m", {});
+  EXPECT_DOUBLE_EQ(empty.median(), 0.0);
+}
+
+TEST(MetricSeries, KeyDistinguishesParams) {
+  const auto a = series_of("b", "m", {}, Better::kNeither, {{"model", "40B"}});
+  const auto b = series_of("b", "m", {}, Better::kNeither, {{"model", "70B"}});
+  const auto c = series_of("b2", "m", {}, Better::kNeither, {{"model", "40B"}});
+  EXPECT_NE(a.key(), b.key());
+  EXPECT_NE(a.key(), c.key());
+  EXPECT_EQ(a.key(),
+            series_of("b", "m", {1.0}, Better::kLower, {{"model", "40B"}}).key());
+}
+
+TEST(JsonReporter, AggregatesRepeatsBySeries) {
+  JsonReporter reporter;
+  reporter.set_context(500.0, 2);
+  reporter.add("bench_a", {"smoke"},
+               {make("latency", 1.0, Better::kLower, {{"model", "40B"}}),
+                make("latency", 5.0, Better::kLower, {{"model", "70B"}})});
+  reporter.add("bench_a", {"smoke"},
+               {make("latency", 3.0, Better::kLower, {{"model", "40B"}}),
+                make("latency", 7.0, Better::kLower, {{"model", "70B"}})});
+
+  ASSERT_EQ(reporter.series().size(), 2u);
+  EXPECT_EQ(reporter.series()[0].values, (std::vector<f64>{1.0, 3.0}));
+  EXPECT_EQ(reporter.series()[1].values, (std::vector<f64>{5.0, 7.0}));
+  EXPECT_DOUBLE_EQ(reporter.series()[0].median(), 2.0);
+}
+
+TEST(JsonReporter, EmitParseRoundTrip) {
+  JsonReporter reporter;
+  reporter.set_context(500.0, 3);
+  for (int r = 0; r < 3; ++r) {
+    reporter.add("bench_a", {"smoke", "io"},
+                 {make("p99", 0.1 * (r + 1), Better::kLower,
+                       {{"discipline", "priority"}})});
+    reporter.add("bench_b", {"figure"},
+                 {make("throughput", 8.0 + r, Better::kHigher)});
+  }
+
+  const auto parsed = JsonReporter::from_json(reporter.to_json());
+  ASSERT_EQ(parsed.size(), reporter.series().size());
+  for (std::size_t i = 0; i < parsed.size(); ++i) {
+    const auto& in = reporter.series()[i];
+    const auto& out = parsed[i];
+    EXPECT_EQ(out.bench, in.bench);
+    EXPECT_EQ(out.name, in.name);
+    EXPECT_EQ(out.unit, in.unit);
+    EXPECT_EQ(out.params, in.params);
+    EXPECT_EQ(out.better, in.better);
+    EXPECT_EQ(out.values, in.values);
+    EXPECT_EQ(out.key(), in.key());
+  }
+}
+
+TEST(JsonReporter, WriteAndLoadFile) {
+  JsonReporter reporter;
+  reporter.set_context(100.0, 1);
+  reporter.add("bench_a", {}, {make("m", 42.0, Better::kHigher)});
+
+  const auto path = std::filesystem::temp_directory_path() /
+                    "mlpo_json_reporter_test.json";
+  reporter.write(path.string());
+  const auto loaded = JsonReporter::load(path.string());
+  std::filesystem::remove(path);
+
+  ASSERT_EQ(loaded.size(), 1u);
+  EXPECT_EQ(loaded[0].bench, "bench_a");
+  EXPECT_DOUBLE_EQ(loaded[0].median(), 42.0);
+  EXPECT_EQ(loaded[0].better, Better::kHigher);
+}
+
+TEST(JsonReporter, LoadRejectsMissingFileAndWrongSchema) {
+  EXPECT_THROW(JsonReporter::load("/nonexistent/path.json"),
+               std::runtime_error);
+  EXPECT_THROW(JsonReporter::from_json(json::parse(R"({"schema":"v999"})")),
+               std::runtime_error);
+}
+
+TEST(BetterEnum, RoundTripsAndRejectsUnknown) {
+  for (const Better b : {Better::kNeither, Better::kLower, Better::kHigher}) {
+    EXPECT_EQ(better_from_string(to_string(b)), b);
+  }
+  EXPECT_THROW(better_from_string("sideways"), std::runtime_error);
+}
+
+TEST(BaselineCompare, PassWithinThreshold) {
+  const auto current = {series_of("b", "m", {1.05}, Better::kLower)};
+  const auto baseline = {series_of("b", "m", {1.0}, Better::kLower)};
+  const auto report = compare_to_baseline(current, baseline, 10.0);
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.passes, 1u);
+  EXPECT_EQ(report.deltas[0].kind, BaselineDelta::Kind::kPass);
+  EXPECT_NEAR(report.deltas[0].delta_pct, 5.0, 1e-9);
+}
+
+TEST(BaselineCompare, RegressionLowerIsBetter) {
+  const auto current = {series_of("b", "m", {1.5}, Better::kLower)};
+  const auto baseline = {series_of("b", "m", {1.0}, Better::kLower)};
+  const auto report = compare_to_baseline(current, baseline, 25.0);
+  EXPECT_FALSE(report.ok());
+  EXPECT_EQ(report.regressions, 1u);
+  EXPECT_EQ(report.deltas[0].kind, BaselineDelta::Kind::kRegression);
+}
+
+TEST(BaselineCompare, RegressionHigherIsBetter) {
+  const auto current = {series_of("b", "thru", {6.0}, Better::kHigher)};
+  const auto baseline = {series_of("b", "thru", {10.0}, Better::kHigher)};
+  const auto report = compare_to_baseline(current, baseline, 25.0);
+  EXPECT_FALSE(report.ok());
+  EXPECT_EQ(report.regressions, 1u);
+}
+
+TEST(BaselineCompare, ImprovementIsNotAFailure) {
+  const auto current = {series_of("b", "m", {0.5}, Better::kLower)};
+  const auto baseline = {series_of("b", "m", {1.0}, Better::kLower)};
+  const auto report = compare_to_baseline(current, baseline, 25.0);
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.improvements, 1u);
+  EXPECT_EQ(report.deltas[0].kind, BaselineDelta::Kind::kImprovement);
+}
+
+TEST(BaselineCompare, UngatedMetricNeverRegresses) {
+  const auto current = {series_of("b", "m", {100.0}, Better::kNeither)};
+  const auto baseline = {series_of("b", "m", {1.0}, Better::kNeither)};
+  const auto report = compare_to_baseline(current, baseline, 25.0);
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.passes, 1u);
+}
+
+TEST(BaselineCompare, ChangedGateDirectionFailsTheGate) {
+  // Dropping a gate to kNeither (or flipping it) would silently disarm the
+  // protection; the comparison must force a baseline refresh instead.
+  const auto current = {series_of("b", "m", {1.0}, Better::kNeither)};
+  const auto baseline = {series_of("b", "m", {1.0}, Better::kHigher)};
+  const auto report = compare_to_baseline(current, baseline, 25.0);
+  EXPECT_FALSE(report.ok());
+  EXPECT_EQ(report.direction_changes, 1u);
+  EXPECT_EQ(report.deltas[0].kind, BaselineDelta::Kind::kDirectionChanged);
+}
+
+TEST(BaselineCompare, MissingMetricFailsTheGate) {
+  const std::vector<MetricSeries> current = {};
+  const auto baseline = {series_of("b", "m", {1.0}, Better::kLower)};
+  const auto report = compare_to_baseline(current, baseline, 25.0);
+  EXPECT_FALSE(report.ok());
+  EXPECT_EQ(report.missing, 1u);
+  EXPECT_EQ(report.deltas[0].kind, BaselineDelta::Kind::kMissing);
+}
+
+TEST(BaselineCompare, NewMetricIsInformational) {
+  const auto current = {series_of("b", "m", {1.0}, Better::kLower)};
+  const std::vector<MetricSeries> baseline = {};
+  const auto report = compare_to_baseline(current, baseline, 25.0);
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.added, 1u);
+  EXPECT_EQ(report.deltas[0].kind, BaselineDelta::Kind::kNew);
+}
+
+TEST(BaselineCompare, ParamsParticipateInMatching) {
+  // Same metric name, different params: no cross-match, one new + one
+  // missing.
+  const auto current = {
+      series_of("b", "m", {1.0}, Better::kLower, {{"model", "40B"}})};
+  const auto baseline = {
+      series_of("b", "m", {1.0}, Better::kLower, {{"model", "70B"}})};
+  const auto report = compare_to_baseline(current, baseline, 25.0);
+  EXPECT_FALSE(report.ok());
+  EXPECT_EQ(report.added, 1u);
+  EXPECT_EQ(report.missing, 1u);
+}
+
+TEST(BaselineCompare, ZeroBaselineHandledWithoutDivide) {
+  const auto worse = compare_to_baseline(
+      {series_of("b", "m", {0.5}, Better::kLower)},
+      {series_of("b", "m", {0.0}, Better::kLower)}, 25.0);
+  EXPECT_FALSE(worse.ok());
+
+  const auto same = compare_to_baseline(
+      {series_of("b", "m", {0.0}, Better::kLower)},
+      {series_of("b", "m", {0.0}, Better::kLower)}, 25.0);
+  EXPECT_TRUE(same.ok());
+}
+
+TEST(BaselineCompare, MedianOfRepeatsDecides) {
+  // Median 2.0 vs baseline 2.0: one outlier repeat must not trip the gate.
+  const auto current = {series_of("b", "m", {2.0, 9.0, 1.9}, Better::kLower)};
+  const auto baseline = {series_of("b", "m", {2.0}, Better::kLower)};
+  EXPECT_TRUE(compare_to_baseline(current, baseline, 25.0).ok());
+}
+
+}  // namespace
+}  // namespace mlpo::telemetry
