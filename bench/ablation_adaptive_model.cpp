@@ -51,7 +51,7 @@ RunResult run_one(bool adaptive, f64 time_scale) {
   ctx.grads = &grads;
 
   EngineOptions opts = EngineOptions::mlp_offload();
-  opts.adaptive_placement = adaptive;
+  opts.placement_policy = adaptive ? "adaptive_ema" : "eq1_static";
   opts.elem_scale = 65536;
   opts.host_cache_subgroups = 8;
   opts.cpu_update_rate = testbed.cpu_update_rate_node;
@@ -81,7 +81,7 @@ RunResult run_one(bool adaptive, f64 time_scale) {
   }
   if (quiet) result.quiet_update_s /= quiet;
   if (pressured) result.pressured_update_s /= pressured;
-  result.final_quotas = engine.perf_model().quotas();
+  result.final_quotas = engine.placement().quotas();
   return result;
 }
 

@@ -38,8 +38,8 @@ void validate_bench_env();
 u64 elem_scale_for(u64 params);
 
 struct ScenarioResult {
-  IterationReport avg;                      ///< averaged post-warmup report
-  OffloadEngine::Distribution distribution; ///< end-of-run placement
+  IterationReport avg;                ///< averaged post-warmup report
+  Engine::Distribution distribution;  ///< end-of-run placement
 };
 
 /// Build a TrainerConfig for a standard paper scenario.

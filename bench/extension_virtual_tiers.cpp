@@ -65,7 +65,7 @@ f64 run_with_paths(u32 num_paths, f64 time_scale, std::vector<u32>* quotas) {
       ++measured;
     }
   }
-  *quotas = engine.perf_model().quotas();
+  *quotas = engine.placement().quotas();
   return total / measured;
 }
 

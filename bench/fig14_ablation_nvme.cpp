@@ -43,7 +43,8 @@ std::vector<telemetry::Metric> run(BenchContext& ctx) {
     f64 baseline = 0;
     for (std::size_t s = 0; s < 4; ++s) {
       EngineOptions opts = EngineOptions::deepspeed_zero3();
-      opts.cache_friendly_order = kSteps[s].cache;
+      opts.update_order_policy =
+          kSteps[s].cache ? "alternating_cache_friendly" : "ascending";
       opts.delayed_grad_conversion = kSteps[s].delayed;
       opts.tier_exclusive_locking = kSteps[s].locking;
       auto cfg = scenario(model, TestbedSpec::testbed1(), opts);

@@ -13,14 +13,15 @@
 namespace mlpo::bench {
 namespace {
 
+// Each ablation step is a named policy bundle (EngineOptions::preset).
 struct Step {
   const char* label;
-  bool delayed, locking;
+  const char* preset;
 };
 const Step kSteps[] = {
-    {"Multi-Path (with caching)", false, false},
-    {"MP Skip Grads", true, false},
-    {"Our Approach", true, true},
+    {"Multi-Path (with caching)", "multipath_caching"},
+    {"MP Skip Grads", "mp_skip_grads"},
+    {"Our Approach", "mlp_offload"},
 };
 struct PaperRow {
   const char* model;
@@ -54,9 +55,7 @@ std::vector<telemetry::Metric> run(BenchContext& ctx) {
                           {"config", "DeepSpeed ZeRO-3 (ref)"}}));
 
     for (std::size_t s = 0; s < 3; ++s) {
-      EngineOptions opts = EngineOptions::mlp_offload();
-      opts.delayed_grad_conversion = kSteps[s].delayed;
-      opts.tier_exclusive_locking = kSteps[s].locking;
+      const EngineOptions opts = EngineOptions::preset(kSteps[s].preset);
       auto cfg = scenario(model, TestbedSpec::testbed1(), opts);
       const auto result = run_scenario(cfg);
       const f64 total = result.avg.iteration_seconds();

@@ -3,7 +3,7 @@
 // One storage path (a ThrottledTier modelling an NVMe-class device) serves
 // a single submission queue — libaio-style — carrying both a backlog of
 // large lazy-flush writes and a stream of latency-critical demand
-// prefetches. The flat-FIFO discipline of the old AioEngine makes every
+// prefetches. The flat-FIFO discipline of the retired AioEngine makes every
 // demand read wait behind whatever flush backlog happens to be queued; the
 // priority-aware IoScheduler dispatches kDemandPrefetch ahead of
 // kLazyFlush, so a demand read waits at most for the transfer already in
@@ -20,6 +20,7 @@
 
 #include "bench_common.hpp"
 #include "harness/bench_registry.hpp"
+#include "io/io_batch.hpp"
 #include "io/io_scheduler.hpp"
 #include "tiers/memory_tier.hpp"
 #include "tiers/throttled_tier.hpp"
@@ -134,7 +135,7 @@ std::vector<telemetry::Metric> run(BenchContext& ctx) {
     } else {
       prio_p99 = p99;
     }
-    table.add_row({fifo ? "flat FIFO (AioEngine-style)" : "priority (ours)",
+    table.add_row({fifo ? "flat FIFO (libaio-style)" : "priority (ours)",
                    TablePrinter::num(p50, 3), TablePrinter::num(p99, 3),
                    TablePrinter::num(flush_mean, 3)});
     const json::Object params{{"discipline", fifo ? "fifo" : "priority"}};

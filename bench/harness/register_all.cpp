@@ -23,6 +23,7 @@ void register_fig_io_scheduler(BenchRegistry&);
 void register_table1_testbeds(BenchRegistry&);
 void register_table2_models(BenchRegistry&);
 void register_ablation_adaptive_model(BenchRegistry&);
+void register_ablation_policy_sweep(BenchRegistry&);
 void register_ablation_prefetch_depth(BenchRegistry&);
 void register_ablation_subgroup_size(BenchRegistry&);
 void register_extension_virtual_tiers(BenchRegistry&);
@@ -48,6 +49,7 @@ void register_all_cases(BenchRegistry& registry) {
   register_table1_testbeds(registry);
   register_table2_models(registry);
   register_ablation_adaptive_model(registry);
+  register_ablation_policy_sweep(registry);
   register_ablation_prefetch_depth(registry);
   register_ablation_subgroup_size(registry);
   register_extension_virtual_tiers(registry);

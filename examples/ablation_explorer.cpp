@@ -1,15 +1,20 @@
-// Ablation explorer: toggle MLP-Offload's four design principles from the
-// command line and see the iteration-time impact on any Table-2 model.
+// Ablation explorer: toggle MLP-Offload's design principles and swap the
+// pluggable placement/ordering policies from the command line, then see the
+// iteration-time impact on any Table-2 model.
 //
 // Usage:
-//   ablation_explorer [model] [+|-multipath] [+|-cache] [+|-delayed] [+|-locking]
+//   ablation_explorer [model] [preset=<bundle>] [+|-multipath] [+|-cache]
+//                     [+|-delayed] [+|-locking]
+//                     [placement=<policy>] [order=<policy>]
 // Examples:
 //   ablation_explorer 70B +multipath +cache -delayed -locking
-//   ablation_explorer 40B            (defaults: everything on)
+//   ablation_explorer 40B placement=round_robin order=host_resident_first
+//   ablation_explorer 40B preset=deepspeed_zero3
 #include <cstdio>
 #include <cstring>
 #include <string>
 
+#include "policy/policy_registry.hpp"
 #include "runtime/trainer.hpp"
 
 int main(int argc, char** argv) {
@@ -25,14 +30,40 @@ int main(int argc, char** argv) {
     if (flag == "multipath") {
       opts.multipath = enable;
     } else if (flag == "cache") {
-      opts.cache_friendly_order = enable;
+      opts.update_order_policy =
+          enable ? "alternating_cache_friendly" : "ascending";
     } else if (flag == "delayed") {
       opts.delayed_grad_conversion = enable;
     } else if (flag == "locking") {
       opts.tier_exclusive_locking = enable;
+    } else if (flag.rfind("preset=", 0) == 0) {
+      try {
+        opts = EngineOptions::preset(flag.substr(7));
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "configuration error: %s\n", e.what());
+        return 1;
+      }
+    } else if (flag.rfind("placement=", 0) == 0) {
+      opts.placement_policy = flag.substr(10);
+    } else if (flag.rfind("order=", 0) == 0) {
+      opts.update_order_policy = flag.substr(6);
     } else if (flag == "help" || flag == "h") {
-      std::printf("usage: %s [model] [+|-multipath] [+|-cache] [+|-delayed] "
-                  "[+|-locking]\n", argv[0]);
+      std::printf("usage: %s [model] [preset=<bundle>] [+|-multipath] "
+                  "[+|-cache] [+|-delayed] [+|-locking] "
+                  "[placement=<policy>] [order=<policy>]\n", argv[0]);
+      std::printf("placement policies:");
+      for (const auto& n : placement_policy_names()) {
+        std::printf(" %s", n.c_str());
+      }
+      std::printf("\norder policies:");
+      for (const auto& n : update_order_policy_names()) {
+        std::printf(" %s", n.c_str());
+      }
+      std::printf("\npresets:");
+      for (const auto& n : EngineOptions::preset_names()) {
+        std::printf(" %s", n.c_str());
+      }
+      std::printf("\n");
       return 0;
     } else {
       model_name = flag;
@@ -42,21 +73,21 @@ int main(int argc, char** argv) {
   TrainerConfig cfg;
   try {
     cfg.model = paper_model(model_name);
+    cfg.engine = opts;
+    cfg.engine.validate();
   } catch (const std::exception& e) {
-    std::fprintf(stderr, "unknown model '%s' (try 40B..280B)\n",
-                 model_name.c_str());
+    std::fprintf(stderr, "configuration error: %s\n", e.what());
     return 1;
   }
   cfg.testbed = TestbedSpec::testbed1();
-  cfg.engine = opts;
   cfg.elem_scale = 65536;
   cfg.time_scale = 1000.0;
 
-  std::printf("Model %s | multipath=%d cache_friendly_order=%d "
+  std::printf("Model %s | multipath=%d placement=%s order=%s "
               "delayed_grad_conversion=%d tier_exclusive_locking=%d\n\n",
               cfg.model.name.c_str(), opts.multipath,
-              opts.cache_friendly_order, opts.delayed_grad_conversion,
-              opts.tier_exclusive_locking);
+              opts.placement_policy.c_str(), opts.update_order_policy.c_str(),
+              opts.delayed_grad_conversion, opts.tier_exclusive_locking);
 
   Trainer trainer(cfg);
   trainer.initialize();

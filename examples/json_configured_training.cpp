@@ -21,7 +21,8 @@ const char* kDefaultConfig = R"({
   "mlp_offload": {
     "enabled": true,
     "multipath": true,
-    "cache_friendly_order": true,
+    "placement_policy": "adaptive_ema",
+    "update_order_policy": "alternating_cache_friendly",
     "delayed_grad_conversion": true,
     "tier_exclusive_locking": true
   }

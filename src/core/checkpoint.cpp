@@ -4,17 +4,28 @@
 #include <string>
 #include <vector>
 
+#include "io/io_batch.hpp"
+#include "io/io_scheduler.hpp"
+
 namespace mlpo {
 
-CheckpointReport checkpoint_prestage(OffloadEngine& engine,
-                                     StorageTier& store) {
+namespace {
+
+std::string ckpt_key(const Engine& engine, u32 id) {
+  return "ckpt/" + std::to_string(engine.rank()) + "/" + std::to_string(id);
+}
+
+}  // namespace
+
+CheckpointReport checkpoint_prestage(Engine& engine, StorageTier& store) {
   CheckpointReport report;
   const f64 start = engine.clock().now();
 
   // All checkpoint traffic rides the scheduler's external channel at
   // kCheckpoint priority: it never preempts demand fetches or gradient
   // deposits, and tiny pre-stage markers coalesce into single dispatch
-  // batches.
+  // batches. Engines without a scheduler (cpu_only) write synchronously.
+  IoScheduler* io = engine.io();
   IoBatch batch;
   for (u32 id = 0; id < engine.num_subgroups(); ++id) {
     const Subgroup snapshot = engine.snapshot_subgroup(id);
@@ -23,46 +34,53 @@ CheckpointReport checkpoint_prestage(OffloadEngine& engine,
 
     auto buf = std::make_shared<std::vector<u8>>(snapshot.serialized_bytes());
     snapshot.serialize(*buf);
-    const std::string key = "ckpt/" + std::to_string(engine.rank()) + "/" +
-                            std::to_string(id);
-    IoRequest req = IoRequest::external_op(IoOp::kWrite, &store, key,
-                                           /*sim_bytes=*/0,
-                                           IoPriority::kCheckpoint);
+    const std::string key = ckpt_key(engine, id);
+    u64 sim_bytes;
     if (engine.on_persistent_path(id)) {
       // Already durable where it lives: snapshot it in place (a server-side
       // copy / object clone on the PFS) so later training cannot overwrite
       // the checkpointed version. No client-network bytes are charged —
       // that is exactly the pre-staging saving.
-      req.sim_bytes = 1;
+      sim_bytes = 1;
       report.prestaged_sim_bytes += sim;
     } else {
-      req.sim_bytes = sim;
+      sim_bytes = sim;
       report.flushed_sim_bytes += sim;
     }
-    req.work = [&store, buf, key, sim_bytes = req.sim_bytes](
-                   IoChannel&) -> u64 {
+    if (io == nullptr) {
+      store.write(key, *buf, sim_bytes);
+      continue;
+    }
+    IoRequest req = IoRequest::external_op(IoOp::kWrite, &store, key,
+                                           sim_bytes,
+                                           IoPriority::kCheckpoint);
+    req.work = [&store, buf, key, sim_bytes](IoChannel&) -> u64 {
       store.write(key, *buf, sim_bytes);
       return sim_bytes;
     };
-    batch.add(engine.io().submit(std::move(req)));
+    batch.add(io->submit(std::move(req)));
   }
   batch.wait_all();
   report.seconds = engine.clock().now() - start;
   return report;
 }
 
-u32 checkpoint_restore(OffloadEngine& engine, StorageTier& store) {
+u32 checkpoint_restore(Engine& engine, StorageTier& store) {
+  IoScheduler* io = engine.io();
   u32 from_store = 0;
   for (u32 id = 0; id < engine.num_subgroups(); ++id) {
-    const std::string key = "ckpt/" + std::to_string(engine.rank()) + "/" +
-                            std::to_string(id);
+    const std::string key = ckpt_key(engine, id);
     if (store.exists(key)) {
       std::vector<u8> buf(store.object_size(key));
-      IoRequest req = IoRequest::external_op(IoOp::kRead, &store, key,
-                                             /*sim_bytes=*/0,
-                                             IoPriority::kCheckpoint);
-      req.dst = std::span<u8>(buf);
-      engine.io().submit(std::move(req)).get();
+      if (io == nullptr) {
+        store.read(key, buf);
+      } else {
+        IoRequest req = IoRequest::external_op(IoOp::kRead, &store, key,
+                                               /*sim_bytes=*/0,
+                                               IoPriority::kCheckpoint);
+        req.dst = std::span<u8>(buf);
+        io->submit(std::move(req)).get();
+      }
       engine.restore_state(id, buf);
       ++from_store;
       continue;

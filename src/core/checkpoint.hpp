@@ -9,7 +9,7 @@
 // saved.
 #pragma once
 
-#include "core/offload_engine.hpp"
+#include "core/engine.hpp"
 #include "tiers/storage_tier.hpp"
 
 namespace mlpo {
@@ -28,12 +28,14 @@ struct CheckpointReport {
 };
 
 /// Persist `engine`'s optimizer state into `store` (a persistent tier).
-/// Subgroups already resident on a persistent VirtualTier path are counted
-/// as pre-staged and skipped; everything else (host-cached subgroups,
-/// NVMe-resident subgroups) is serialized and written under
-/// "ckpt/<rank>/<id>" keys.
-CheckpointReport checkpoint_prestage(OffloadEngine& engine,
-                                     StorageTier& store);
+/// Works against the unified Engine interface — any engine implementation
+/// checkpoints the same way. Subgroups already resident on a persistent
+/// VirtualTier path are counted as pre-staged and skipped; everything else
+/// (host-cached subgroups, NVMe-resident subgroups) is serialized and
+/// written under "ckpt/<rank>/<id>" keys. Engines with an IoScheduler ride
+/// its queues at kCheckpoint priority; I/O-less engines (cpu_only) write
+/// the store directly.
+CheckpointReport checkpoint_prestage(Engine& engine, StorageTier& store);
 
 /// Restore the engine's optimizer state from a checkpoint taken with
 /// checkpoint_prestage. Subgroups present in `store` are loaded from it;
@@ -41,6 +43,6 @@ CheckpointReport checkpoint_prestage(OffloadEngine& engine,
 /// from their persistent VirtualTier path. Throws if a subgroup can be
 /// recovered from neither source. Returns the number of subgroups loaded
 /// from `store` (the rest were recovered in place).
-u32 checkpoint_restore(OffloadEngine& engine, StorageTier& store);
+u32 checkpoint_restore(Engine& engine, StorageTier& store);
 
 }  // namespace mlpo

@@ -1,23 +1,33 @@
 #include "core/cpu_only_engine.hpp"
 
+#include <algorithm>
 #include <stdexcept>
+
+#include "io/io_scheduler.hpp"
+#include <string>
 
 namespace mlpo {
 
-namespace {
-inline u64 splitmix64(u64 x) {
-  x += 0x9E3779B97F4A7C15ull;
-  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
-  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
-  return x ^ (x >> 31);
+void CpuOnlyEngine::Options::validate() const {
+  if (cpu_update_rate <= 0) {
+    throw std::invalid_argument(
+        "CpuOnlyEngine: cpu_update_rate=" + std::to_string(cpu_update_rate) +
+        " must be > 0 (simulated params per vsecond)");
+  }
+  if (elem_scale == 0) {
+    throw std::invalid_argument(
+        "CpuOnlyEngine: elem_scale must be >= 1 (simulated params per real "
+        "element)");
+  }
 }
-}  // namespace
 
 CpuOnlyEngine::CpuOnlyEngine(const SimClock& clock, const GradSource& grads,
                              const ShardLayout& layout, const Options& opts,
-                             ThreadPool* cpu_pool, RateLimiter* d2h)
+                             ThreadPool* cpu_pool, RateLimiter* d2h,
+                             IoScheduler* io)
     : clock_(&clock), grads_(&grads), layout_(layout), opts_(opts),
-      cpu_pool_(cpu_pool), d2h_(d2h) {
+      cpu_pool_(cpu_pool), d2h_(d2h), io_(io) {
+  opts_.validate();
   std::vector<u64> accum_elems;
   for (std::size_t i = 0; i < layout_.subgroup_sizes.size(); ++i) {
     subgroups_.push_back(std::make_unique<Subgroup>(
@@ -30,31 +40,41 @@ CpuOnlyEngine::CpuOnlyEngine(const SimClock& clock, const GradSource& grads,
 void CpuOnlyEngine::initialize() {
   if (initialized_) throw std::logic_error("CpuOnlyEngine: double initialize");
   for (auto& sg : subgroups_) {
-    // Same deterministic init scheme as OffloadEngine (rank 0 namespace) so
-    // cross-engine state comparisons are meaningful.
-    const u64 base = splitmix64(0xC0FFEEull ^ (static_cast<u64>(layout_.rank)
-                                               << 40) ^
-                                (static_cast<u64>(sg->id()) << 8));
-    auto params = sg->params();
-    for (std::size_t i = 0; i < params.size(); ++i) {
-      const u64 h = splitmix64(base + i);
-      const f64 unit = static_cast<f64>(h >> 11) * 0x1.0p-53;
-      params[i] = static_cast<f32>((unit - 0.5) * 0.04);
-    }
+    // Same deterministic init scheme as every other engine so cross-engine
+    // state comparisons are meaningful.
+    Subgroup::deterministic_param_init(layout_.rank, sg->id(), sg->params());
   }
   initialized_ = true;
 }
 
-void CpuOnlyEngine::deposit_gradients(u64 sample_index, bool first_micro_step) {
+void CpuOnlyEngine::deposit_gradients_async(u64 sample_index, u32 subgroup_id,
+                                            bool first_micro_step,
+                                            bool /*final_micro_step*/) {
+  Subgroup& sg = *subgroups_.at(subgroup_id);
+  // The FP16 gradient stream still crosses PCIe even though the optimizer
+  // state never leaves the host — charge it like the offloading engines
+  // do, through whichever conduit this engine was wired with.
+  if (d2h_ != nullptr) {
+    d2h_->acquire(sg.sim_params() * kFp16Bytes);
+  } else if (io_ != nullptr) {
+    io_->submit(IoRequest::link_transfer(
+                    IoTarget::kD2HLink, Subgroup::key(layout_.rank, sg.id()),
+                    sg.sim_params() * kFp16Bytes, IoPriority::kGradDeposit))
+        .get();
+  }
+  std::vector<u16> grads(sg.real_elems());
+  grads_->generate_fp16(layout_.rank, sg.id(), sample_index, grads);
+  if (first_micro_step) {
+    accum_->store(sg.id(), grads);
+  } else {
+    accum_->accumulate(sg.id(), grads, cpu_pool_);
+  }
+}
+
+void CpuOnlyEngine::deposit_gradients(u64 sample_index,
+                                      bool first_micro_step) {
   for (auto& sg : subgroups_) {
-    if (d2h_ != nullptr) d2h_->acquire(sg->sim_params() * kFp16Bytes);
-    std::vector<u16> grads(sg->real_elems());
-    grads_->generate_fp16(layout_.rank, sg->id(), sample_index, grads);
-    if (first_micro_step) {
-      accum_->store(sg->id(), grads);
-    } else {
-      accum_->accumulate(sg->id(), grads, cpu_pool_);
-    }
+    deposit_gradients_async(sample_index, sg->id(), first_micro_step, true);
   }
 }
 
@@ -100,6 +120,24 @@ u64 CpuOnlyEngine::state_checksum() const {
   u64 sum = 0;
   for (const auto& sg : subgroups_) sum += sg->checksum();
   return sum;
+}
+
+Engine::Distribution CpuOnlyEngine::distribution() const {
+  Distribution dist;
+  for (const auto& sg : subgroups_) {
+    dist.host_sim_bytes += sg->sim_state_bytes();
+  }
+  return dist;
+}
+
+std::vector<u32> CpuOnlyEngine::host_resident() const {
+  std::vector<u32> ids(subgroups_.size());
+  for (u32 id = 0; id < subgroups_.size(); ++id) ids[id] = id;
+  return ids;
+}
+
+void CpuOnlyEngine::restore_state(u32 id, std::span<const u8> serialized) {
+  subgroups_.at(id)->deserialize(serialized);
 }
 
 }  // namespace mlpo

@@ -3,49 +3,78 @@
 // the update phase is pure CPU compute with zero third-level I/O.
 //
 // Shares the subgroup/Adam/gradient machinery with OffloadEngine so the two
-// are numerically comparable; only the data movement differs.
+// are numerically comparable; only the data movement differs. Selected
+// through the unified interface as engine kind "cpu_only".
 #pragma once
 
 #include <memory>
 #include <vector>
 
-#include "telemetry/iteration_report.hpp"
-#include "train/adam.hpp"
+#include "core/engine.hpp"
 #include "train/grad_accum.hpp"
-#include "train/grad_source.hpp"
-#include "train/mixed_precision.hpp"
-#include "train/sharding.hpp"
-#include "train/subgroup.hpp"
 #include "util/rate_limiter.hpp"
-#include "util/sim_clock.hpp"
-#include "util/thread_pool.hpp"
 
 namespace mlpo {
 
-class CpuOnlyEngine {
+class CpuOnlyEngine final : public Engine {
  public:
   struct Options {
     f64 cpu_update_rate = 2000e6;  ///< simulated params per vsecond
     ConvertCost convert;
     AdamConfig adam;
     u64 elem_scale = 1;
+
+    /// Strict construction-time validation, same contract as
+    /// EngineOptions::validate(). Throws std::invalid_argument naming the
+    /// bad field.
+    void validate() const;
   };
 
+  /// @param d2h optional direct PCIe limiter for the gradient stream
+  /// @param io optional scheduler; when set (the make_engine path wires
+  ///        the worker's), gradient deposits charge its D2H link channel
+  ///        and checkpoints ride its queues — same accounting as the
+  ///        offloading engines. At most one of d2h/io should be given.
   CpuOnlyEngine(const SimClock& clock, const GradSource& grads,
                 const ShardLayout& layout, const Options& opts,
-                ThreadPool* cpu_pool = nullptr, RateLimiter* d2h = nullptr);
+                ThreadPool* cpu_pool = nullptr, RateLimiter* d2h = nullptr,
+                IoScheduler* io = nullptr);
 
-  void initialize();
+  void initialize() override;
 
-  /// Deposit FP16 gradients for one micro-step (D2H charge + accumulate).
+  /// Deposit FP16 gradients for one micro-step across ALL subgroups
+  /// (D2H charge + accumulate) — the historical convenience entry point.
   void deposit_gradients(u64 sample_index, bool first_micro_step);
 
-  /// Pure-compute update phase over all subgroups.
-  IterationReport run_update(u64 iteration);
+  /// Unified per-subgroup deposit. Synchronous (host memory is the
+  /// destination); `final_micro_step` has no extra work here.
+  void deposit_gradients_async(u64 sample_index, u32 subgroup_id,
+                               bool first_micro_step,
+                               bool final_micro_step) override;
+  void wait_gradient_io() override {}
 
-  u32 num_subgroups() const { return static_cast<u32>(subgroups_.size()); }
+  /// Pure-compute update phase over all subgroups.
+  IterationReport run_update(u64 iteration) override;
+
+  const ShardLayout& layout() const override { return layout_; }
+  u32 num_subgroups() const override {
+    return static_cast<u32>(subgroups_.size());
+  }
   const Subgroup& subgroup(u32 id) const { return *subgroups_.at(id); }
-  u64 state_checksum() const;
+  Subgroup snapshot_subgroup(u32 id) const override {
+    return *subgroups_.at(id);
+  }
+  u64 state_checksum() const override;
+
+  /// Everything is host-resident, nothing ever sits on a tier.
+  Distribution distribution() const override;
+  std::vector<u32> host_resident() const override;
+  bool on_persistent_path(u32 /*id*/) const override { return false; }
+  void restore_state(u32 id, std::span<const u8> serialized) override;
+
+  const SimClock& clock() const override { return *clock_; }
+  int rank() const override { return layout_.rank; }
+  IoScheduler* io() const override { return io_; }
 
  private:
   const SimClock* clock_;
@@ -54,6 +83,7 @@ class CpuOnlyEngine {
   Options opts_;
   ThreadPool* cpu_pool_;
   RateLimiter* d2h_;
+  IoScheduler* io_;
   std::vector<std::unique_ptr<Subgroup>> subgroups_;
   std::unique_ptr<GradAccumulator> accum_;
   bool initialized_ = false;

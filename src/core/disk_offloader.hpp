@@ -16,7 +16,7 @@
 #include <string>
 #include <vector>
 
-#include "core/perf_model.hpp"
+#include "policy/perf_model.hpp"
 #include "io/io_batch.hpp"
 #include "io/io_scheduler.hpp"
 #include "tiers/storage_tier.hpp"

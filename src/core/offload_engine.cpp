@@ -6,44 +6,10 @@
 #include <limits>
 #include <stdexcept>
 
-#include "core/update_order.hpp"
+#include "policy/policy_registry.hpp"
 #include "util/logging.hpp"
 
 namespace mlpo {
-
-namespace {
-
-inline u64 splitmix64(u64 x) {
-  x += 0x9E3779B97F4A7C15ull;
-  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
-  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
-  return x ^ (x >> 31);
-}
-
-// Deterministic parameter initialisation: small centred values, identical
-// for every engine configuration so end-state digests are comparable.
-void init_params(int rank, u32 id, std::span<f32> params) {
-  const u64 base = splitmix64(0xC0FFEEull ^ (static_cast<u64>(rank) << 40) ^
-                              (static_cast<u64>(id) << 8));
-  for (std::size_t i = 0; i < params.size(); ++i) {
-    const u64 h = splitmix64(base + i);
-    const f64 unit = static_cast<f64>(h >> 11) * 0x1.0p-53;
-    params[i] = static_cast<f32>((unit - 0.5) * 0.04);
-  }
-}
-
-}  // namespace
-
-EngineOptions EngineOptions::deepspeed_zero3() {
-  EngineOptions o;
-  o.multipath = false;
-  o.cache_friendly_order = false;
-  o.delayed_grad_conversion = false;
-  o.tier_exclusive_locking = false;
-  return o;
-}
-
-EngineOptions EngineOptions::mlp_offload() { return EngineOptions{}; }
 
 struct OffloadEngine::UpdateSlot {
   u32 id = 0;
@@ -58,7 +24,11 @@ OffloadEngine::OffloadEngine(const EngineContext& ctx,
                              const EngineOptions& opts,
                              const ShardLayout& layout)
     : ctx_(ctx), opts_(opts), layout_(layout),
-      cache_(opts.cache_friendly_order ? opts.host_cache_subgroups : 0) {
+      placement_(make_placement_policy(opts.placement_policy)),
+      order_policy_(make_update_order_policy(opts.update_order_policy)),
+      use_host_cache_(order_policy_->uses_host_cache()),
+      cache_(use_host_cache_ ? opts.host_cache_subgroups : 0) {
+  opts_.validate_resolved(*order_policy_);
   if (ctx_.clock == nullptr || ctx_.vtier == nullptr || ctx_.io == nullptr ||
       ctx_.grads == nullptr) {
     throw std::invalid_argument(
@@ -78,19 +48,6 @@ OffloadEngine::OffloadEngine(const EngineContext& ctx,
                   << ctx_.io->config().tier_exclusive_locking
                   << "; the scheduler's setting governs tier locking";
   }
-  if (opts_.cpu_update_rate <= 0) {
-    throw std::invalid_argument("OffloadEngine: cpu_update_rate must be > 0");
-  }
-  // A cached subgroup is touched (made MRU) when its prefetch slot is
-  // issued, up to prefetch_ahead positions before it is processed. The
-  // cache must be deep enough that the insertions from those intervening
-  // positions cannot evict it again, or the hit would consume poisoned
-  // state mid-flush.
-  if (opts_.cache_friendly_order && opts_.host_cache_subgroups > 0 &&
-      opts_.host_cache_subgroups < opts_.prefetch_ahead + 1) {
-    throw std::invalid_argument(
-        "OffloadEngine: host_cache_subgroups must be 0 or >= prefetch_ahead+1");
-  }
 
   subgroups_.reserve(layout_.subgroup_sizes.size());
   std::vector<u64> accum_elems;
@@ -103,12 +60,11 @@ OffloadEngine::OffloadEngine(const EngineContext& ctx,
   host_valid_.assign(subgroups_.size(), 0);
   accum_ = std::make_unique<GradAccumulator>(accum_elems);
 
-  // The performance model spans all paths under multipath, or just the
+  // The placement policy spans all paths under multipath, or just the
   // primary (NVMe) path for the single-path baseline.
   std::vector<f64> bws = ctx_.vtier->path_bandwidths();
   if (!opts_.multipath) bws.resize(1);
-  perf_ = std::make_unique<PerfModel>(std::move(bws),
-                                      static_cast<u32>(subgroups_.size()));
+  placement_->bind(std::move(bws), static_cast<u32>(subgroups_.size()));
 }
 
 OffloadEngine::~OffloadEngine() {
@@ -142,8 +98,8 @@ void OffloadEngine::initialize() {
   IoBatch batch;
   for (auto& sg_ptr : subgroups_) {
     Subgroup& sg = *sg_ptr;
-    init_params(ctx_.rank, sg.id(), sg.params());
-    const std::size_t path = perf_->path_for(sg.id());
+    Subgroup::deterministic_param_init(ctx_.rank, sg.id(), sg.params());
+    const std::size_t path = placement_->path_for(sg.id());
     auto buf = std::make_shared<std::vector<u8>>(sg.serialized_bytes());
     sg.serialize(std::span<u8>(*buf));
     poison_host_state(sg);
@@ -200,7 +156,7 @@ void OffloadEngine::deposit_gradients_async(u64 sample_index, u32 subgroup_id,
       auto fp32 = std::make_shared<std::vector<f32>>(real_elems);
       accum_->upscale_into(subgroup_id, *fp32, ctx_.cpu_pool);
 
-      const std::size_t path = perf_->path_for(subgroup_id);
+      const std::size_t path = placement_->path_for(subgroup_id);
       const u64 grad_sim = sim_params * kFp32Bytes;
       IoRequest flush = IoRequest::tier_write(
           grad_key(subgroup_id), path, grad_sim, IoPriority::kGradDeposit);
@@ -233,15 +189,13 @@ std::future<void> OffloadEngine::submit_fetch(UpdateSlot& slot) {
   req.work = [this, &slot](IoChannel& chan) -> u64 {
     return fetch_subgroup(slot, chan);
   };
-  // Completion feeds the bandwidth EMA: service time includes the lock
-  // hand-off, matching how the paper's model sees path contention.
+  // Completion feeds the policy's bandwidth feedback: service time includes
+  // the lock hand-off, matching how the paper's model sees path contention.
   req.on_complete = [this, &slot, loc](const IoResult& r) {
     slot.fetch_seconds = r.service_seconds;
     slot.fetch_sim_bytes = r.sim_bytes;
-    if (opts_.adaptive_placement) {
-      perf_->observe(loc < perf_->path_count() ? loc : 0, r.sim_bytes,
-                     r.service_seconds);
-    }
+    placement_->observe(loc == VirtualTier::npos ? 0 : loc, r.sim_bytes,
+                        r.service_seconds, r.queue_wait_seconds);
   };
   return ctx_.io->submit(std::move(req));
 }
@@ -282,7 +236,7 @@ std::future<void> OffloadEngine::flush_subgroup_async(
   host_valid_[id] = 0;
   cache_.erase(id);
 
-  const std::size_t path = perf_->path_for(id);  // new tier t (Alg. 1 l.9)
+  const std::size_t path = placement_->path_for(id);  // new tier t (Alg. 1 l.9)
   const u64 sim = sg.sim_state_bytes();
 
   IoRequest req = IoRequest::tier_write(state_key(id), path, sim,
@@ -292,7 +246,7 @@ std::future<void> OffloadEngine::flush_subgroup_async(
     return sim;
   };
   req.on_complete = [this, id, path, sim, traces](const IoResult& r) {
-    if (opts_.adaptive_placement) perf_->observe(path, sim, r.service_seconds);
+    placement_->observe(path, sim, r.service_seconds, r.queue_wait_seconds);
     if (traces != nullptr) {
       (*traces)[id].write_seconds += r.service_seconds;
       (*traces)[id].sim_bytes_written += sim;
@@ -321,9 +275,11 @@ IterationReport OffloadEngine::run_update(u64 iteration) {
   const IoScheduler::Stats io_stats_start = ctx_.io->stats();
   const u32 n = num_subgroups();
 
-  if (opts_.adaptive_placement) perf_->rebalance();
+  placement_->rebalance();
+  const std::vector<u32> residents = cache_.resident();
   const std::vector<u32> order =
-      update_order(n, iteration, opts_.cache_friendly_order);
+      order_policy_->order(n, iteration, residents);
+  validate_order_permutation(order, n, order_policy_->name());
 
   std::vector<SubgroupTrace> traces(n);
   for (u32 id = 0; id < n; ++id) traces[id].subgroup_id = id;
@@ -342,8 +298,7 @@ IterationReport OffloadEngine::run_update(u64 iteration) {
   const auto issue = [&](u32 pos) {
     UpdateSlot& slot = slots[pos];
     slot.id = order[pos];
-    if (opts_.cache_friendly_order && host_valid_[slot.id] &&
-        cache_.contains(slot.id)) {
+    if (use_host_cache_ && host_valid_[slot.id] && cache_.contains(slot.id)) {
       slot.cache_hit = true;
       cache_.touch(slot.id);
       return;
@@ -407,7 +362,7 @@ IterationReport OffloadEngine::run_update(u64 iteration) {
 
     if (slot.cache_hit) {
       if (!host_valid_[slot.id]) {
-        // Guarded against by the constructor's capacity check; a violation
+        // Guarded against by the validated cache capacity; a violation
         // here would mean consuming a poisoned, mid-flush subgroup.
         throw std::logic_error(
             "OffloadEngine: cached subgroup evicted before use");
@@ -477,8 +432,8 @@ IterationReport OffloadEngine::run_update(u64 iteration) {
     }
 
     // Lazy flush through the host cache (Alg. 1 l.9-10) or eager flush for
-    // the thrashing baseline.
-    if (opts_.cache_friendly_order) {
+    // the thrashing baseline — the order policy selects the discipline.
+    if (use_host_cache_) {
       host_valid_[slot.id] = 1;
       if (const auto evicted = cache_.insert(slot.id)) {
         inflight_flushes.push_back(flush_subgroup_async(*evicted, &traces));
@@ -563,7 +518,7 @@ u64 OffloadEngine::state_checksum() const {
   return sum;
 }
 
-OffloadEngine::Distribution OffloadEngine::distribution() const {
+Engine::Distribution OffloadEngine::distribution() const {
   Distribution dist;
   dist.path_sim_bytes.assign(ctx_.vtier->path_count(), 0);
   for (u32 id = 0; id < num_subgroups(); ++id) {
@@ -596,7 +551,7 @@ void OffloadEngine::restore_state(u32 id, std::span<const u8> serialized) {
   // Write through to the assigned path; the restored image becomes the
   // authoritative copy and any cached state is dropped. Checkpoint-class
   // traffic: it must not starve demand fetches of a concurrent update.
-  const std::size_t path = perf_->path_for(id);
+  const std::size_t path = placement_->path_for(id);
   const u64 sim = sg.sim_state_bytes();
   IoRequest req = IoRequest::tier_write(state_key(id), path, sim,
                                         IoPriority::kCheckpoint);

@@ -1,177 +1,87 @@
-// The MLP-Offload engine (paper §3.4, Algorithm 1) — and, with its option
-// flags disabled, a faithful structural model of the DeepSpeed ZeRO-3 +
-// DeepNVMe baseline it is evaluated against.
+// The MLP-Offload engine (paper §3.4, Algorithm 1) — and, under the
+// "deepspeed_zero3" preset, a faithful structural model of the DeepSpeed
+// ZeRO-3 + DeepNVMe baseline it is evaluated against.
 //
 // One engine instance manages one worker's (GPU's) optimizer-state shard:
 //   * backward phase: receives FP16 gradients subgroup-by-subgroup over the
 //     D2H link into the host accumulation buffer; the baseline additionally
 //     upscales to FP32 and flushes gradients to third-level storage;
 //   * update phase: an asynchronous prefetch -> CPU-Adam -> lazy-flush
-//     pipeline over the subgroups, with multi-path placement (Eq. 1),
-//     host-cache reuse via order alternation, delayed in-place gradient
-//     conversion, and per-path process-exclusive concurrency control.
+//     pipeline over the subgroups, with per-path process-exclusive
+//     concurrency control.
 //
-// The four EngineOptions flags correspond 1:1 to the paper's design
-// principles and its §4.6 ablation steps; all-off == "DeepSpeed ZeRO-3",
-// all-on == "Our Approach".
+// This class owns only the pipeline mechanics. The two strategy decisions —
+// which storage path a subgroup lives on, and in what order subgroups are
+// processed (and hence whether the host cache gets reuse) — are pluggable
+// policies (src/policy/) selected by name in EngineOptions.
 #pragma once
 
 #include <memory>
 #include <vector>
 
+#include "core/engine.hpp"
 #include "core/host_cache.hpp"
-#include "core/perf_model.hpp"
 #include "io/io_batch.hpp"
 #include "io/io_scheduler.hpp"
-#include "telemetry/iteration_report.hpp"
+#include "policy/placement_policy.hpp"
+#include "policy/update_order_policy.hpp"
 #include "tiers/virtual_tier.hpp"
-#include "train/adam.hpp"
 #include "train/grad_accum.hpp"
-#include "train/grad_source.hpp"
-#include "train/mixed_precision.hpp"
-#include "train/sharding.hpp"
-#include "train/subgroup.hpp"
-#include "util/sim_clock.hpp"
 
 namespace mlpo {
 
-struct EngineOptions {
-  /// Design principle 1: place subgroups across all VirtualTier paths per
-  /// the Eq. 1 performance model. Off: everything on path 0 (NVMe only).
-  bool multipath = true;
-  /// Design principle 3: alternate ascending/descending update order and
-  /// reuse host-resident subgroups (lazy flush). Off: ascending order every
-  /// iteration, eager flush after every update (DeepSpeed behaviour).
-  bool cache_friendly_order = true;
-  /// Design principle 4: keep FP16 gradients on the host and upscale
-  /// during the update. Off: upscale + flush FP32 gradients during the
-  /// backward pass and fetch them with the subgroup (16 B/param payloads).
-  bool delayed_grad_conversion = true;
-  /// Design principle 2: node-level process-exclusive tier locking. Off:
-  /// all workers hit the tiers concurrently and pay contention penalties.
-  /// Consumed when configuring the worker's IoScheduler (the engine itself
-  /// never takes a lock; its scheduler's channels do).
-  bool tier_exclusive_locking = true;
-
-  /// Re-estimate per-path bandwidth from observed transfers (EMA) and
-  /// repartition subgroups each iteration (paper §3.3). Off: placement
-  /// stays fixed at the microbenchmark-seeded quotas — the static variant
-  /// the adaptive-model ablation compares against.
-  bool adaptive_placement = true;
-
-  /// Subgroups the host can keep resident between iterations (beyond the
-  /// pipeline's in-flight slots). Sized from free host memory in practice.
-  u32 host_cache_subgroups = 3;
-  /// Outstanding prefetches beyond the subgroup being updated (the paper's
-  /// host buffers hold 3 subgroups: flushing / updating / prefetching).
-  u32 prefetch_ahead = 1;
-  /// This worker's CPU update throughput, simulated params per vsecond
-  /// (paper cites ~8000 Mparam/s per node when state is host-resident).
-  f64 cpu_update_rate = 2000e6;
-  /// FP16->FP32 conversion throughput model (paper: ~65 GB/s on CPU).
-  ConvertCost convert;
-  AdamConfig adam;
-  /// Scale reduction: simulated params per real element (1 = full fidelity).
-  u64 elem_scale = 1;
-
-  /// Baseline preset: DeepSpeed-ZeRO-3-style NVMe offloading.
-  static EngineOptions deepspeed_zero3();
-  /// Full MLP-Offload preset.
-  static EngineOptions mlp_offload();
-};
-
-/// Wiring to node-shared infrastructure. Raw pointers are non-owning; all
-/// referenced objects must outlive the engine.
-///
-/// All tier and link traffic goes through the IoScheduler: the engine
-/// itself never touches a TierLock or a RateLimiter. The scheduler must be
-/// configured with this worker's locking policy (see IoScheduler::Config::
-/// tier_exclusive_locking / worker_id — the Worker wires this from
-/// EngineOptions).
-struct EngineContext {
-  const SimClock* clock = nullptr;
-  VirtualTier* vtier = nullptr;    ///< third-level storage (node-shared)
-  IoScheduler* io = nullptr;       ///< this worker's I/O request scheduler
-  ThreadPool* cpu_pool = nullptr;  ///< update-kernel threads (may be null)
-  const GradSource* grads = nullptr;
-  int worker_id = 0;  ///< node-local id (informational; locking lives in io)
-  int rank = 0;       ///< global rank, used for storage keys
-};
-
-class OffloadEngine {
+class OffloadEngine final : public Engine {
  public:
   OffloadEngine(const EngineContext& ctx, const EngineOptions& opts,
                 const ShardLayout& layout);
-  ~OffloadEngine();
+  ~OffloadEngine() override;
 
-  OffloadEngine(const OffloadEngine&) = delete;
-  OffloadEngine& operator=(const OffloadEngine&) = delete;
+  void initialize() override;
 
-  /// Create this shard's subgroups (deterministic parameter init, zero
-  /// moments) and distribute them across the storage paths per the
-  /// performance model. Must be called once before training.
-  void initialize();
-
-  /// Deposit one subgroup's FP16 gradients for micro-step `sample_index`
-  /// (globally unique across iterations x accumulation steps). Runs
-  /// asynchronously on the I/O engine: D2H transfer, host accumulation,
-  /// and — when delayed conversion is off and this is the window's final
-  /// micro-step — FP32 upscale + flush to storage.
+  /// Deposit one subgroup's FP16 gradients. Runs asynchronously on the I/O
+  /// engine: D2H transfer, host accumulation, and — when delayed
+  /// conversion is off and this is the window's final micro-step — FP32
+  /// upscale + flush to storage.
   void deposit_gradients_async(u64 sample_index, u32 subgroup_id,
-                               bool first_micro_step, bool final_micro_step);
+                               bool first_micro_step,
+                               bool final_micro_step) override;
 
-  /// Barrier for all outstanding gradient I/O (end of backward phase).
-  void wait_gradient_io();
+  void wait_gradient_io() override;
 
   /// The update phase (Algorithm 1): prefetch, convert, CPU-Adam, H2D push
   /// of FP16 params, tier reassignment, lazy flush — pipelined and
-  /// instrumented. `iteration` selects the processing order parity.
-  IterationReport run_update(u64 iteration);
+  /// instrumented. `iteration` and the current host residency feed the
+  /// update-order policy.
+  IterationReport run_update(u64 iteration) override;
 
-  const ShardLayout& layout() const { return layout_; }
-  u32 num_subgroups() const { return static_cast<u32>(subgroups_.size()); }
+  const ShardLayout& layout() const override { return layout_; }
+  u32 num_subgroups() const override {
+    return static_cast<u32>(subgroups_.size());
+  }
   const EngineOptions& options() const { return opts_; }
-  PerfModel& perf_model() { return *perf_; }
 
-  /// Read access to subgroup state wherever it currently lives (host or
-  /// tier; tier-resident state is fetched untimed). For tests/inspection.
-  Subgroup snapshot_subgroup(u32 id) const;
+  /// The placement policy steering this engine's subgroup -> path mapping.
+  PlacementPolicy& placement() { return *placement_; }
+  const PlacementPolicy& placement() const { return *placement_; }
+  /// The update-order policy steering the processing schedule.
+  const UpdateOrderPolicy& order_policy() const { return *order_policy_; }
 
-  /// Order-independent digest of the entire shard's optimizer state. Equal
-  /// digests <=> bitwise-equal training state; used to prove reordering and
-  /// multi-path placement do not change results.
-  u64 state_checksum() const;
+  Subgroup snapshot_subgroup(u32 id) const override;
+  u64 state_checksum() const override;
+  Distribution distribution() const override;
+  std::vector<u32> host_resident() const override;
+  bool on_persistent_path(u32 id) const override;
+  void restore_state(u32 id, std::span<const u8> serialized) override;
 
-  /// Where the optimizer state currently lives (Fig. 10).
-  struct Distribution {
-    u64 host_sim_bytes = 0;
-    std::vector<u64> path_sim_bytes;  ///< per VirtualTier path
-  };
-  Distribution distribution() const;
-
-  /// Ids resident in host memory (valid, un-flushed state).
-  std::vector<u32> host_resident() const;
-
-  /// True when subgroup `id`'s authoritative copy sits on a persistent
-  /// VirtualTier path (checkpoint pre-staging consults this).
-  bool on_persistent_path(u32 id) const;
-
-  /// Overwrite subgroup `id`'s state from a serialized image (checkpoint
-  /// restore). The state is written through to the subgroup's assigned
-  /// storage path; any host-cached copy is invalidated.
-  void restore_state(u32 id, std::span<const u8> serialized);
-
-  const SimClock& clock() const { return *ctx_.clock; }
-  int rank() const { return ctx_.rank; }
+  const SimClock& clock() const override { return *ctx_.clock; }
+  int rank() const override { return ctx_.rank; }
   /// The scheduler all of this engine's traffic flows through (checkpoint
   /// helpers ride the same queues at IoPriority::kCheckpoint).
-  IoScheduler& io() const { return *ctx_.io; }
+  IoScheduler* io() const override { return ctx_.io; }
 
  private:
   struct UpdateSlot;
 
-  std::vector<std::size_t> effective_paths() const;
-  std::size_t real_path(std::size_t model_path) const;
   std::string state_key(u32 id) const;
   std::string grad_key(u32 id) const;
   void poison_host_state(Subgroup& sg);
@@ -184,10 +94,12 @@ class OffloadEngine {
   EngineContext ctx_;
   EngineOptions opts_;
   ShardLayout layout_;
+  std::unique_ptr<PlacementPolicy> placement_;
+  std::unique_ptr<UpdateOrderPolicy> order_policy_;
+  bool use_host_cache_ = false;  ///< order policy runs the lazy-flush path
   std::vector<std::unique_ptr<Subgroup>> subgroups_;
   std::vector<u8> host_valid_;  ///< per-subgroup: host copy authoritative
   std::unique_ptr<GradAccumulator> accum_;
-  std::unique_ptr<PerfModel> perf_;
   HostCache cache_;
   IoBatch gradient_io_;
   bool initialized_ = false;

@@ -1,4 +1,4 @@
-#include "core/perf_model.hpp"
+#include "policy/perf_model.hpp"
 
 #include <algorithm>
 #include <cmath>

@@ -1,0 +1,311 @@
+// Built-in placement policies. The two paper strategies (static Eq. 1 and
+// its EMA-adaptive variant) reuse the PerfModel math from
+// policy/perf_model; the other three demonstrate the extracted interface: a bandwidth-oblivious spread,
+// a greedy earliest-finish-time assignment, and a contention-aware variant
+// that judges paths by their *effective* throughput (queue waits included)
+// rather than device service time alone.
+#include <algorithm>
+#include <limits>
+#include <mutex>
+#include <stdexcept>
+
+#include "policy/perf_model.hpp"
+#include "policy/policy_registry.hpp"
+
+namespace mlpo {
+
+namespace {
+
+void require_bound(bool bound, const std::string& name) {
+  if (!bound) {
+    throw std::logic_error("PlacementPolicy '" + name +
+                           "': used before bind()");
+  }
+}
+
+/// Eq. 1 split from the microbenchmark-seeded (nominal) bandwidths; never
+/// reacts to observations. The "static" arm of the adaptive-model ablation.
+class Eq1StaticPlacement final : public PlacementPolicy {
+ public:
+  const std::string& name() const override {
+    static const std::string n = "eq1_static";
+    return n;
+  }
+
+  void bind(std::vector<f64> nominal_bandwidths, u32 num_subgroups) override {
+    nominal_ = std::move(nominal_bandwidths);
+    quotas_ = eq1_subgroup_quotas(num_subgroups, nominal_);
+    placement_ = interleaved_placement(quotas_);
+  }
+
+  std::size_t path_for(u32 idx) const override {
+    require_bound(!nominal_.empty(), name());
+    return placement_.at(idx);
+  }
+  std::vector<u32> quotas() const override {
+    require_bound(!nominal_.empty(), name());
+    return quotas_;
+  }
+  std::vector<f64> bandwidths() const override { return nominal_; }
+
+ private:
+  // Immutable after bind(): concurrent reads need no lock.
+  std::vector<f64> nominal_;
+  std::vector<u32> quotas_;
+  std::vector<std::size_t> placement_;
+};
+
+/// The paper's full §3.3 model: Eq. 1 quotas recomputed each rebalance from
+/// EMA-updated bandwidth estimates. Thin adapter over PerfModel, which
+/// already carries the required locking.
+class AdaptiveEmaPlacement final : public PlacementPolicy {
+ public:
+  const std::string& name() const override {
+    static const std::string n = "adaptive_ema";
+    return n;
+  }
+
+  void bind(std::vector<f64> nominal_bandwidths, u32 num_subgroups) override {
+    model_ = std::make_unique<PerfModel>(std::move(nominal_bandwidths),
+                                         num_subgroups);
+  }
+
+  void observe(std::size_t path, u64 sim_bytes, f64 service_seconds,
+               f64 /*queue_wait_seconds*/) override {
+    require_bound(model_ != nullptr, name());
+    model_->observe(path, sim_bytes, service_seconds);
+  }
+
+  void rebalance() override {
+    require_bound(model_ != nullptr, name());
+    model_->rebalance();
+  }
+
+  std::size_t path_for(u32 idx) const override {
+    require_bound(model_ != nullptr, name());
+    return model_->path_for(idx);
+  }
+  std::vector<u32> quotas() const override {
+    require_bound(model_ != nullptr, name());
+    return model_->quotas();
+  }
+  std::vector<f64> bandwidths() const override {
+    require_bound(model_ != nullptr, name());
+    return model_->bandwidths();
+  }
+
+ private:
+  std::unique_ptr<PerfModel> model_;
+};
+
+/// Bandwidth-oblivious interleave: subgroup i on path i mod N. The control
+/// arm that shows what Eq. 1 buys when paths are asymmetric — and a decent
+/// default when they are not.
+class RoundRobinPlacement final : public PlacementPolicy {
+ public:
+  const std::string& name() const override {
+    static const std::string n = "round_robin";
+    return n;
+  }
+
+  void bind(std::vector<f64> nominal_bandwidths, u32 num_subgroups) override {
+    if (nominal_bandwidths.empty()) {
+      throw std::invalid_argument("round_robin: no paths");
+    }
+    nominal_ = std::move(nominal_bandwidths);
+    num_subgroups_ = num_subgroups;
+  }
+
+  std::size_t path_for(u32 idx) const override {
+    require_bound(!nominal_.empty(), name());
+    return idx % nominal_.size();
+  }
+  std::vector<u32> quotas() const override {
+    require_bound(!nominal_.empty(), name());
+    const auto paths = static_cast<u32>(nominal_.size());
+    std::vector<u32> q(paths, num_subgroups_ / paths);
+    for (u32 p = 0; p < num_subgroups_ % paths; ++p) ++q[p];
+    return q;
+  }
+  std::vector<f64> bandwidths() const override { return nominal_; }
+
+ private:
+  std::vector<f64> nominal_;
+  u32 num_subgroups_ = 0;
+};
+
+/// EMA bandwidth tracking for the greedy policy (whose placement rule
+/// PerfModel cannot express). First observation replaces the nominal seed
+/// outright, mirroring PerfModel.
+class EmaEstimates {
+ public:
+  void seed(std::vector<f64> nominal) {
+    estimate_ = std::move(nominal);
+    observed_.assign(estimate_.size(), false);
+  }
+
+  void update(std::size_t path, f64 bandwidth, f64 alpha) {
+    if (path >= estimate_.size()) return;
+    estimate_[path] = observed_[path]
+                          ? (1.0 - alpha) * estimate_[path] + alpha * bandwidth
+                          : bandwidth;
+    observed_[path] = true;
+  }
+
+  const std::vector<f64>& values() const { return estimate_; }
+
+ private:
+  std::vector<f64> estimate_;
+  std::vector<bool> observed_;
+};
+
+/// Greedy earliest-finish-time assignment: walk the subgroups in order and
+/// put each on the path that would finish its backlog (including this
+/// subgroup) first under the current bandwidth estimates. Equal-bandwidth
+/// paths degrade to round-robin; asymmetric paths get a proportional load
+/// without the global quota solve — the marginal-cost view of Eq. 1.
+class BandwidthGreedyPlacement final : public PlacementPolicy {
+ public:
+  const std::string& name() const override {
+    static const std::string n = "bandwidth_greedy";
+    return n;
+  }
+
+  void bind(std::vector<f64> nominal_bandwidths, u32 num_subgroups) override {
+    if (nominal_bandwidths.empty()) {
+      throw std::invalid_argument("bandwidth_greedy: no paths");
+    }
+    for (const f64 b : nominal_bandwidths) {
+      if (b <= 0) throw std::invalid_argument("bandwidth_greedy: bw <= 0");
+    }
+    std::lock_guard lock(mutex_);
+    estimates_.seed(std::move(nominal_bandwidths));
+    num_subgroups_ = num_subgroups;
+    recompute_locked();
+  }
+
+  void observe(std::size_t path, u64 sim_bytes, f64 service_seconds,
+               f64 /*queue_wait_seconds*/) override {
+    if (service_seconds <= 0 || sim_bytes == 0) return;
+    std::lock_guard lock(mutex_);
+    estimates_.update(path, static_cast<f64>(sim_bytes) / service_seconds,
+                      kAlpha);
+  }
+
+  void rebalance() override {
+    std::lock_guard lock(mutex_);
+    require_bound(!estimates_.values().empty(), name());
+    recompute_locked();
+  }
+
+  std::size_t path_for(u32 idx) const override {
+    std::lock_guard lock(mutex_);
+    require_bound(!estimates_.values().empty(), name());
+    return placement_.at(idx);
+  }
+  std::vector<u32> quotas() const override {
+    std::lock_guard lock(mutex_);
+    require_bound(!estimates_.values().empty(), name());
+    return quotas_;
+  }
+  std::vector<f64> bandwidths() const override {
+    std::lock_guard lock(mutex_);
+    return estimates_.values();
+  }
+
+ private:
+  static constexpr f64 kAlpha = 0.2;
+
+  void recompute_locked() {
+    const auto& bw = estimates_.values();
+    quotas_.assign(bw.size(), 0);
+    placement_.assign(num_subgroups_, 0);
+    for (u32 idx = 0; idx < num_subgroups_; ++idx) {
+      std::size_t best = 0;
+      f64 best_finish = std::numeric_limits<f64>::infinity();
+      for (std::size_t p = 0; p < bw.size(); ++p) {
+        const f64 finish = static_cast<f64>(quotas_[p] + 1) / bw[p];
+        if (finish < best_finish) {
+          best_finish = finish;
+          best = p;
+        }
+      }
+      placement_[idx] = best;
+      ++quotas_[best];
+    }
+  }
+
+  mutable std::mutex mutex_;
+  EmaEstimates estimates_;
+  u32 num_subgroups_ = 0;
+  std::vector<u32> quotas_;
+  std::vector<std::size_t> placement_;
+};
+
+/// Eq. 1 over *effective* bandwidth: each observation is weighed by total
+/// time in the system (queue wait + service), so a path whose device is
+/// fast but whose queue is congested — other workers hammering the shared
+/// PFS, a flush backlog — sheds load that raw service-time EMA would keep
+/// sending there. Same PerfModel substrate as adaptive_ema; only the time
+/// denominator fed into the EMA differs.
+class ContentionAwarePlacement final : public PlacementPolicy {
+ public:
+  const std::string& name() const override {
+    static const std::string n = "contention_aware";
+    return n;
+  }
+
+  void bind(std::vector<f64> nominal_bandwidths, u32 num_subgroups) override {
+    model_ = std::make_unique<PerfModel>(std::move(nominal_bandwidths),
+                                         num_subgroups);
+  }
+
+  void observe(std::size_t path, u64 sim_bytes, f64 service_seconds,
+               f64 queue_wait_seconds) override {
+    require_bound(model_ != nullptr, name());
+    model_->observe(path, sim_bytes, service_seconds + queue_wait_seconds);
+  }
+
+  void rebalance() override {
+    require_bound(model_ != nullptr, name());
+    model_->rebalance();
+  }
+
+  std::size_t path_for(u32 idx) const override {
+    require_bound(model_ != nullptr, name());
+    return model_->path_for(idx);
+  }
+  std::vector<u32> quotas() const override {
+    require_bound(model_ != nullptr, name());
+    return model_->quotas();
+  }
+  std::vector<f64> bandwidths() const override {
+    require_bound(model_ != nullptr, name());
+    return model_->bandwidths();
+  }
+
+ private:
+  std::unique_ptr<PerfModel> model_;
+};
+
+}  // namespace
+
+void register_builtin_placement_policies() {
+  register_placement_policy("eq1_static", [] {
+    return std::make_unique<Eq1StaticPlacement>();
+  });
+  register_placement_policy("adaptive_ema", [] {
+    return std::make_unique<AdaptiveEmaPlacement>();
+  });
+  register_placement_policy("round_robin", [] {
+    return std::make_unique<RoundRobinPlacement>();
+  });
+  register_placement_policy("bandwidth_greedy", [] {
+    return std::make_unique<BandwidthGreedyPlacement>();
+  });
+  register_placement_policy("contention_aware", [] {
+    return std::make_unique<ContentionAwarePlacement>();
+  });
+}
+
+}  // namespace mlpo

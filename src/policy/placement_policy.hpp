@@ -1,0 +1,77 @@
+// Pluggable subgroup-placement strategies (paper §3.3 generalised).
+//
+// The paper ships two placement strategies — the static Eq. 1 split seeded
+// from microbenchmarks and its EMA-adaptive variant — but nothing about the
+// engine's pipeline depends on *how* a subgroup is mapped to a storage
+// path. This interface extracts that decision out of the engine: the
+// pipeline asks `path_for(subgroup)` wherever it fetches or flushes, feeds
+// observed transfers back through `observe()`, and grants the policy one
+// `rebalance()` per update phase. Everything else (what to do with those
+// signals) is the policy's business, which is what makes strategies for
+// heavy-tailed or contaminated bandwidth distributions (arXiv:1810.08918)
+// or contention-aware placement expressible without touching the engine.
+//
+// Policies are constructed by name through the registry
+// (policy/policy_registry.hpp) and bound to a concrete topology with
+// `bind()` before first use.
+//
+// Correctness contract: placement decides only *where* optimizer state
+// lives, never its values — every policy must yield bitwise-identical
+// training state (tests/equivalence_test.cpp enforces this across the full
+// placement x ordering grid).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace mlpo {
+
+class PlacementPolicy {
+ public:
+  virtual ~PlacementPolicy() = default;
+
+  /// Registry key this policy was constructed under.
+  virtual const std::string& name() const = 0;
+
+  /// Attach to a concrete topology: one nominal (microbenchmark-seeded)
+  /// bandwidth per usable storage path, and the subgroup count to place.
+  /// Called exactly once, before any other member. Must produce a valid
+  /// placement immediately (cold-start reads happen before any observe()).
+  virtual void bind(std::vector<f64> nominal_bandwidths,
+                    u32 num_subgroups) = 0;
+
+  /// Feedback from one completed transfer on `path` (either direction).
+  /// `service_seconds` is device occupancy (including lock hand-off);
+  /// `queue_wait_seconds` is time spent queued behind other requests —
+  /// contention-aware policies discount congested paths with it. Called
+  /// from I/O completion threads; implementations must be thread-safe
+  /// against path_for()/quotas()/bandwidths(). Default: ignore (static
+  /// policies).
+  virtual void observe(std::size_t path, u64 sim_bytes, f64 service_seconds,
+                       f64 queue_wait_seconds) {
+    (void)path;
+    (void)sim_bytes;
+    (void)service_seconds;
+    (void)queue_wait_seconds;
+  }
+
+  /// One chance per update phase to recompute the placement from whatever
+  /// the policy has learned. Default: keep the bound placement.
+  virtual void rebalance() {}
+
+  /// Storage path for subgroup `idx` under the current placement.
+  virtual std::size_t path_for(u32 idx) const = 0;
+
+  /// Subgroups per path under the current placement (sums to the bound
+  /// subgroup count).
+  virtual std::vector<u32> quotas() const = 0;
+
+  /// The per-path bandwidth estimates the current placement is based on
+  /// (nominal until the policy learns otherwise).
+  virtual std::vector<f64> bandwidths() const = 0;
+};
+
+}  // namespace mlpo

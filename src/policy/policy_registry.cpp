@@ -1,0 +1,114 @@
+#include "policy/policy_registry.hpp"
+
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <stdexcept>
+
+namespace mlpo {
+
+// Defined in placement_policies.cpp / update_order_policies.cpp. Explicit
+// calls (not static initialisers) so registration survives static-archive
+// linking, same reasoning as bench/harness/register_all.cpp.
+void register_builtin_placement_policies();
+void register_builtin_update_order_policies();
+
+namespace {
+
+template <typename Factory>
+class Registry {
+ public:
+  void add(const std::string& name, Factory factory) {
+    std::lock_guard lock(mutex_);
+    factories_[name] = std::move(factory);
+  }
+
+  Factory find(const std::string& name, const char* kind) {
+    std::lock_guard lock(mutex_);
+    const auto it = factories_.find(name);
+    if (it == factories_.end()) {
+      std::ostringstream msg;
+      msg << "unknown " << kind << " policy '" << name << "' (registered:";
+      for (const auto& [known, _] : factories_) msg << " " << known;
+      msg << ")";
+      throw std::invalid_argument(msg.str());
+    }
+    return it->second;
+  }
+
+  std::vector<std::string> names() {
+    std::lock_guard lock(mutex_);
+    std::vector<std::string> out;
+    out.reserve(factories_.size());
+    for (const auto& [name, _] : factories_) out.push_back(name);
+    return out;  // std::map keeps them sorted
+  }
+
+ private:
+  std::mutex mutex_;
+  std::map<std::string, Factory> factories_;
+};
+
+// Two-level accessors: the *_store() functions hand out the raw registry
+// (what register_*_policy writes into), the public-facing ones first make
+// sure the built-ins are in. Keeping registration out of the ensure path
+// avoids re-entering a function-local static mid-initialisation.
+Registry<PlacementPolicyFactory>& placement_store() {
+  static Registry<PlacementPolicyFactory> registry;
+  return registry;
+}
+
+Registry<UpdateOrderPolicyFactory>& order_store() {
+  static Registry<UpdateOrderPolicyFactory> registry;
+  return registry;
+}
+
+Registry<PlacementPolicyFactory>& placement_registry() {
+  static const bool init = [] {
+    register_builtin_placement_policies();
+    return true;
+  }();
+  (void)init;
+  return placement_store();
+}
+
+Registry<UpdateOrderPolicyFactory>& order_registry() {
+  static const bool init = [] {
+    register_builtin_update_order_policies();
+    return true;
+  }();
+  (void)init;
+  return order_store();
+}
+
+}  // namespace
+
+std::unique_ptr<PlacementPolicy> make_placement_policy(
+    const std::string& name) {
+  return placement_registry().find(name, "placement")();
+}
+
+std::unique_ptr<UpdateOrderPolicy> make_update_order_policy(
+    const std::string& name) {
+  return order_registry().find(name, "update-order")();
+}
+
+std::vector<std::string> placement_policy_names() {
+  return placement_registry().names();
+}
+
+std::vector<std::string> update_order_policy_names() {
+  return order_registry().names();
+}
+
+void register_placement_policy(const std::string& name,
+                               PlacementPolicyFactory factory) {
+  placement_store().add(name, std::move(factory));
+}
+
+void register_update_order_policy(const std::string& name,
+                                  UpdateOrderPolicyFactory factory) {
+  order_store().add(name, std::move(factory));
+}
+
+}  // namespace mlpo

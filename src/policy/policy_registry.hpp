@@ -1,0 +1,68 @@
+// String-keyed registries for placement and update-order policies.
+//
+// Policies are selected by name in EngineOptions (and therefore from the
+// `runtime/config` JSON: `"placement_policy": "bandwidth_greedy"`,
+// `"update_order_policy": "host_resident_first"`). Unknown names fail
+// loudly, listing every registered policy.
+//
+// Adding a policy (see README "Adding a placement policy"):
+//   1. implement the PlacementPolicy / UpdateOrderPolicy interface;
+//   2. register a factory under a unique name (built-ins live in
+//      placement_policies.cpp / update_order_policies.cpp; extensions can
+//      call register_*_policy() from their own initialisation);
+//   3. select it by name — engine, config JSON, and the bench policy
+//      sweep pick it up with no further wiring.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "policy/placement_policy.hpp"
+#include "policy/update_order_policy.hpp"
+
+namespace mlpo {
+
+using PlacementPolicyFactory =
+    std::function<std::unique_ptr<PlacementPolicy>()>;
+using UpdateOrderPolicyFactory =
+    std::function<std::unique_ptr<UpdateOrderPolicy>()>;
+
+/// Built-in placement policies, always registered:
+///   "eq1_static"       Eq. 1 quotas from nominal bandwidths, never adapts
+///   "adaptive_ema"     Eq. 1 quotas over EMA-updated bandwidth estimates
+///   "round_robin"      subgroup i -> path i mod N, bandwidth-oblivious
+///   "bandwidth_greedy" greedy earliest-finish-time assignment per subgroup
+///   "contention_aware" Eq. 1 over effective bandwidth (queue waits included)
+inline constexpr const char* kDefaultPlacementPolicy = "adaptive_ema";
+
+/// Built-in update-order policies, always registered:
+///   "ascending"                  0..N-1 every iteration, eager flush
+///   "alternating_cache_friendly" ascending/descending alternation, lazy flush
+///   "host_resident_first"        observed host residents first, lazy flush
+inline constexpr const char* kDefaultUpdateOrderPolicy =
+    "alternating_cache_friendly";
+
+/// Construct a registered placement policy. Throws std::invalid_argument
+/// naming the unknown key and every registered name.
+std::unique_ptr<PlacementPolicy> make_placement_policy(
+    const std::string& name);
+
+/// Construct a registered update-order policy. Throws std::invalid_argument
+/// naming the unknown key and every registered name.
+std::unique_ptr<UpdateOrderPolicy> make_update_order_policy(
+    const std::string& name);
+
+/// Registered names, sorted (drives --list style output and the bench
+/// policy sweep).
+std::vector<std::string> placement_policy_names();
+std::vector<std::string> update_order_policy_names();
+
+/// Extension points: register (or override) a factory under `name`.
+void register_placement_policy(const std::string& name,
+                               PlacementPolicyFactory factory);
+void register_update_order_policy(const std::string& name,
+                                  UpdateOrderPolicyFactory factory);
+
+}  // namespace mlpo

@@ -1,0 +1,117 @@
+// Built-in update-order policies. "ascending" is the DeepSpeed ZeRO-3
+// discipline (fixed order, eager flush); "alternating_cache_friendly" is
+// the paper's §3.2 parity trick; "host_resident_first" derives the same
+// reuse from the *observed* residency state instead of a fixed parity, so
+// it stays cache-optimal even when restores, failures, or a future policy
+// leave the cache in a state no parity schedule predicts.
+#include <algorithm>
+#include <numeric>
+
+#include "policy/policy_registry.hpp"
+
+namespace mlpo {
+
+namespace {
+
+std::vector<u32> ascending_order(u32 num_subgroups) {
+  std::vector<u32> order(num_subgroups);
+  std::iota(order.begin(), order.end(), 0u);
+  return order;
+}
+
+class AscendingOrder final : public UpdateOrderPolicy {
+ public:
+  const std::string& name() const override {
+    static const std::string n = "ascending";
+    return n;
+  }
+  bool uses_host_cache() const override { return false; }
+  std::vector<u32> order(u32 num_subgroups, u64 /*iteration*/,
+                         std::span<const u32> /*host_resident*/)
+      const override {
+    return ascending_order(num_subgroups);
+  }
+};
+
+class AlternatingCacheFriendlyOrder final : public UpdateOrderPolicy {
+ public:
+  const std::string& name() const override {
+    static const std::string n = "alternating_cache_friendly";
+    return n;
+  }
+  bool uses_host_cache() const override { return true; }
+  std::vector<u32> order(u32 num_subgroups, u64 iteration,
+                         std::span<const u32> /*host_resident*/)
+      const override {
+    std::vector<u32> order = ascending_order(num_subgroups);
+    if (iteration % 2 == 1) std::reverse(order.begin(), order.end());
+    return order;
+  }
+};
+
+/// Schedule the subgroups that are *actually* host-resident first (most
+/// recently used leading, so the hottest state is consumed before any
+/// insertion can evict it), then the remainder ascending. Against an LRU
+/// cache this self-stabilises: whatever tail of iteration k stayed
+/// resident leads iteration k+1.
+class HostResidentFirstOrder final : public UpdateOrderPolicy {
+ public:
+  const std::string& name() const override {
+    static const std::string n = "host_resident_first";
+    return n;
+  }
+  bool uses_host_cache() const override { return true; }
+  std::vector<u32> order(u32 num_subgroups, u64 /*iteration*/,
+                         std::span<const u32> host_resident) const override {
+    std::vector<u32> order;
+    order.reserve(num_subgroups);
+    std::vector<u8> taken(num_subgroups, 0);
+    // host_resident arrives LRU-first; walk it backwards for MRU-first.
+    for (auto it = host_resident.rbegin(); it != host_resident.rend(); ++it) {
+      if (*it < num_subgroups && !taken[*it]) {
+        taken[*it] = 1;
+        order.push_back(*it);
+      }
+    }
+    for (u32 id = 0; id < num_subgroups; ++id) {
+      if (!taken[id]) order.push_back(id);
+    }
+    return order;
+  }
+};
+
+}  // namespace
+
+void validate_order_permutation(std::span<const u32> order, u32 num_subgroups,
+                                const std::string& policy_name) {
+  bool valid = order.size() == num_subgroups;
+  if (valid) {
+    std::vector<u8> seen(num_subgroups, 0);
+    for (const u32 id : order) {
+      if (id >= num_subgroups || seen[id]) {
+        valid = false;
+        break;
+      }
+      seen[id] = 1;
+    }
+  }
+  if (!valid) {
+    throw std::logic_error("UpdateOrderPolicy '" + policy_name +
+                           "' did not return a permutation of [0, " +
+                           std::to_string(num_subgroups) + ")");
+  }
+}
+
+void register_builtin_update_order_policies() {
+  register_update_order_policy("ascending", [] {
+    return std::make_unique<AscendingOrder>();
+  });
+  register_update_order_policy("alternating_cache_friendly", [] {
+    return std::make_unique<AlternatingCacheFriendlyOrder>();
+  });
+  register_update_order_policy("host_resident_first", [] {
+    return std::make_unique<HostResidentFirstOrder>();
+  });
+}
+
+}  // namespace mlpo

@@ -1,0 +1,56 @@
+// Pluggable subgroup-update ordering strategies (paper §3.2 generalised).
+//
+// Adam updates are element-wise independent across subgroups, so any
+// processing order yields bit-identical training state. What the order
+// *does* change is host-cache behaviour: the subgroups resident at the end
+// of iteration k are the only candidates for cache hits in iteration k+1.
+// The paper exploits this with ascending/descending alternation; this
+// interface extracts the decision so schedules informed by the actually
+// observed residency state (MCE-style reasoning over dependency structure,
+// arXiv:1304.2380) are expressible without touching the engine.
+//
+// A policy also declares whether its schedule exploits the host cache at
+// all: `uses_host_cache() == false` selects the DeepSpeed-style eager
+// flush-after-update discipline, `true` the lazy flush-through-cache path.
+//
+// Policies are constructed by name through the registry
+// (policy/policy_registry.hpp).
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace mlpo {
+
+class UpdateOrderPolicy {
+ public:
+  virtual ~UpdateOrderPolicy() = default;
+
+  /// Registry key this policy was constructed under.
+  virtual const std::string& name() const = 0;
+
+  /// Whether the engine should run the lazy flush-through-host-cache
+  /// discipline (true) or eager flush after every update (false, the
+  /// DeepSpeed ZeRO-3 behaviour). Engines reject `true` combined with a
+  /// zero-capacity host cache at construction.
+  virtual bool uses_host_cache() const = 0;
+
+  /// Processing order for `iteration` (a permutation of
+  /// [0, num_subgroups)). `host_resident` lists the subgroup ids currently
+  /// valid in host memory, least-recently-used first — residency-aware
+  /// policies schedule from it; fixed-parity policies ignore it.
+  virtual std::vector<u32> order(u32 num_subgroups, u64 iteration,
+                                 std::span<const u32> host_resident) const = 0;
+};
+
+/// Engines call this on every schedule a policy returns: a third-party
+/// policy that drops, duplicates, or invents subgroup ids would otherwise
+/// silently skip optimizer updates. Throws std::logic_error naming
+/// `policy_name`.
+void validate_order_permutation(std::span<const u32> order, u32 num_subgroups,
+                                const std::string& policy_name);
+
+}  // namespace mlpo

@@ -1,5 +1,7 @@
+#include <algorithm>
 #include <stdexcept>
 
+#include "policy/policy_registry.hpp"
 #include "runtime/trainer.hpp"
 
 namespace mlpo {
@@ -13,22 +15,57 @@ TestbedSpec testbed_by_name(const std::string& name) {
 }
 
 EngineOptions engine_from_json(const json::Value& section) {
-  // "enabled": false selects the DeepSpeed ZeRO-3 baseline preset; the four
-  // per-principle flags then override individually (ablation configs).
-  EngineOptions opts = section.bool_or("enabled", true)
-      ? EngineOptions::mlp_offload()
-      : EngineOptions::deepspeed_zero3();
+  // Base bundle: an explicit "preset" wins; otherwise "enabled": false
+  // selects the DeepSpeed ZeRO-3 baseline. Individual keys then override
+  // (ablation configs).
+  EngineOptions opts = EngineOptions::preset(section.string_or(
+      "preset",
+      section.bool_or("enabled", true) ? "mlp_offload" : "deepspeed_zero3"));
+  opts.engine = section.string_or("engine", opts.engine);
+  // Like the policy names below, the engine kind fails at parse time with
+  // the known set, not later inside worker construction.
+  const auto kinds = engine_kind_names();
+  if (std::find(kinds.begin(), kinds.end(), opts.engine) == kinds.end()) {
+    std::string known;
+    for (const auto& k : kinds) known += " " + k;
+    throw std::invalid_argument("config: unknown engine kind '" +
+                                opts.engine + "' (known:" + known + ")");
+  }
   opts.multipath = section.bool_or("multipath", opts.multipath);
-  opts.cache_friendly_order =
-      section.bool_or("cache_friendly_order", opts.cache_friendly_order);
   opts.delayed_grad_conversion =
       section.bool_or("delayed_grad_conversion", opts.delayed_grad_conversion);
   opts.tier_exclusive_locking =
       section.bool_or("tier_exclusive_locking", opts.tier_exclusive_locking);
-  opts.adaptive_placement =
-      section.bool_or("adaptive_placement", opts.adaptive_placement);
+
+  // Legacy boolean spellings first, mapped onto the policy names...
+  if (section.contains("cache_friendly_order")) {
+    opts.update_order_policy = section.at("cache_friendly_order").as_bool()
+                                   ? "alternating_cache_friendly"
+                                   : "ascending";
+  }
+  if (section.contains("adaptive_placement")) {
+    opts.placement_policy = section.at("adaptive_placement").as_bool()
+                                ? "adaptive_ema"
+                                : "eq1_static";
+  }
+  // ...then the explicit policy-name keys, so a named selection always
+  // wins over a legacy bool when a config mixes both spellings. Resolve
+  // the names here so an unknown one aborts at parse time with the
+  // registered set in the message, not deep inside engine construction.
+  if (section.contains("placement_policy")) {
+    opts.placement_policy = section.at("placement_policy").as_string();
+    make_placement_policy(opts.placement_policy);
+  }
+  if (section.contains("update_order_policy")) {
+    opts.update_order_policy = section.at("update_order_policy").as_string();
+    make_update_order_policy(opts.update_order_policy);
+  }
   if (section.contains("prefetch_ahead")) {
     opts.prefetch_ahead = static_cast<u32>(section.at("prefetch_ahead").as_int());
+  }
+  if (section.contains("host_cache_subgroups")) {
+    opts.host_cache_subgroups =
+        static_cast<u32>(section.at("host_cache_subgroups").as_int());
   }
   return opts;
 }

@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <thread>
 
+#include "policy/policy_registry.hpp"
 #include "train/sharding.hpp"
 #include "util/logging.hpp"
 
@@ -60,9 +61,24 @@ NodeSim::NodeSim(const SimClock& clock, const NodeConfig& cfg,
         cfg_.subgroup_params * kOptimStateBytesPerParam;
     opts.host_cache_subgroups =
         static_cast<u32>(per_worker / subgroup_bytes);
-    // Below the pipeline minimum caching cannot work safely; disable it.
+    // Below the pipeline minimum caching cannot work safely; disable it —
+    // and since the engines reject a cache-exploiting order policy with a
+    // zero-capacity cache, fall back to the eager-flush schedule too. The
+    // fallback must itself satisfy EngineOptions::validate, so a
+    // zero-prefetch pipeline regains one outstanding prefetch in exchange
+    // for the lost cache.
     if (opts.host_cache_subgroups < opts.prefetch_ahead + 1) {
       opts.host_cache_subgroups = 0;
+      if (make_update_order_policy(opts.update_order_policy)
+              ->uses_host_cache()) {
+        MLPO_LOG_WARN << "NodeSim: host-cache budget ("
+                      << (per_worker / subgroup_bytes)
+                      << " subgroups) below the pipeline minimum; dropping "
+                      << "update_order_policy '" << opts.update_order_policy
+                      << "' to 'ascending'";
+        opts.update_order_policy = "ascending";
+      }
+      if (opts.prefetch_ahead == 0) opts.prefetch_ahead = 1;
     }
   }
 
@@ -210,8 +226,8 @@ std::vector<IterationReport> NodeSim::run(u32 iterations, u32 warmup) {
   return kept;
 }
 
-OffloadEngine::Distribution NodeSim::node_distribution() const {
-  OffloadEngine::Distribution total;
+Engine::Distribution NodeSim::node_distribution() const {
+  Engine::Distribution total;
   total.path_sim_bytes.assign(vtier_->path_count(), 0);
   for (const auto& w : workers_) {
     const auto d = w->engine().distribution();

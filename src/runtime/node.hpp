@@ -8,7 +8,7 @@
 #include <vector>
 
 #include "comm/collectives.hpp"
-#include "core/offload_engine.hpp"
+#include "core/engine.hpp"
 #include "runtime/gpu_cost.hpp"
 #include "runtime/testbed.hpp"
 #include "runtime/worker.hpp"
@@ -77,7 +77,7 @@ class NodeSim {
   const NodeConfig& config() const { return cfg_; }
 
   /// Node-wide optimizer-state distribution (Fig. 10): host + per path.
-  OffloadEngine::Distribution node_distribution() const;
+  Engine::Distribution node_distribution() const;
 
   /// Per-phase cost constants (for reporting/verification).
   f64 forward_cost_seconds() const { return fwd_seconds_; }

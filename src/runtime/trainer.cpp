@@ -31,8 +31,8 @@ std::vector<IterationReport> Trainer::run(u32 iterations, u32 warmup) {
   return cluster_->run(iterations, warmup);
 }
 
-OffloadEngine::Distribution Trainer::distribution() const {
-  OffloadEngine::Distribution total;
+Engine::Distribution Trainer::distribution() const {
+  Engine::Distribution total;
   for (u32 n = 0; n < cluster_->node_count(); ++n) {
     const auto d = cluster_->node(n).node_distribution();
     if (total.path_sim_bytes.size() < d.path_sim_bytes.size()) {

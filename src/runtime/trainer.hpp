@@ -47,7 +47,7 @@ class Trainer {
   const TrainerConfig& config() const { return cfg_; }
 
   /// Cluster-wide optimizer-state distribution (Fig. 10).
-  OffloadEngine::Distribution distribution() const;
+  Engine::Distribution distribution() const;
 
  private:
   TrainerConfig cfg_;
@@ -66,8 +66,17 @@ class Trainer {
 ///     "elem_scale": 8192, "time_scale": 2000,
 ///     "mlp_offload": {
 ///       "enabled": true,          // false => DeepSpeed ZeRO-3 baseline
-///       "multipath": true, "cache_friendly_order": true,
-///       "delayed_grad_conversion": true, "tier_exclusive_locking": true
+///       "preset": "mlp_offload",  // named bundle, see EngineOptions::preset
+///       "engine": "offload",      // or "cpu_only" / "tensor_nvme"
+///       // policy-registry names (unknown names abort with the known set):
+///       "placement_policy": "adaptive_ema",
+///       "update_order_policy": "alternating_cache_friendly",
+///       "multipath": true,
+///       "delayed_grad_conversion": true, "tier_exclusive_locking": true,
+///       "prefetch_ahead": 1,
+///       // legacy boolean spellings, still honoured:
+///       "cache_friendly_order": true,   // order policy alternating/ascending
+///       "adaptive_placement": true      // placement adaptive_ema/eq1_static
 ///     }
 ///   }
 TrainerConfig trainer_config_from_json(const json::Value& doc);

@@ -28,7 +28,7 @@ Worker::Worker(const SimClock& clock, VirtualTier& vtier, ThreadPool* cpu_pool,
   ctx.grads = &grads;
   ctx.worker_id = worker_id;
   ctx.rank = rank;
-  engine_ = std::make_unique<OffloadEngine>(ctx, opts, layout);
+  engine_ = make_engine(ctx, opts, layout);
 }
 
 void Worker::run_backward_micro(u64 sample_index, bool first_micro_step,

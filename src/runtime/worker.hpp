@@ -1,12 +1,14 @@
 // One worker process: the software stack attached to a single emulated GPU.
 // Owns the per-worker I/O scheduler (per-path priority queues + PCIe
 // D2H/H2D link channels) and the offloading engine for this rank's
-// optimizer-state shard.
+// optimizer-state shard. The engine implementation is selected by
+// EngineOptions::engine ("offload" / "cpu_only" / "tensor_nvme") and
+// consumed purely through the unified Engine interface.
 #pragma once
 
 #include <memory>
 
-#include "core/offload_engine.hpp"
+#include "core/engine.hpp"
 #include "io/io_scheduler.hpp"
 #include "runtime/testbed.hpp"
 #include "tiers/virtual_tier.hpp"
@@ -25,8 +27,8 @@ class Worker {
          const GradSource& grads, const TestbedSpec& testbed, int worker_id,
          int rank, const EngineOptions& opts, const ShardLayout& layout);
 
-  OffloadEngine& engine() { return *engine_; }
-  const OffloadEngine& engine() const { return *engine_; }
+  Engine& engine() { return *engine_; }
+  const Engine& engine() const { return *engine_; }
   IoScheduler& io() { return *io_; }
   int worker_id() const { return worker_id_; }
   int rank() const { return rank_; }
@@ -51,7 +53,7 @@ class Worker {
   std::unique_ptr<RateLimiter> d2h_;
   std::unique_ptr<RateLimiter> h2d_;
   std::unique_ptr<IoScheduler> io_;
-  std::unique_ptr<OffloadEngine> engine_;
+  std::unique_ptr<Engine> engine_;
 };
 
 }  // namespace mlpo

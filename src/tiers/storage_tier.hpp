@@ -3,7 +3,7 @@
 // A tier is a key/value blob store with measurable bandwidth — the shape of
 // every offload target in the paper: node-local NVMe, a parallel file
 // system path, an object store bucket. Blocking read/write is the base
-// interface; asynchrony is layered on top by aio::AioEngine.
+// interface; asynchrony is layered on top by the IoScheduler (src/io/).
 //
 // Scale-reduced emulation: every transfer carries an optional `sim_bytes`
 // count. Backends move the real `data` bytes; timing wrappers

@@ -101,4 +101,24 @@ std::string Subgroup::key(int rank, u32 id) {
   return "sg/" + std::to_string(rank) + "/" + std::to_string(id);
 }
 
+namespace {
+inline u64 splitmix64(u64 x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+}  // namespace
+
+void Subgroup::deterministic_param_init(int rank, u32 id,
+                                        std::span<f32> params) {
+  const u64 base = splitmix64(0xC0FFEEull ^ (static_cast<u64>(rank) << 40) ^
+                              (static_cast<u64>(id) << 8));
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    const u64 h = splitmix64(base + i);
+    const f64 unit = static_cast<f64>(h >> 11) * 0x1.0p-53;
+    params[i] = static_cast<f32>((unit - 0.5) * 0.04);
+  }
+}
+
 }  // namespace mlpo

@@ -68,6 +68,13 @@ class Subgroup {
   /// Storage key used on tiers: "sg/<rank>/<id>".
   static std::string key(int rank, u32 id);
 
+  /// Deterministic parameter initialisation: small centred values keyed on
+  /// (rank, id) only — identical for every engine implementation and
+  /// policy configuration, so end-state digests are comparable across the
+  /// whole equivalence grid.
+  static void deterministic_param_init(int rank, u32 id,
+                                       std::span<f32> params);
+
  private:
   u32 id_;
   u64 sim_params_;

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "core/checkpoint.hpp"
+#include "core/offload_engine.hpp"
 #include "tiers/memory_tier.hpp"
 #include "tiers/throttled_tier.hpp"
 

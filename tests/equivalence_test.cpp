@@ -1,13 +1,17 @@
 // The paper's correctness claim (§3.2): subgroup updates are embarrassingly
 // parallel, so processing order, placement, gradient-conversion timing, and
 // locking must not change the training state. We verify bitwise equality of
-// the end state across ALL 16 combinations of the four design-principle
-// flags, at elem_scale 1, over several iterations — and against the
-// host-memory-resident CpuOnlyEngine.
+// the end state at elem_scale 1 over several iterations across:
+//   * all 16 combinations of the classic design-principle toggles;
+//   * the FULL placement x ordering policy grid from the registry;
+//   * every engine implementation behind the unified interface
+//     (OffloadEngine, CpuOnlyEngine, TensorNvmeEngine).
 #include <gtest/gtest.h>
 
 #include "core/cpu_only_engine.hpp"
+#include "core/engine.hpp"
 #include "core/offload_engine.hpp"
+#include "policy/policy_registry.hpp"
 #include "tiers/memory_tier.hpp"
 #include "tiers/throttled_tier.hpp"
 
@@ -23,10 +27,9 @@ ShardLayout test_layout() {
                            kSubgroupParams);
 }
 
-// Run a full mini-training with the given flags and return the end-state
-// digest.
-u64 run_config(bool multipath, bool cache, bool delayed, bool locking,
-               u32 accum_steps = 1) {
+// Run a full mini-training with the given options and return the end-state
+// digest. The engine kind in `opts.engine` selects the implementation.
+u64 run_opts(EngineOptions opts, u32 accum_steps = 1) {
   SimClock clock(50000.0);
   VirtualTier vtier;
   ThrottleSpec fast{8e6, 6e6};
@@ -40,15 +43,10 @@ u64 run_config(bool multipath, bool cache, bool delayed, bool locking,
 
   IoScheduler::Config io_cfg;
   io_cfg.queue_depth = 128;
-  io_cfg.tier_exclusive_locking = locking;
+  io_cfg.tier_exclusive_locking = opts.tier_exclusive_locking;
   IoScheduler io(clock, &vtier, nullptr, nullptr, io_cfg);
   GradSource grads;
 
-  EngineOptions opts;
-  opts.multipath = multipath;
-  opts.cache_friendly_order = cache;
-  opts.delayed_grad_conversion = delayed;
-  opts.tier_exclusive_locking = locking;
   opts.host_cache_subgroups = 2;
   opts.cpu_update_rate = 1e9;
   opts.convert.fp32_bytes_per_sec = 1e12;
@@ -59,40 +57,74 @@ u64 run_config(bool multipath, bool cache, bool delayed, bool locking,
   ctx.vtier = &vtier;
   ctx.io = &io;
   ctx.grads = &grads;
-  OffloadEngine engine(ctx, opts, test_layout());
-  engine.initialize();
+  const auto engine = make_engine(ctx, opts, test_layout());
+  engine->initialize();
 
   for (u64 iter = 0; iter < kIterations; ++iter) {
     for (u32 m = 0; m < accum_steps; ++m) {
       const u64 sample = iter * accum_steps + m;
-      for (u32 id = 0; id < engine.num_subgroups(); ++id) {
-        engine.deposit_gradients_async(sample, id, m == 0,
-                                       m + 1 == accum_steps);
+      for (u32 id = 0; id < engine->num_subgroups(); ++id) {
+        engine->deposit_gradients_async(sample, id, m == 0,
+                                        m + 1 == accum_steps);
       }
-      engine.wait_gradient_io();
+      engine->wait_gradient_io();
     }
-    engine.run_update(iter);
+    engine->run_update(iter);
   }
-  return engine.state_checksum();
+  return engine->state_checksum();
 }
 
-struct FlagCase {
-  bool multipath, cache, delayed, locking;
-};
+u64 run_config(bool multipath, bool cache, bool delayed, bool locking,
+               u32 accum_steps = 1) {
+  EngineOptions opts;
+  opts.multipath = multipath;
+  opts.update_order_policy =
+      cache ? "alternating_cache_friendly" : "ascending";
+  opts.delayed_grad_conversion = delayed;
+  opts.tier_exclusive_locking = locking;
+  return run_opts(opts, accum_steps);
+}
+
+u64 baseline_digest() {
+  static const u64 digest = run_config(false, false, false, false);
+  return digest;
+}
 
 class AllFlagCombos : public ::testing::TestWithParam<int> {};
 
 TEST_P(AllFlagCombos, EndStateBitwiseEqualToBaseline) {
-  static const u64 baseline = run_config(false, false, false, false);
   const int bits = GetParam();
   const u64 digest = run_config(bits & 1, bits & 2, bits & 4, bits & 8);
-  EXPECT_EQ(digest, baseline)
+  EXPECT_EQ(digest, baseline_digest())
       << "flags: multipath=" << !!(bits & 1) << " cache=" << !!(bits & 2)
       << " delayed=" << !!(bits & 4) << " locking=" << !!(bits & 8);
 }
 
 INSTANTIATE_TEST_SUITE_P(SixteenCombos, AllFlagCombos,
                          ::testing::Range(0, 16));
+
+// The tentpole guarantee: every placement policy x every ordering policy
+// from the registry trains to the same bits as the baseline.
+class PolicyGrid
+    : public ::testing::TestWithParam<std::tuple<std::string, std::string>> {
+};
+
+TEST_P(PolicyGrid, EndStateBitwiseEqualAcrossPolicyGrid) {
+  const auto& [placement, order] = GetParam();
+  EngineOptions opts;  // full MLP-Offload otherwise
+  opts.placement_policy = placement;
+  opts.update_order_policy = order;
+  EXPECT_EQ(run_opts(opts), baseline_digest())
+      << "placement=" << placement << " order=" << order;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCombos, PolicyGrid,
+    ::testing::Combine(::testing::ValuesIn(placement_policy_names()),
+                       ::testing::ValuesIn(update_order_policy_names())),
+    [](const auto& info) {
+      return std::get<0>(info.param) + "_x_" + std::get<1>(info.param);
+    });
 
 TEST(Equivalence, GradientAccumulationAlsoOrderIndependent) {
   const u64 base = run_config(false, false, false, false, /*accum=*/2);
@@ -115,7 +147,19 @@ TEST(Equivalence, OffloadedMatchesHostResidentEngine) {
     engine.deposit_gradients(iter, true);
     engine.run_update(iter);
   }
-  EXPECT_EQ(engine.state_checksum(), run_config(true, true, true, true));
+  EXPECT_EQ(engine.state_checksum(), baseline_digest());
+}
+
+TEST(Equivalence, TensorNvmeFacadeMatchesOffloadEngines) {
+  // The TensorNVMe integration engine round-trips its state through
+  // DiskOffloaders every iteration; the bits must survive unchanged.
+  EngineOptions opts = EngineOptions::preset("tensor_nvme");
+  EXPECT_EQ(run_opts(opts), baseline_digest());
+}
+
+TEST(Equivalence, CpuOnlyEngineKindMatchesThroughUnifiedFactory) {
+  EngineOptions opts = EngineOptions::preset("cpu_only");
+  EXPECT_EQ(run_opts(opts), baseline_digest());
 }
 
 TEST(Equivalence, DifferentGradientsProduceDifferentStates) {

@@ -2,7 +2,7 @@
 // shifts (paper §3.3 adaptation scenario).
 #include <gtest/gtest.h>
 
-#include "core/perf_model.hpp"
+#include "policy/perf_model.hpp"
 #include "tiers/fluctuating_tier.hpp"
 #include "tiers/memory_tier.hpp"
 

@@ -5,6 +5,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <functional>
 #include <future>
 #include <mutex>
 #include <thread>
@@ -415,6 +416,76 @@ TEST(IoScheduler, DistinctExternalTiersDispatchConcurrently) {
 
   go.set_value();
   fa.get();
+}
+
+// IoBatch semantics over scheduler-submitted work (absorbed from the
+// retired AioEngine suite — the batch contract outlived the flat-FIFO
+// engine it was written against).
+
+namespace {
+IoRequest task(std::function<void()> fn) {
+  static std::atomic<int> counter{0};
+  IoRequest req;
+  req.op = IoOp::kWrite;
+  req.target = IoTarget::kExternal;
+  req.key = "task" + std::to_string(counter.fetch_add(1));
+  req.sim_bytes = 8 * MiB;
+  req.priority = IoPriority::kCheckpoint;
+  req.work = [fn = std::move(fn)](IoChannel&) -> u64 {
+    fn();
+    return 0;
+  };
+  return req;
+}
+}  // namespace
+
+TEST(IoBatch, WaitAllPropagatesFirstError) {
+  SimClock clock(1.0);
+  IoScheduler sched(clock);
+  IoBatch batch;
+  std::atomic<int> ok{0};
+  batch.add(sched.submit(task([&ok] { ok.fetch_add(1); })));
+  batch.add(sched.submit(task([] { throw std::runtime_error("io failed"); })));
+  batch.add(sched.submit(task([&ok] { ok.fetch_add(1); })));
+  EXPECT_THROW(batch.wait_all(), std::runtime_error);
+  // All operations settled despite the failure.
+  EXPECT_EQ(ok.load(), 2);
+  // Batch is reusable after wait_all.
+  batch.add(sched.submit(task([&ok] { ok.fetch_add(1); })));
+  batch.wait_all();
+  EXPECT_EQ(ok.load(), 3);
+}
+
+TEST(IoBatch, WaitAllAggregatesEveryError) {
+  SimClock clock(1.0);
+  IoScheduler sched(clock);
+  IoBatch batch;
+  batch.add(sched.submit(task([] { throw std::runtime_error("path0 down"); })));
+  batch.add(sched.submit(task([] { throw std::runtime_error("path1 down"); })));
+  batch.add(sched.submit(task([] {})));
+  try {
+    batch.wait_all();
+    FAIL() << "expected an aggregated error";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("2 operations failed"), std::string::npos) << what;
+    EXPECT_NE(what.find("path0 down"), std::string::npos) << what;
+    EXPECT_NE(what.find("path1 down"), std::string::npos) << what;
+  }
+}
+
+TEST(IoBatch, SingleFailurePreservesExceptionType) {
+  SimClock clock(1.0);
+  IoScheduler sched(clock);
+  IoBatch batch;
+  batch.add(sched.submit(task([] { throw std::out_of_range("missing key"); })));
+  EXPECT_THROW(batch.wait_all(), std::out_of_range);
+}
+
+TEST(IoBatch, EmptyBatchIsFine) {
+  IoBatch batch;
+  batch.wait_all();
+  EXPECT_EQ(batch.size(), 0u);
 }
 
 TEST(IoScheduler, LinkRequestsCompleteWithoutLimiter) {

@@ -236,7 +236,9 @@ TEST(OffloadEngine, BaselineNeverHitsCache) {
 TEST(OffloadEngine, DelayedConversionShrinksFetches) {
   EngineRig rig;
   auto opts = EngineRig::fast_options(EngineOptions::mlp_offload());
-  opts.host_cache_subgroups = 0;  // isolate the gradient effect
+  // Isolate the gradient effect: no cache reuse, plain ascending schedule.
+  opts.host_cache_subgroups = 0;
+  opts.update_order_policy = "ascending";
   OffloadEngine engine(rig.context(), opts, EngineRig::layout());
   engine.initialize();
   for (u32 id = 0; id < engine.num_subgroups(); ++id) {
@@ -344,17 +346,17 @@ TEST(OffloadEngine, NoNansEscapeThePipeline) {
 }
 
 TEST(OffloadEngine, StaticPlacementIgnoresObservations) {
-  // With adaptive_placement off the quotas must stay at the seeded values
+  // With the eq1_static policy the quotas must stay at the seeded values
   // no matter what the transfers observe.
   EngineRig rig;
   auto opts = EngineRig::fast_options(EngineOptions::mlp_offload());
-  opts.adaptive_placement = false;
+  opts.placement_policy = "eq1_static";
   OffloadEngine engine(rig.context(), opts, EngineRig::layout());
   engine.initialize();
-  const auto seeded = engine.perf_model().quotas();
+  const auto seeded = engine.placement().quotas();
   for (u64 iter = 0; iter < 3; ++iter) rig.run_one_iteration(engine, iter);
-  EXPECT_EQ(engine.perf_model().quotas(), seeded);
-  EXPECT_EQ(engine.perf_model().bandwidths(),
+  EXPECT_EQ(engine.placement().quotas(), seeded);
+  EXPECT_EQ(engine.placement().bandwidths(),
             rig.vtier.path_bandwidths());
 }
 
@@ -363,11 +365,53 @@ TEST(OffloadEngine, AdaptivePlacementUpdatesEstimates) {
   auto opts = EngineRig::fast_options(EngineOptions::mlp_offload());
   OffloadEngine engine(rig.context(), opts, EngineRig::layout());
   engine.initialize();
-  const auto seeded = engine.perf_model().bandwidths();
+  const auto seeded = engine.placement().bandwidths();
   rig.run_one_iteration(engine, 0);
   // Observed bandwidths replace the microbenchmark seeds after the first
   // transfers (they include queueing, so they differ from the nominal).
-  EXPECT_NE(engine.perf_model().bandwidths(), seeded);
+  EXPECT_NE(engine.placement().bandwidths(), seeded);
+}
+
+TEST(OffloadEngine, SelectablePoliciesProduceRunnableScenarios) {
+  // Every registry combination is a runnable engine configuration, not
+  // just a constructible one (the equivalence suite checks the bits; this
+  // checks the pipeline mechanics under each schedule).
+  for (const char* placement : {"round_robin", "bandwidth_greedy",
+                                "contention_aware"}) {
+    for (const char* order : {"ascending", "host_resident_first"}) {
+      EngineRig rig;
+      auto opts = EngineRig::fast_options(EngineOptions::mlp_offload());
+      opts.placement_policy = placement;
+      opts.update_order_policy = order;
+      OffloadEngine engine(rig.context(), opts, EngineRig::layout());
+      engine.initialize();
+      for (u64 iter = 0; iter < 2; ++iter) {
+        rig.run_one_iteration(engine, iter);
+      }
+      for (u32 id = 0; id < engine.num_subgroups(); ++id) {
+        EXPECT_EQ(engine.snapshot_subgroup(id).step(), 2u)
+            << placement << "/" << order << " sg " << id;
+      }
+    }
+  }
+}
+
+TEST(OffloadEngine, HostResidentFirstHitsEverythingTheCacheHolds) {
+  EngineRig rig;
+  auto opts = EngineRig::fast_options(EngineOptions::mlp_offload());
+  opts.update_order_policy = "host_resident_first";
+  OffloadEngine engine(rig.context(), opts, EngineRig::layout());
+  engine.initialize();
+  rig.run_one_iteration(engine, 0);
+  ASSERT_EQ(engine.host_resident().size(), 3u);
+
+  for (u32 id = 0; id < engine.num_subgroups(); ++id) {
+    engine.deposit_gradients_async(1, id, true, true);
+  }
+  engine.wait_gradient_io();
+  const auto report = engine.run_update(1);
+  EXPECT_EQ(report.host_cache_hits, 3u)
+      << "every resident subgroup must be consumed before eviction";
 }
 
 TEST(OffloadEngine, DistributionConservesTotalBytes) {

@@ -5,7 +5,7 @@
 #include <numeric>
 #include <random>
 
-#include "core/perf_model.hpp"
+#include "policy/perf_model.hpp"
 
 namespace mlpo {
 namespace {

@@ -73,24 +73,84 @@ TEST(TrainerConfigJson, DisabledSelectsBaselinePreset) {
   const auto cfg = trainer_config_from_json(
       std::string(R"({"mlp_offload": {"enabled": false}})"));
   EXPECT_FALSE(cfg.engine.multipath);
-  EXPECT_FALSE(cfg.engine.cache_friendly_order);
+  EXPECT_EQ(cfg.engine.update_order_policy, "ascending");
+  EXPECT_EQ(cfg.engine.placement_policy, "eq1_static");
   EXPECT_FALSE(cfg.engine.delayed_grad_conversion);
   EXPECT_FALSE(cfg.engine.tier_exclusive_locking);
 }
 
 TEST(TrainerConfigJson, AblationOverridesOnBaseline) {
+  // Legacy boolean spelling maps onto the order-policy selection.
   const auto cfg = trainer_config_from_json(std::string(
       R"({"mlp_offload": {"enabled": false, "cache_friendly_order": true}})"));
-  EXPECT_TRUE(cfg.engine.cache_friendly_order);
+  EXPECT_EQ(cfg.engine.update_order_policy, "alternating_cache_friendly");
   EXPECT_FALSE(cfg.engine.multipath);
 }
 
 TEST(TrainerConfigJson, AdaptivePlacementToggle) {
-  EXPECT_TRUE(trainer_config_from_json(std::string("{}"))
-                  .engine.adaptive_placement);
+  EXPECT_EQ(trainer_config_from_json(std::string("{}"))
+                .engine.placement_policy,
+            "adaptive_ema");
   const auto cfg = trainer_config_from_json(std::string(
       R"({"mlp_offload": {"adaptive_placement": false}})"));
-  EXPECT_FALSE(cfg.engine.adaptive_placement);
+  EXPECT_EQ(cfg.engine.placement_policy, "eq1_static");
+}
+
+TEST(TrainerConfigJson, PolicyNamesSelectedDirectly) {
+  const auto cfg = trainer_config_from_json(std::string(R"({
+    "mlp_offload": {
+      "placement_policy": "bandwidth_greedy",
+      "update_order_policy": "host_resident_first"
+    }
+  })"));
+  EXPECT_EQ(cfg.engine.placement_policy, "bandwidth_greedy");
+  EXPECT_EQ(cfg.engine.update_order_policy, "host_resident_first");
+}
+
+TEST(TrainerConfigJson, ExplicitPolicyNamesBeatLegacyBools) {
+  const auto cfg = trainer_config_from_json(std::string(R"({
+    "mlp_offload": {
+      "placement_policy": "bandwidth_greedy",
+      "adaptive_placement": true,
+      "update_order_policy": "host_resident_first",
+      "cache_friendly_order": false
+    }
+  })"));
+  EXPECT_EQ(cfg.engine.placement_policy, "bandwidth_greedy");
+  EXPECT_EQ(cfg.engine.update_order_policy, "host_resident_first");
+}
+
+TEST(TrainerConfigJson, PresetAndEngineKindKeys) {
+  const auto cfg = trainer_config_from_json(std::string(
+      R"({"mlp_offload": {"preset": "mp_skip_grads"}})"));
+  EXPECT_TRUE(cfg.engine.delayed_grad_conversion);
+  EXPECT_FALSE(cfg.engine.tier_exclusive_locking);
+
+  const auto cpu = trainer_config_from_json(
+      std::string(R"({"mlp_offload": {"engine": "cpu_only"}})"));
+  EXPECT_EQ(cpu.engine.engine, "cpu_only");
+}
+
+TEST(TrainerConfigJson, UnknownPolicyNamesAreLoud) {
+  try {
+    trainer_config_from_json(std::string(
+        R"({"mlp_offload": {"placement_policy": "psychic"}})"));
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("psychic"), std::string::npos) << what;
+    EXPECT_NE(what.find("eq1_static"), std::string::npos)
+        << "error must list registered policies: " << what;
+  }
+  EXPECT_THROW(trainer_config_from_json(std::string(
+                   R"({"mlp_offload": {"update_order_policy": "random"}})")),
+               std::invalid_argument);
+  EXPECT_THROW(trainer_config_from_json(std::string(
+                   R"({"mlp_offload": {"preset": "turbo"}})")),
+               std::invalid_argument);
+  EXPECT_THROW(trainer_config_from_json(std::string(
+                   R"({"mlp_offload": {"engine": "tensornvme"}})")),
+               std::invalid_argument);
 }
 
 TEST(TrainerConfigJson, NoPfsForcesSinglePath) {
