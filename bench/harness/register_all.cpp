@@ -27,6 +27,7 @@ void register_ablation_policy_sweep(BenchRegistry&);
 void register_ablation_prefetch_depth(BenchRegistry&);
 void register_ablation_subgroup_size(BenchRegistry&);
 void register_extension_virtual_tiers(BenchRegistry&);
+void register_recovery_overhead(BenchRegistry&);
 
 void register_all_cases(BenchRegistry& registry) {
   // Idempotent per registry (not per process): a second registry gets its
@@ -53,6 +54,7 @@ void register_all_cases(BenchRegistry& registry) {
   register_ablation_prefetch_depth(registry);
   register_ablation_subgroup_size(registry);
   register_extension_virtual_tiers(registry);
+  register_recovery_overhead(registry);
 }
 
 }  // namespace mlpo::bench

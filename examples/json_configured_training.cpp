@@ -8,6 +8,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "resilience/recovery_driver.hpp"
 #include "runtime/trainer.hpp"
 
 namespace {
@@ -60,10 +61,24 @@ int main(int argc, char** argv) {
   Trainer trainer(cfg);
   trainer.initialize();
   for (const auto& r : trainer.run(3, 0)) {
-    std::printf("iter %llu: fwd %.2f s, bwd %.1f s, update %.1f s, total %.1f s\n",
+    std::printf("iter %llu: fwd %.2f s, bwd %.1f s, update %.1f s, total %.1f s",
                 static_cast<unsigned long long>(r.iteration),
                 r.forward_seconds, r.backward_seconds, r.update_seconds,
                 r.iteration_seconds());
+    if (r.recoveries > 0) {
+      std::printf("  [recovered %u node loss(es): %.1f s, %u iter(s) redone]",
+                  r.recoveries, r.recovery_seconds, r.lost_work_iterations);
+    }
+    std::printf("\n");
+  }
+  if (const RecoveryStats* stats = trainer.recovery_stats()) {
+    std::printf("\nResilience: %u checkpoint(s) (%.1f s), %u recover(ies) "
+                "(%.1f s), %u subgroup(s) restored, %llu queued request(s) "
+                "cancelled\n",
+                stats->checkpoints_taken, stats->checkpoint_seconds,
+                stats->recoveries, stats->recovery_seconds,
+                stats->restored_subgroups,
+                static_cast<unsigned long long>(stats->cancelled_requests));
   }
   return 0;
 }

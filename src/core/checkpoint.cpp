@@ -1,5 +1,8 @@
 #include "core/checkpoint.hpp"
 
+#include <algorithm>
+#include <exception>
+#include <future>
 #include <memory>
 #include <string>
 #include <vector>
@@ -12,6 +15,15 @@ namespace mlpo {
 namespace {
 
 std::string ckpt_key(const Engine& engine, u32 id) {
+  // Elastic layouts key checkpoint objects by *global* subgroup id: the
+  // decomposition is world-size independent, so a snapshot written under
+  // one node count restores under another (the sharding remap simply hands
+  // each gid to whichever rank now owns it). Classic layouts keep the
+  // per-rank keyspace.
+  const ShardLayout& layout = engine.layout();
+  if (layout.elastic()) {
+    return "ckpt/g/" + std::to_string(layout.global_id(id));
+  }
   return "ckpt/" + std::to_string(engine.rank()) + "/" + std::to_string(id);
 }
 
@@ -68,25 +80,58 @@ CheckpointReport checkpoint_prestage(Engine& engine, StorageTier& store) {
 u32 checkpoint_restore(Engine& engine, StorageTier& store) {
   IoScheduler* io = engine.io();
   u32 from_store = 0;
+  // Store reads are submitted in one pass and collected in a second, like
+  // prestage's batched writes: restore sits on the recovery hot path, and
+  // serial per-subgroup round-trips would inflate the measured recovery
+  // cost past what the scheduler can actually deliver.
+  struct PendingLoad {
+    u32 id;
+    /// Shared with the request's work closure, so the buffer outlives the
+    /// dispatch even if an exception unwinds this frame mid-submission.
+    std::shared_ptr<std::vector<u8>> buf;
+    std::future<void> done;
+  };
+  std::vector<PendingLoad> loads;
   for (u32 id = 0; id < engine.num_subgroups(); ++id) {
     const std::string key = ckpt_key(engine, id);
     if (store.exists(key)) {
-      std::vector<u8> buf(store.object_size(key));
+      // Restoring is charged like the flush that wrote the object: the
+      // subgroup's full simulated footprint (never less than the real
+      // serialized object — at elem_scale > 1 the real image understates
+      // the transfer). sim_bytes=0 here would bill the restore path zero
+      // virtual I/O time while prestage bills full bytes, making
+      // checkpoint-interval-vs-recovery-cost tradeoffs unmeasurable.
+      const u64 sim_bytes =
+          std::max<u64>(store.object_size(key),
+                        engine.layout().subgroup_sizes.at(id) *
+                            kOptimStateBytesPerParam);
+      auto buf = std::make_shared<std::vector<u8>>(store.object_size(key));
       if (io == nullptr) {
-        store.read(key, buf);
+        store.read(key, *buf, sim_bytes);
+        engine.restore_state(id, *buf);
       } else {
         IoRequest req = IoRequest::external_op(IoOp::kRead, &store, key,
-                                               /*sim_bytes=*/0,
+                                               sim_bytes,
                                                IoPriority::kCheckpoint);
-        req.dst = std::span<u8>(buf);
-        io->submit(std::move(req)).get();
+        req.work = [&store, buf, key, sim_bytes](IoChannel&) -> u64 {
+          store.read(key, *buf, sim_bytes);
+          return sim_bytes;
+        };
+        auto done = io->submit(std::move(req));
+        loads.push_back({id, std::move(buf), std::move(done)});
       }
-      engine.restore_state(id, buf);
       ++from_store;
       continue;
     }
     // Pre-staged at checkpoint time: the persistent tier copy *is* the
-    // checkpoint. It must still be there and still persistent.
+    // checkpoint. It must still be there and still persistent. Note this
+    // branch is a safety net for stores that really skipped the object
+    // (e.g. an external pre-stage-aware checkpoint service):
+    // checkpoint_prestage itself snapshots even pre-staged subgroups into
+    // the store (at ~zero simulated cost), and restore prefers that copy
+    // deliberately — the live tier copy may have been overwritten by
+    // training after the snapshot, so it is only trustworthy when the
+    // store has nothing.
     if (!engine.on_persistent_path(id)) {
       throw std::runtime_error(
           "checkpoint_restore: subgroup " + std::to_string(id) +
@@ -99,6 +144,19 @@ u32 checkpoint_restore(Engine& engine, StorageTier& store) {
     snapshot.serialize(buf);
     engine.restore_state(id, buf);
   }
+
+  // Collect the in-flight store reads; the shared buffers make an early
+  // unwind safe, but every failure is still surfaced (first error wins).
+  std::exception_ptr error;
+  for (auto& load : loads) {
+    try {
+      load.done.get();
+      if (!error) engine.restore_state(load.id, *load.buf);
+    } catch (...) {
+      if (!error) error = std::current_exception();
+    }
+  }
+  if (error) std::rethrow_exception(error);
   return from_store;
 }
 

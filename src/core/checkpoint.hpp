@@ -38,11 +38,15 @@ struct CheckpointReport {
 CheckpointReport checkpoint_prestage(Engine& engine, StorageTier& store);
 
 /// Restore the engine's optimizer state from a checkpoint taken with
-/// checkpoint_prestage. Subgroups present in `store` are loaded from it;
-/// subgroups that were pre-staged (skipped by the checkpoint) are loaded
-/// from their persistent VirtualTier path. Throws if a subgroup can be
-/// recovered from neither source. Returns the number of subgroups loaded
-/// from `store` (the rest were recovered in place).
+/// checkpoint_prestage. Subgroups present in `store` are loaded from it —
+/// each read charged its full simulated footprint, symmetric with what the
+/// flush paid; subgroups that were pre-staged (skipped by the checkpoint)
+/// are loaded from their persistent VirtualTier path. Elastic layouts
+/// address the store by global subgroup id, so the restoring engine may
+/// run under a different world size than the one that checkpointed
+/// (elastic restart). Throws if a subgroup can be recovered from neither
+/// source. Returns the number of subgroups loaded from `store` (the rest
+/// were recovered in place).
 u32 checkpoint_restore(Engine& engine, StorageTier& store);
 
 }  // namespace mlpo

@@ -30,8 +30,12 @@ CpuOnlyEngine::CpuOnlyEngine(const SimClock& clock, const GradSource& grads,
   opts_.validate();
   std::vector<u64> accum_elems;
   for (std::size_t i = 0; i < layout_.subgroup_sizes.size(); ++i) {
+    // Subgroup identity is the layout's global id (== the local index for
+    // classic layouts) so state digests compare across elastic re-shards;
+    // engine-internal indexing stays local.
     subgroups_.push_back(std::make_unique<Subgroup>(
-        static_cast<u32>(i), layout_.subgroup_sizes[i], opts_.elem_scale));
+        layout_.global_id(static_cast<u32>(i)), layout_.subgroup_sizes[i],
+        opts_.elem_scale));
     accum_elems.push_back(subgroups_.back()->real_elems());
   }
   accum_ = std::make_unique<GradAccumulator>(accum_elems);
@@ -41,8 +45,10 @@ void CpuOnlyEngine::initialize() {
   if (initialized_) throw std::logic_error("CpuOnlyEngine: double initialize");
   for (auto& sg : subgroups_) {
     // Same deterministic init scheme as every other engine so cross-engine
-    // state comparisons are meaningful.
-    Subgroup::deterministic_param_init(layout_.rank, sg->id(), sg->params());
+    // state comparisons are meaningful; elastic layouts key content on the
+    // canonical rank + global id so it survives world-size changes.
+    Subgroup::deterministic_param_init(layout_.content_rank(), sg->id(),
+                                       sg->params());
   }
   initialized_ = true;
 }
@@ -63,18 +69,18 @@ void CpuOnlyEngine::deposit_gradients_async(u64 sample_index, u32 subgroup_id,
         .get();
   }
   std::vector<u16> grads(sg.real_elems());
-  grads_->generate_fp16(layout_.rank, sg.id(), sample_index, grads);
+  grads_->generate_fp16(layout_.content_rank(), sg.id(), sample_index, grads);
   if (first_micro_step) {
-    accum_->store(sg.id(), grads);
+    accum_->store(subgroup_id, grads);
   } else {
-    accum_->accumulate(sg.id(), grads, cpu_pool_);
+    accum_->accumulate(subgroup_id, grads, cpu_pool_);
   }
 }
 
 void CpuOnlyEngine::deposit_gradients(u64 sample_index,
                                       bool first_micro_step) {
-  for (auto& sg : subgroups_) {
-    deposit_gradients_async(sample_index, sg->id(), first_micro_step, true);
+  for (u32 id = 0; id < subgroups_.size(); ++id) {
+    deposit_gradients_async(sample_index, id, first_micro_step, true);
   }
 }
 
@@ -87,11 +93,11 @@ IterationReport CpuOnlyEngine::run_update(u64 iteration) {
   report.iteration = iteration;
 
   std::vector<f32> grads_fp32;
-  for (auto& sg_ptr : subgroups_) {
-    Subgroup& sg = *sg_ptr;
+  for (u32 id = 0; id < subgroups_.size(); ++id) {
+    Subgroup& sg = *subgroups_[id];
     SimTimer kernel_timer(*clock_);
     grads_fp32.resize(sg.real_elems());
-    accum_->upscale_into(sg.id(), grads_fp32, cpu_pool_);
+    accum_->upscale_into(id, grads_fp32, cpu_pool_);
     clock_->sleep_for(opts_.convert.seconds_for_params(sg.sim_params()));
 
     sg.set_step(sg.step() + 1);

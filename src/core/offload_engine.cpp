@@ -53,8 +53,12 @@ OffloadEngine::OffloadEngine(const EngineContext& ctx,
   std::vector<u64> accum_elems;
   accum_elems.reserve(layout_.subgroup_sizes.size());
   for (std::size_t i = 0; i < layout_.subgroup_sizes.size(); ++i) {
+    // Subgroup identity is the layout's global id (== the local index for
+    // classic layouts): checkpoints and checksums stay comparable across
+    // elastic re-shards. Engine-internal indexing stays local throughout.
     subgroups_.push_back(std::make_unique<Subgroup>(
-        static_cast<u32>(i), layout_.subgroup_sizes[i], opts_.elem_scale));
+        layout_.global_id(static_cast<u32>(i)), layout_.subgroup_sizes[i],
+        opts_.elem_scale));
     accum_elems.push_back(subgroups_.back()->real_elems());
   }
   host_valid_.assign(subgroups_.size(), 0);
@@ -96,16 +100,20 @@ void OffloadEngine::poison_host_state(Subgroup& sg) {
 void OffloadEngine::initialize() {
   if (initialized_) throw std::logic_error("OffloadEngine: double initialize");
   IoBatch batch;
-  for (auto& sg_ptr : subgroups_) {
-    Subgroup& sg = *sg_ptr;
-    Subgroup::deterministic_param_init(ctx_.rank, sg.id(), sg.params());
-    const std::size_t path = placement_->path_for(sg.id());
+  for (u32 id = 0; id < num_subgroups(); ++id) {
+    Subgroup& sg = *subgroups_[id];
+    // Content is keyed on the world-size-independent identity (canonical
+    // rank + global id for elastic layouts), so elastic restarts train on
+    // bit-identical state; storage keys and policy slots stay local.
+    Subgroup::deterministic_param_init(layout_.content_rank(), sg.id(),
+                                       sg.params());
+    const std::size_t path = placement_->path_for(id);
     auto buf = std::make_shared<std::vector<u8>>(sg.serialized_bytes());
     sg.serialize(std::span<u8>(*buf));
     poison_host_state(sg);
     const u64 sim = sg.sim_state_bytes();
 
-    IoRequest req = IoRequest::tier_write(state_key(sg.id()), path, sim,
+    IoRequest req = IoRequest::tier_write(state_key(id), path, sim,
                                           IoPriority::kCheckpoint);
     req.work = [buf, sim, key = req.key](IoChannel& chan) -> u64 {
       chan.write(key, std::span<const u8>(*buf), sim);
@@ -134,7 +142,9 @@ void OffloadEngine::deposit_gradients_async(u64 sample_index, u32 subgroup_id,
     // (a) D2H transfer of the FP16 gradients produced on the GPU.
     link.transfer(sim_params * kFp16Bytes);
     std::vector<u16> grads(real_elems);
-    ctx_.grads->generate_fp16(ctx_.rank, subgroup_id, sample_index, grads);
+    ctx_.grads->generate_fp16(layout_.content_rank(),
+                              layout_.global_id(subgroup_id), sample_index,
+                              grads);
     // Accumulation fans out through the CPU pool internally; only the
     // link occupancy and per-deposit bookkeeping are serial here, which
     // matches a PCIe link's serial nature.
@@ -457,6 +467,11 @@ IterationReport OffloadEngine::run_update(u64 iteration) {
   try {
     pipeline();
   } catch (...) {
+    // Queued demand reads are abandoned before draining: they are safe to
+    // cancel (re-fetchable on retry or restore) and on a fail-stopped tier
+    // each would otherwise dispatch serially just to fail. Queued writes
+    // stay — a flush may carry the only copy of an updated subgroup.
+    ctx_.io->cancel_queued(IoPriority::kDemandPrefetch);
     drain_outstanding();
     throw;
   }

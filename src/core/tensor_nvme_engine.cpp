@@ -41,8 +41,12 @@ TensorNvmeEngine::TensorNvmeEngine(const EngineContext& ctx,
 
   std::vector<u64> accum_elems;
   for (std::size_t i = 0; i < layout_.subgroup_sizes.size(); ++i) {
+    // Subgroup identity is the layout's global id (== the local index for
+    // classic layouts) so state digests compare across elastic re-shards;
+    // engine-internal indexing stays local.
     subgroups_.push_back(std::make_unique<Subgroup>(
-        static_cast<u32>(i), layout_.subgroup_sizes[i], opts_.elem_scale));
+        layout_.global_id(static_cast<u32>(i)), layout_.subgroup_sizes[i],
+        opts_.elem_scale));
     accum_elems.push_back(subgroups_.back()->real_elems());
     staging_.emplace_back(subgroups_.back()->real_elems() * 3);
   }
@@ -91,9 +95,11 @@ void TensorNvmeEngine::initialize() {
   if (initialized_) {
     throw std::logic_error("TensorNvmeEngine: double initialize");
   }
-  for (auto& sg : subgroups_) {
-    Subgroup::deterministic_param_init(ctx_.rank, sg->id(), sg->params());
-    write_through(sg->id());
+  for (u32 id = 0; id < num_subgroups(); ++id) {
+    Subgroup& sg = *subgroups_[id];
+    Subgroup::deterministic_param_init(layout_.content_rank(), sg.id(),
+                                       sg.params());
+    write_through(id);
   }
   for (auto& off : offloaders_) off->synchronize();
   initialized_ = true;
@@ -115,7 +121,9 @@ void TensorNvmeEngine::deposit_gradients_async(u64 sample_index,
               real_elems](IoChannel& link) -> u64 {
     link.transfer(sim_params * kFp16Bytes);
     std::vector<u16> grads(real_elems);
-    ctx_.grads->generate_fp16(ctx_.rank, subgroup_id, sample_index, grads);
+    ctx_.grads->generate_fp16(layout_.content_rank(),
+                              layout_.global_id(subgroup_id), sample_index,
+                              grads);
     if (first_micro_step) {
       accum_->store(subgroup_id, grads);
     } else {

@@ -4,10 +4,13 @@
 #include <stdexcept>
 #include <string>
 
+#include "tiers/failstop_tier.hpp"
+
 namespace mlpo {
 
 void IoBatch::wait_all() {
   std::exception_ptr first_error;
+  std::exception_ptr failstop_error;
   std::string messages;
   std::size_t failures = 0;
   for (auto& fut : futures_) {
@@ -19,6 +22,9 @@ void IoBatch::wait_all() {
       if (!messages.empty()) messages += "; ";
       try {
         throw;
+      } catch (const FailStopError& e) {
+        if (!failstop_error) failstop_error = std::current_exception();
+        messages += e.what();
       } catch (const std::exception& e) {
         messages += e.what();
       } catch (...) {
@@ -27,6 +33,12 @@ void IoBatch::wait_all() {
     }
   }
   futures_.clear();
+  // A fail-stopped tier outranks the aggregate: its concrete type is what
+  // the cluster layer keys node-loss recovery on, and a whole-node loss
+  // routinely fails every operation in a batch at once — aggregating those
+  // into a plain runtime_error would turn a recoverable failure into an
+  // aborting one.
+  if (failstop_error) std::rethrow_exception(failstop_error);
   if (failures == 1) std::rethrow_exception(first_error);
   if (failures > 1) {
     throw std::runtime_error("IoBatch: " + std::to_string(failures) +

@@ -18,6 +18,9 @@ class IoBatch {
   /// (type-preserving); if several failed, throws std::runtime_error whose
   /// message aggregates every captured failure, so a multi-path error storm
   /// is not silently reduced to whichever path happened to settle first.
+  /// Exception: a FailStopError among the failures is rethrown unchanged
+  /// even in a multi-failure batch — its type is the node-loss signal the
+  /// recovery machinery classifies on.
   void wait_all();
 
  private:

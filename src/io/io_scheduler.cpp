@@ -174,6 +174,38 @@ std::future<void> IoScheduler::submit(IoRequest req) {
   return fut;
 }
 
+std::size_t IoScheduler::cancel_all_queued() {
+  return cancel_queued_matching(nullptr);
+}
+
+std::size_t IoScheduler::cancel_queued(IoPriority priority) {
+  return cancel_queued_matching(&priority);
+}
+
+std::size_t IoScheduler::cancel_queued_matching(const IoPriority* priority) {
+  std::size_t flagged = 0;
+  const auto sweep = [&](ChannelQueue& q) {
+    std::lock_guard lk(q.mutex);
+    // All classes are swept (not just the matching class index): under
+    // strict_fifo every priority shares class 0, so the filter must look
+    // at the request itself.
+    for (auto& cls : q.classes) {
+      for (auto& p : cls) {
+        if (priority != nullptr && p->req.priority != *priority) continue;
+        if (p->req.token.cancelled()) continue;
+        p->req.token.cancel();
+        ++flagged;
+      }
+    }
+  };
+  for (auto& q : queues_) sweep(*q);
+  {
+    std::lock_guard lk(external_mutex_);
+    for (auto& [tier, q] : tier_queues_) sweep(*q);
+  }
+  return flagged;
+}
+
 void IoScheduler::dispatch_loop(ChannelQueue& q) {
   for (;;) {
     std::vector<std::unique_ptr<Pending>> batch;

@@ -111,6 +111,22 @@ class IoScheduler {
   /// Block until every submitted request has settled.
   void drain();
 
+  /// Cancel every request still queued (not yet dispatched) on every
+  /// channel by cancelling its token; each drops at dispatch, failing its
+  /// future with IoCancelled. In-flight requests are untouched (a
+  /// dispatched NVMe command cannot be recalled) and requests submitted
+  /// after the call are unaffected. Returns the number of requests newly
+  /// flagged. This is the RecoveryDriver's abandon-the-dead-node's-I/O
+  /// path: a fail-stopped node's queued traffic must not serially dispatch
+  /// and fail against a dead device.
+  std::size_t cancel_all_queued();
+
+  /// Same, restricted to one priority class. The offload engine uses this
+  /// on its failure path to abandon queued demand reads (always safe to
+  /// cancel: re-fetchable) without touching queued writes, which may carry
+  /// not-yet-persisted state.
+  std::size_t cancel_queued(IoPriority priority);
+
   Stats stats() const;
   const Config& config() const { return cfg_; }
 
@@ -148,6 +164,7 @@ class IoScheduler {
 
   ChannelQueue& route(const IoRequest& req);
   ChannelQueue& external_channel_for(StorageTier* tier);
+  std::size_t cancel_queued_matching(const IoPriority* priority);
   std::size_t class_of(const IoRequest& req) const;
   static u64 effective_bytes(const IoRequest& req);
   u64 execute(IoRequest& req, IoChannel& channel);

@@ -3,13 +3,24 @@
 #include <algorithm>
 #include <exception>
 #include <mutex>
+#include <string>
 #include <thread>
+#include <utility>
+
+#include "util/logging.hpp"
 
 namespace mlpo {
 
+NodeFailure::NodeFailure(std::vector<u32> nodes)
+    : std::runtime_error([&nodes] {
+        std::string what = "NodeFailure: fail-stopped node(s)";
+        for (const u32 n : nodes) what += " " + std::to_string(n);
+        return what;
+      }()),
+      nodes_(std::move(nodes)) {}
+
 ClusterSim::ClusterSim(const SimClock& clock, const ClusterConfig& cfg)
     : clock_(&clock), cfg_(cfg) {
-  const u32 gpus = cfg_.node.testbed.gpus_per_node;
   if (cfg_.node.attach_pfs) {
     // One PFS fabric serves the whole cluster; every node funnels its
     // client channel into it. Its aggregate capacity bounds total PFS
@@ -18,12 +29,30 @@ ClusterSim::ClusterSim(const SimClock& clock, const ClusterConfig& cfg)
     pfs_ = cfg_.node.testbed.make_pfs_fabric(clock, "pfs-fabric");
   }
   for (u32 n = 0; n < cfg_.nodes; ++n) {
-    NodeConfig node_cfg = cfg_.node;
-    node_cfg.total_world = cfg_.nodes * gpus;
-    node_cfg.first_rank = static_cast<int>(n * gpus);
-    node_cfg.dp_nodes = cfg_.nodes;
-    nodes_.push_back(std::make_unique<NodeSim>(clock, node_cfg, pfs_));
+    nodes_.push_back(std::make_unique<NodeSim>(clock, node_config(n), pfs_));
   }
+}
+
+NodeConfig ClusterSim::node_config(u32 idx) const {
+  const u32 gpus = cfg_.node.testbed.gpus_per_node;
+  NodeConfig node_cfg = cfg_.node;
+  node_cfg.total_world = cfg_.nodes * gpus;
+  node_cfg.first_rank = static_cast<int>(idx * gpus);
+  node_cfg.dp_nodes = cfg_.nodes;
+  return node_cfg;
+}
+
+void ClusterSim::fail_node(u32 idx) { nodes_.at(idx)->fail_stop(); }
+
+void ClusterSim::replace_node(u32 idx) {
+  if (idx >= nodes_.size()) {
+    throw std::out_of_range("ClusterSim::replace_node: node " +
+                            std::to_string(idx) + " out of range");
+  }
+  // The old NodeSim's destructor drains its worker schedulers; everything
+  // still queued against the dead tiers settles (cancelled or failed)
+  // before the replacement comes up.
+  nodes_[idx] = std::make_unique<NodeSim>(*clock_, node_config(idx), pfs_);
 }
 
 void ClusterSim::initialize() {
@@ -58,12 +87,42 @@ IterationReport ClusterSim::run_iteration(u64 iteration) {
     });
   }
   for (auto& t : threads) t.join();
-  for (auto& e : errors) {
-    if (e) std::rethrow_exception(e);
+
+  // Classify failures: injected fail-stops become one structured
+  // NodeFailure (the RecoveryDriver's repair signal); anything else is a
+  // genuine bug and aborts the run as before.
+  std::vector<u32> failed;
+  std::vector<std::pair<u32, std::string>> genuine;  // node, what()
+  std::exception_ptr other;
+  for (std::size_t n = 0; n < errors.size(); ++n) {
+    if (!errors[n]) continue;
+    try {
+      std::rethrow_exception(errors[n]);
+    } catch (const FailStopError&) {
+      failed.push_back(static_cast<u32>(n));
+    } catch (const std::exception& e) {
+      if (!other) other = errors[n];
+      genuine.emplace_back(static_cast<u32>(n), e.what());
+    } catch (...) {
+      if (!other) other = errors[n];
+      genuine.emplace_back(static_cast<u32>(n), "<non-exception error>");
+    }
   }
+  if (!failed.empty()) {
+    // The fail-stop wins (recovery restores every node from the checkpoint
+    // anyway), but a genuine bug on an independent node must not vanish
+    // silently behind it.
+    for (const auto& [node, what] : genuine) {
+      MLPO_LOG_WARN << "ClusterSim: node " << node << " error eclipsed by a "
+                    << "concurrent fail-stop: " << what;
+    }
+    throw NodeFailure(std::move(failed));
+  }
+  if (other) std::rethrow_exception(other);
 
   // Synchronous data parallelism: the iteration ends when the slowest node
-  // finishes each phase; counters aggregate across the cluster.
+  // finishes each phase; counters — including the per-priority I/O
+  // scheduler classes — aggregate across the cluster.
   IterationReport merged;
   merged.iteration = iteration;
   for (const auto& r : reports) {
@@ -71,16 +130,7 @@ IterationReport ClusterSim::run_iteration(u64 iteration) {
     merged.backward_seconds =
         std::max(merged.backward_seconds, r.backward_seconds);
     merged.update_seconds = std::max(merged.update_seconds, r.update_seconds);
-    merged.params_updated += r.params_updated;
-    merged.sim_bytes_fetched += r.sim_bytes_fetched;
-    merged.sim_bytes_flushed += r.sim_bytes_flushed;
-    merged.fetch_seconds += r.fetch_seconds;
-    merged.flush_seconds += r.flush_seconds;
-    merged.update_compute_seconds += r.update_compute_seconds;
-    merged.host_cache_hits += r.host_cache_hits;
-    merged.subgroups_processed += r.subgroups_processed;
-    merged.traces.insert(merged.traces.end(), r.traces.begin(),
-                         r.traces.end());
+    merged.accumulate_counters(r);
   }
   return merged;
 }

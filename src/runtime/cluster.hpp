@@ -4,6 +4,7 @@
 #pragma once
 
 #include <memory>
+#include <stdexcept>
 #include <vector>
 
 #include "runtime/node.hpp"
@@ -16,6 +17,19 @@ struct ClusterConfig {
   u32 nodes = 1;
 };
 
+/// Thrown by ClusterSim::run_iteration when one or more nodes fail-stopped
+/// mid-iteration (their FailStopTiers latched dead). Distinct from ordinary
+/// exceptions so the RecoveryDriver can repair node losses while genuine
+/// bugs still abort the run.
+class NodeFailure : public std::runtime_error {
+ public:
+  explicit NodeFailure(std::vector<u32> nodes);
+  const std::vector<u32>& nodes() const { return nodes_; }
+
+ private:
+  std::vector<u32> nodes_;
+};
+
 class ClusterSim {
  public:
   ClusterSim(const SimClock& clock, const ClusterConfig& cfg);
@@ -23,7 +37,10 @@ class ClusterSim {
   void initialize();
 
   /// One synchronous data-parallel iteration across all nodes. The report
-  /// takes phase walls from the slowest node and sums the counters.
+  /// takes phase walls from the slowest node and sums the counters
+  /// (including the per-priority I/O scheduler classes). Throws
+  /// NodeFailure when a node's fail-stop wrapper killed it mid-iteration;
+  /// any other node error is rethrown as-is.
   IterationReport run_iteration(u64 iteration);
 
   std::vector<IterationReport> run(u32 iterations, u32 warmup);
@@ -32,7 +49,20 @@ class ClusterSim {
   NodeSim& node(u32 i) { return *nodes_.at(i); }
   StorageTier* shared_pfs() { return pfs_.get(); }
 
+  /// Fail-stop node `idx` (all of its wrapped paths die). Requires the
+  /// cluster to be built with NodeConfig::wrap_failstop.
+  void fail_node(u32 idx);
+
+  /// Tear down node `idx` and build a replacement in its place: fresh
+  /// tiers (the node-local NVMe content is lost, as on real hardware),
+  /// fresh workers/engines, same ranks. The replacement is uninitialized —
+  /// the caller (RecoveryDriver) initializes and then restores it from the
+  /// last checkpoint.
+  void replace_node(u32 idx);
+
  private:
+  NodeConfig node_config(u32 idx) const;
+
   const SimClock* clock_;
   ClusterConfig cfg_;
   std::shared_ptr<StorageTier> pfs_;

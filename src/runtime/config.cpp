@@ -94,6 +94,20 @@ TrainerConfig trainer_config_from_json(const json::Value& doc) {
     cfg.engine = engine_from_json(doc.at("mlp_offload"));
   }
   if (!cfg.attach_pfs) cfg.engine.multipath = false;
+  if (doc.contains("resilience")) {
+    cfg.resilience = resilience_config_from_json(doc.at("resilience"));
+    // Same parse-time strictness as the policy names: a re-sharding
+    // restart without elastic sharding would fail deep inside recovery.
+    // Only enforced when the section is live — "enabled": false keeps the
+    // rest of the section inert (the A/B-baseline toggle).
+    if (cfg.resilience.enabled && cfg.resilience.restart_nodes != 0 &&
+        cfg.resilience.restart_nodes != cfg.nodes &&
+        !cfg.resilience.elastic_sharding) {
+      throw std::invalid_argument(
+          "config: resilience.restart_nodes != nodes requires "
+          "resilience.elastic_sharding");
+    }
+  }
   return cfg;
 }
 

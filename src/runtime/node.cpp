@@ -11,6 +11,30 @@
 
 namespace mlpo {
 
+namespace {
+
+/// Pick the error to surface from a set of parallel worker failures. A
+/// FailStopError is the signature of an injected node loss; prefer it over
+/// any secondary error it may have caused in sibling workers, so the
+/// cluster layer classifies the node as failed rather than buggy.
+std::exception_ptr preferred_error(
+    const std::vector<std::exception_ptr>& errors) {
+  std::exception_ptr fallback;
+  for (const auto& e : errors) {
+    if (!e) continue;
+    if (!fallback) fallback = e;
+    try {
+      std::rethrow_exception(e);
+    } catch (const FailStopError&) {
+      return e;
+    } catch (...) {
+    }
+  }
+  return fallback;
+}
+
+}  // namespace
+
 u64 host_cache_budget_bytes(const TestbedSpec& testbed, u64 model_params) {
   // ZeRO-3 runtime structures (parameter partitions, all-reduce buckets,
   // communication staging — paper cites 250-350 GB) plus the FP16
@@ -32,13 +56,25 @@ NodeSim::NodeSim(const SimClock& clock, const NodeConfig& cfg,
     throw std::invalid_argument("NodeSim: total_world not a multiple of node size");
   }
 
-  nvme_ = cfg_.testbed.make_nvme_tier(clock, "nvme");
+  // With wrap_failstop each path goes behind a FailStopTier so the
+  // FailureInjector can take down the node (or one device) mid-run.
+  const auto wrap = [&](std::shared_ptr<StorageTier> tier)
+      -> std::shared_ptr<StorageTier> {
+    if (!cfg_.wrap_failstop) return tier;
+    auto failstop = std::make_shared<FailStopTier>(
+        tier->name() + "+failstop", std::move(tier), clock);
+    failstops_.push_back(failstop);
+    return failstop;
+  };
+  nvme_ = wrap(cfg_.testbed.make_nvme_tier(clock, "nvme"));
   vtier_ = std::make_unique<VirtualTier>();
   vtier_->add_path(nvme_);
   if (cfg_.attach_pfs) {
     // `pfs` is the cluster-shared fabric (aggregate capacity); each node
-    // accesses it through its own NIC-limited client channel.
-    pfs_ = cfg_.testbed.make_pfs_tier(clock, "pfs", std::move(pfs));
+    // accesses it through its own NIC-limited client channel. Only the
+    // client channel is fail-stop-wrapped: a node loss severs the node's
+    // access, the shared fabric itself survives.
+    pfs_ = wrap(cfg_.testbed.make_pfs_tier(clock, "pfs", std::move(pfs)));
     vtier_->add_path(pfs_);
   }
 
@@ -84,8 +120,11 @@ NodeSim::NodeSim(const SimClock& clock, const NodeConfig& cfg,
 
   for (u32 w = 0; w < gpus; ++w) {
     const int rank = cfg_.first_rank + static_cast<int>(w);
-    const ShardLayout layout = make_shard_layout(
-        cfg_.model.parameters(), world, rank, cfg_.subgroup_params);
+    const ShardLayout layout = cfg_.elastic_sharding
+        ? make_elastic_shard_layout(cfg_.model.parameters(), world, rank,
+                                    cfg_.subgroup_params)
+        : make_shard_layout(cfg_.model.parameters(), world, rank,
+                            cfg_.subgroup_params);
     workers_.push_back(std::make_unique<Worker>(
         clock, *vtier_, cpu_pool_.get(), *grads_, cfg_.testbed,
         static_cast<int>(w), rank, opts, layout));
@@ -121,20 +160,18 @@ NodeSim::NodeSim(const SimClock& clock, const NodeConfig& cfg,
 void NodeSim::initialize() {
   // Initial distribution runs in parallel across workers (one-off setup).
   std::vector<std::thread> threads;
-  std::exception_ptr error;
-  std::mutex error_mutex;
-  for (auto& w : workers_) {
-    threads.emplace_back([&w, &error, &error_mutex] {
+  std::vector<std::exception_ptr> errors(workers_.size());
+  for (std::size_t w = 0; w < workers_.size(); ++w) {
+    threads.emplace_back([this, w, &errors] {
       try {
-        w->initialize();
+        workers_[w]->initialize();
       } catch (...) {
-        std::lock_guard lock(error_mutex);
-        if (!error) error = std::current_exception();
+        errors[w] = std::current_exception();
       }
     });
   }
   for (auto& t : threads) t.join();
-  if (error) std::rethrow_exception(error);
+  if (auto error = preferred_error(errors)) std::rethrow_exception(error);
 }
 
 IterationReport NodeSim::run_iteration(u64 iteration) {
@@ -189,9 +226,7 @@ IterationReport NodeSim::run_iteration(u64 iteration) {
   const f64 t_update = clock_->now();
   sync.arrive_and_wait();
   for (auto& t : threads) t.join();
-  for (auto& e : errors) {
-    if (e) std::rethrow_exception(e);
-  }
+  if (auto error = preferred_error(errors)) std::rethrow_exception(error);
 
   // Merge: phase walls from the barrier clock; forward attributed
   // analytically (fwd and bwd interleave across micro-steps).
@@ -201,18 +236,7 @@ IterationReport NodeSim::run_iteration(u64 iteration) {
   report.backward_seconds =
       std::max(0.0, (t_fb - t_start) - report.forward_seconds);
   report.update_seconds = t_update - t_fb;
-  for (const auto& r : update_reports) {
-    report.params_updated += r.params_updated;
-    report.sim_bytes_fetched += r.sim_bytes_fetched;
-    report.sim_bytes_flushed += r.sim_bytes_flushed;
-    report.fetch_seconds += r.fetch_seconds;
-    report.flush_seconds += r.flush_seconds;
-    report.update_compute_seconds += r.update_compute_seconds;
-    report.host_cache_hits += r.host_cache_hits;
-    report.subgroups_processed += r.subgroups_processed;
-    report.traces.insert(report.traces.end(), r.traces.begin(),
-                         r.traces.end());
-  }
+  for (const auto& r : update_reports) report.accumulate_counters(r);
   ++iterations_run_;
   return report;
 }
@@ -224,6 +248,43 @@ std::vector<IterationReport> NodeSim::run(u32 iterations, u32 warmup) {
     if (i >= warmup) kept.push_back(std::move(r));
   }
   return kept;
+}
+
+void NodeSim::fail_stop() {
+  if (failstops_.empty()) {
+    throw std::logic_error(
+        "NodeSim::fail_stop: node built without wrap_failstop; enable it in "
+        "NodeConfig (or the resilience JSON section) to inject failures");
+  }
+  for (auto& f : failstops_) f->kill();
+}
+
+void NodeSim::arm_fail_stop(std::size_t path, f64 kill_at_vtime) {
+  if (failstops_.empty()) {
+    throw std::logic_error(
+        "NodeSim::arm_fail_stop: node built without wrap_failstop; enable "
+        "it in NodeConfig (or the resilience JSON section) to inject "
+        "failures");
+  }
+  if (path == npos) {
+    for (auto& f : failstops_) f->arm(kill_at_vtime);
+    return;
+  }
+  if (path >= failstops_.size()) {
+    throw std::out_of_range("NodeSim::arm_fail_stop: path " +
+                            std::to_string(path) + " out of range");
+  }
+  failstops_[path]->arm(kill_at_vtime);
+}
+
+FailStopTier* NodeSim::failstop(std::size_t idx) {
+  return idx < failstops_.size() ? failstops_[idx].get() : nullptr;
+}
+
+u64 NodeSim::cancel_queued_io() {
+  u64 cancelled = 0;
+  for (auto& w : workers_) cancelled += w->io().cancel_all_queued();
+  return cancelled;
 }
 
 Engine::Distribution NodeSim::node_distribution() const {

@@ -13,6 +13,7 @@
 #include "runtime/testbed.hpp"
 #include "runtime/worker.hpp"
 #include "telemetry/iteration_report.hpp"
+#include "tiers/failstop_tier.hpp"
 #include "train/model_config.hpp"
 
 namespace mlpo {
@@ -44,6 +45,16 @@ struct NodeConfig {
   /// Attach the PFS path to the virtual tier (the engine additionally needs
   /// engine_opts.multipath to place subgroups there).
   bool attach_pfs = true;
+
+  /// Wrap every storage path in a FailStopTier so the FailureInjector can
+  /// fail-stop this node (or one of its paths) deterministically. Off by
+  /// default: happy-path scenarios pay no wrapper indirection.
+  bool wrap_failstop = false;
+
+  /// Shard via make_elastic_shard_layout (world-size-independent global
+  /// subgroups): required for elastic restart, where a checkpoint taken
+  /// under one node count resumes under another.
+  bool elastic_sharding = false;
 };
 
 /// Host-memory budget model: free bytes available for caching subgroups
@@ -76,6 +87,23 @@ class NodeSim {
   VirtualTier& vtier() { return *vtier_; }
   const NodeConfig& config() const { return cfg_; }
 
+  /// Fail-stop this node: every wrapped storage path dies at once (the
+  /// whole-node loss the RecoveryDriver repairs). Requires
+  /// NodeConfig::wrap_failstop.
+  void fail_stop();
+
+  /// Arm a deterministic SimClock-driven fail-stop of one path (or, with
+  /// path == npos, of the whole node) at virtual time `kill_at_vtime`.
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+  void arm_fail_stop(std::size_t path, f64 kill_at_vtime);
+
+  /// The fail-stop wrapper of path `idx`, or nullptr when not wrapped.
+  FailStopTier* failstop(std::size_t idx);
+
+  /// Cancel every request still queued on this node's worker schedulers
+  /// (see IoScheduler::cancel_all_queued). Returns how many were flagged.
+  u64 cancel_queued_io();
+
   /// Node-wide optimizer-state distribution (Fig. 10): host + per path.
   Engine::Distribution node_distribution() const;
 
@@ -88,6 +116,8 @@ class NodeSim {
   NodeConfig cfg_;
   std::shared_ptr<StorageTier> nvme_;
   std::shared_ptr<StorageTier> pfs_;
+  /// Parallel to the vtier paths; empty unless cfg_.wrap_failstop.
+  std::vector<std::shared_ptr<FailStopTier>> failstops_;
   std::unique_ptr<VirtualTier> vtier_;
   std::unique_ptr<ThreadPool> cpu_pool_;
   std::unique_ptr<GradSource> grads_;

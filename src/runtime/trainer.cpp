@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "resilience/recovery_driver.hpp"
+
 namespace mlpo {
 
 Trainer::Trainer(const TrainerConfig& cfg) : cfg_(cfg) {
@@ -18,23 +20,62 @@ Trainer::Trainer(const TrainerConfig& cfg) : cfg_(cfg) {
   node.accum_steps = cfg_.accum_steps;
   node.attach_pfs = cfg_.attach_pfs;
   node.host_cache_override = cfg_.host_cache_override;
+  node.wrap_failstop = cfg_.resilience.enabled;
+  node.elastic_sharding =
+      cfg_.resilience.enabled && cfg_.resilience.elastic_sharding;
 
   ClusterConfig cluster;
   cluster.node = node;
   cluster.nodes = cfg_.nodes;
-  cluster_ = std::make_unique<ClusterSim>(*clock_, cluster);
+  if (cfg_.resilience.enabled) {
+    RecoveryOptions opts;
+    opts.checkpoint_interval = cfg_.resilience.checkpoint_interval;
+    opts.restart_nodes = cfg_.resilience.restart_nodes;
+    opts.max_recoveries = cfg_.resilience.max_recoveries;
+    // The store stands in for a DataStates-style checkpoint service backed
+    // by the PFS: transfers charge PFS-fabric virtual time, so checkpoint
+    // and restore costs are accounted like any other tier traffic. The
+    // driver keeps it alive.
+    driver_ = std::make_unique<RecoveryDriver>(
+        *clock_, cluster, cfg_.testbed.make_pfs_fabric(*clock_, "ckpt-store"),
+        opts, FailureInjector(cfg_.resilience.failures));
+  } else {
+    cluster_ = std::make_unique<ClusterSim>(*clock_, cluster);
+  }
 }
 
-void Trainer::initialize() { cluster_->initialize(); }
+Trainer::~Trainer() = default;
+
+ClusterSim& Trainer::cluster_ref() const {
+  // unique_ptr constness is shallow, so the one dispatch site serves the
+  // const callers (distribution) and the public accessor alike.
+  return driver_ ? driver_->cluster() : *cluster_;
+}
+
+ClusterSim& Trainer::cluster() { return cluster_ref(); }
+
+void Trainer::initialize() {
+  if (driver_) {
+    driver_->initialize();
+  } else {
+    cluster_->initialize();
+  }
+}
 
 std::vector<IterationReport> Trainer::run(u32 iterations, u32 warmup) {
+  if (driver_) return driver_->run(iterations, warmup);
   return cluster_->run(iterations, warmup);
+}
+
+const RecoveryStats* Trainer::recovery_stats() const {
+  return driver_ ? &driver_->stats() : nullptr;
 }
 
 Engine::Distribution Trainer::distribution() const {
   Engine::Distribution total;
-  for (u32 n = 0; n < cluster_->node_count(); ++n) {
-    const auto d = cluster_->node(n).node_distribution();
+  ClusterSim& cluster = cluster_ref();
+  for (u32 n = 0; n < cluster.node_count(); ++n) {
+    const auto d = cluster.node(n).node_distribution();
     if (total.path_sim_bytes.size() < d.path_sim_bytes.size()) {
       total.path_sim_bytes.resize(d.path_sim_bytes.size(), 0);
     }

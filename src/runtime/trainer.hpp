@@ -8,10 +8,14 @@
 #include <string>
 #include <vector>
 
+#include "resilience/failure_injector.hpp"
 #include "runtime/cluster.hpp"
 #include "util/json.hpp"
 
 namespace mlpo {
+
+class RecoveryDriver;
+struct RecoveryStats;
 
 struct TrainerConfig {
   ModelConfig model = paper_model("40B");
@@ -30,11 +34,19 @@ struct TrainerConfig {
   /// Attach the PFS path (required for multipath engines).
   bool attach_pfs = true;
   u32 host_cache_override = 0;
+
+  /// Failure injection + elastic checkpoint-restart (src/resilience/).
+  /// With resilience.enabled the trainer runs through a RecoveryDriver:
+  /// tiers get fail-stop wrappers, checkpoints are taken every
+  /// resilience.checkpoint_interval iterations into an internal store, and
+  /// injected node losses are repaired instead of aborting the run.
+  ResilienceConfig resilience;
 };
 
 class Trainer {
  public:
   explicit Trainer(const TrainerConfig& cfg);
+  ~Trainer();
 
   /// Distribute the optimizer state; must precede run().
   void initialize();
@@ -43,16 +55,25 @@ class Trainer {
   std::vector<IterationReport> run(u32 iterations, u32 warmup = 0);
 
   const SimClock& clock() const { return *clock_; }
-  ClusterSim& cluster() { return *cluster_; }
+  /// The current cluster. With resilience enabled, an elastic restart
+  /// REPLACES the underlying object mid-run — re-fetch the reference after
+  /// run() instead of holding it across one.
+  ClusterSim& cluster();
   const TrainerConfig& config() const { return cfg_; }
 
   /// Cluster-wide optimizer-state distribution (Fig. 10).
   Engine::Distribution distribution() const;
 
+  /// Recovery statistics (resilience.enabled runs only, else nullptr).
+  const RecoveryStats* recovery_stats() const;
+
  private:
+  ClusterSim& cluster_ref() const;
+
   TrainerConfig cfg_;
   std::unique_ptr<SimClock> clock_;
-  std::unique_ptr<ClusterSim> cluster_;
+  std::unique_ptr<ClusterSim> cluster_;     ///< happy-path runs
+  std::unique_ptr<RecoveryDriver> driver_;  ///< resilience runs (owns store)
 };
 
 /// Parse a TrainerConfig from a DeepSpeed-style JSON document. Recognised

@@ -18,6 +18,32 @@ f64 IterationReport::effective_io_throughput() const {
   return counted > 0 ? total_thru / counted : 0;
 }
 
+void IterationReport::accumulate_counters(const IterationReport& r) {
+  params_updated += r.params_updated;
+  sim_bytes_fetched += r.sim_bytes_fetched;
+  sim_bytes_flushed += r.sim_bytes_flushed;
+  fetch_seconds += r.fetch_seconds;
+  flush_seconds += r.flush_seconds;
+  update_compute_seconds += r.update_compute_seconds;
+  host_cache_hits += r.host_cache_hits;
+  subgroups_processed += r.subgroups_processed;
+  for (std::size_t c = 0; c < kIoPriorityCount; ++c) {
+    io_classes[c].requests += r.io_classes[c].requests;
+    io_classes[c].cancelled += r.io_classes[c].cancelled;
+    io_classes[c].sim_bytes += r.io_classes[c].sim_bytes;
+    io_classes[c].queue_wait_seconds += r.io_classes[c].queue_wait_seconds;
+    io_classes[c].service_seconds += r.io_classes[c].service_seconds;
+  }
+  io_coalesced_batches += r.io_coalesced_batches;
+  io_max_queue_depth = std::max(io_max_queue_depth, r.io_max_queue_depth);
+  recoveries += r.recoveries;
+  recovery_seconds += r.recovery_seconds;
+  lost_work_iterations += r.lost_work_iterations;
+  io_cancelled_on_failure += r.io_cancelled_on_failure;
+  // Traces concatenate: per-subgroup distributions remain inspectable.
+  traces.insert(traces.end(), r.traces.begin(), r.traces.end());
+}
+
 IterationReport average_reports(const std::vector<IterationReport>& reports) {
   if (reports.empty()) {
     throw std::invalid_argument("average_reports: no reports");
@@ -28,26 +54,7 @@ IterationReport average_reports(const std::vector<IterationReport>& reports) {
     avg.forward_seconds += r.forward_seconds;
     avg.backward_seconds += r.backward_seconds;
     avg.update_seconds += r.update_seconds;
-    avg.params_updated += r.params_updated;
-    avg.sim_bytes_fetched += r.sim_bytes_fetched;
-    avg.sim_bytes_flushed += r.sim_bytes_flushed;
-    avg.fetch_seconds += r.fetch_seconds;
-    avg.flush_seconds += r.flush_seconds;
-    avg.update_compute_seconds += r.update_compute_seconds;
-    avg.host_cache_hits += r.host_cache_hits;
-    avg.subgroups_processed += r.subgroups_processed;
-    for (std::size_t c = 0; c < kIoPriorityCount; ++c) {
-      avg.io_classes[c].requests += r.io_classes[c].requests;
-      avg.io_classes[c].cancelled += r.io_classes[c].cancelled;
-      avg.io_classes[c].sim_bytes += r.io_classes[c].sim_bytes;
-      avg.io_classes[c].queue_wait_seconds += r.io_classes[c].queue_wait_seconds;
-      avg.io_classes[c].service_seconds += r.io_classes[c].service_seconds;
-    }
-    avg.io_coalesced_batches += r.io_coalesced_batches;
-    avg.io_max_queue_depth = std::max(avg.io_max_queue_depth,
-                                      r.io_max_queue_depth);
-    // Traces concatenate: per-subgroup distributions remain inspectable.
-    avg.traces.insert(avg.traces.end(), r.traces.begin(), r.traces.end());
+    avg.accumulate_counters(r);
   }
   avg.forward_seconds /= n;
   avg.backward_seconds /= n;
@@ -73,6 +80,9 @@ IterationReport average_reports(const std::vector<IterationReport>& reports) {
   }
   avg.io_coalesced_batches =
       static_cast<u64>(static_cast<f64>(avg.io_coalesced_batches) / n);
+  // Recovery counters stay *totals* across the averaged window: recoveries
+  // are rare discrete events, and "0.33 recoveries per iteration" would
+  // round to zero and hide them.
   return avg;
 }
 

@@ -64,7 +64,24 @@ struct IterationReport {
   std::array<IoClassCounters, kIoPriorityCount> io_classes{};
   u64 io_coalesced_batches = 0;  ///< small-transfer batches merged
   u64 io_max_queue_depth = 0;    ///< channel-queue high-water mark so far
+
+  // Resilience counters (set by the RecoveryDriver on the first iteration
+  // after a recovery; zero on failure-free iterations).
+  u32 recoveries = 0;            ///< recoveries charged to this iteration
+  f64 recovery_seconds = 0;      ///< virtual time spent recovering before it
+  u32 lost_work_iterations = 0;  ///< completed iterations rolled back/redone
+  u64 io_cancelled_on_failure = 0;  ///< queued requests dropped at node loss
+
   std::vector<SubgroupTrace> traces;
+
+  /// Fold another report's additive counters (and traces) into this one.
+  /// This is the single merge used by the node- and cluster-level report
+  /// merges and by average_reports, so no aggregation level can silently
+  /// drop a counter again (the bug that zeroed the per-priority I/O
+  /// telemetry at cluster scope). Phase walls are *not* touched — each
+  /// aggregation level combines those per its own semantics (max across
+  /// parallel workers/nodes, mean across iterations).
+  void accumulate_counters(const IterationReport& r);
 
   f64 iteration_seconds() const {
     return forward_seconds + backward_seconds + update_seconds;

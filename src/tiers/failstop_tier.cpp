@@ -1,0 +1,69 @@
+#include "tiers/failstop_tier.hpp"
+
+#include <stdexcept>
+
+namespace mlpo {
+
+FailStopTier::FailStopTier(std::string name,
+                           std::shared_ptr<StorageTier> backend,
+                           const SimClock& clock)
+    : name_(std::move(name)), backend_(std::move(backend)), clock_(&clock) {
+  if (backend_ == nullptr) {
+    throw std::invalid_argument("FailStopTier: backend is required");
+  }
+}
+
+void FailStopTier::revive() {
+  arm_at_.store(-1.0, std::memory_order_release);
+  dead_.store(false, std::memory_order_release);
+}
+
+bool FailStopTier::dead() const {
+  if (dead_.load(std::memory_order_acquire)) return true;
+  const f64 arm_at = arm_at_.load(std::memory_order_acquire);
+  if (arm_at >= 0 && clock_->now() >= arm_at) {
+    dead_.store(true, std::memory_order_release);  // latch
+    return true;
+  }
+  return false;
+}
+
+void FailStopTier::check_alive() const {
+  if (dead()) {
+    throw FailStopError("FailStopTier: tier '" + name_ + "' has fail-stopped");
+  }
+}
+
+void FailStopTier::write(const std::string& key, std::span<const u8> data,
+                         u64 sim_bytes) {
+  check_alive();
+  backend_->write(key, data, sim_bytes);
+}
+
+void FailStopTier::read(const std::string& key, std::span<u8> out,
+                        u64 sim_bytes) {
+  check_alive();
+  backend_->read(key, out, sim_bytes);
+}
+
+bool FailStopTier::exists(const std::string& key) const {
+  check_alive();
+  return backend_->exists(key);
+}
+
+u64 FailStopTier::object_size(const std::string& key) const {
+  check_alive();
+  return backend_->object_size(key);
+}
+
+void FailStopTier::erase(const std::string& key) {
+  check_alive();
+  backend_->erase(key);
+}
+
+void FailStopTier::peek(const std::string& key, std::span<u8> out) {
+  check_alive();
+  backend_->peek(key, out);
+}
+
+}  // namespace mlpo

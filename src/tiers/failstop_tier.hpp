@@ -1,0 +1,82 @@
+// Fail-stop wrapper tier — the storage face of an injected node or device
+// loss.
+//
+// Wraps any StorageTier and forwards every operation until the tier is
+// killed, either explicitly (kill()) or by a deterministic SimClock
+// deadline (arm()): once the virtual clock passes the armed time the next
+// operation latches the tier dead and every subsequent access throws
+// FailStopError. The latch makes virtual-time schedules reproducible — a
+// device does not flicker back to life because a later request raced the
+// clock. The FailureInjector arms/kills these wrappers; ClusterSim
+// classifies FailStopError escaping a node as a NodeFailure so the
+// RecoveryDriver can distinguish injected fail-stops from genuine bugs.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <stdexcept>
+
+#include "tiers/storage_tier.hpp"
+#include "util/sim_clock.hpp"
+
+namespace mlpo {
+
+/// Thrown by every operation on a fail-stopped tier.
+class FailStopError : public std::runtime_error {
+ public:
+  explicit FailStopError(const std::string& what) : std::runtime_error(what) {}
+};
+
+class FailStopTier final : public StorageTier {
+ public:
+  FailStopTier(std::string name, std::shared_ptr<StorageTier> backend,
+               const SimClock& clock);
+
+  /// Fail-stop the tier immediately (the injector's iteration-driven kill).
+  void kill() { dead_.store(true, std::memory_order_release); }
+
+  /// Deterministic SimClock-driven fail-stop: the first operation at or
+  /// after `kill_at_vtime` latches the tier dead. Arming twice keeps the
+  /// EARLIEST pending deadline — overlapping schedules (a path event and a
+  /// whole-node event on the same hardware) must not postpone each other.
+  void arm(f64 kill_at_vtime) {
+    f64 current = arm_at_.load(std::memory_order_acquire);
+    while ((current < 0 || kill_at_vtime < current) &&
+           !arm_at_.compare_exchange_weak(current, kill_at_vtime,
+                                          std::memory_order_acq_rel)) {
+    }
+  }
+
+  /// Bring replacement hardware online (tests; replacement nodes normally
+  /// get fresh wrappers).
+  void revive();
+
+  /// True once the tier has fail-stopped (latches armed deadlines).
+  bool dead() const;
+
+  StorageTier& backend() { return *backend_; }
+
+  const std::string& name() const override { return name_; }
+  void write(const std::string& key, std::span<const u8> data,
+             u64 sim_bytes) override;
+  void read(const std::string& key, std::span<u8> out,
+            u64 sim_bytes) override;
+  bool exists(const std::string& key) const override;
+  u64 object_size(const std::string& key) const override;
+  void erase(const std::string& key) override;
+  void peek(const std::string& key, std::span<u8> out) override;
+  f64 read_bandwidth() const override { return backend_->read_bandwidth(); }
+  f64 write_bandwidth() const override { return backend_->write_bandwidth(); }
+  bool persistent() const override { return backend_->persistent(); }
+
+ private:
+  void check_alive() const;
+
+  std::string name_;
+  std::shared_ptr<StorageTier> backend_;
+  const SimClock* clock_;
+  mutable std::atomic<bool> dead_{false};
+  std::atomic<f64> arm_at_{-1.0};  ///< < 0 means unarmed
+};
+
+}  // namespace mlpo

@@ -1,5 +1,6 @@
 #include "train/sharding.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace mlpo {
@@ -37,6 +38,63 @@ ShardLayout make_shard_layout(const ModelConfig& model, u32 world_size,
                               int rank, u64 subgroup_params) {
   return make_shard_layout(model.parameters(), world_size, rank,
                            subgroup_params);
+}
+
+ShardLayout make_elastic_shard_layout(u64 total_params, u32 world_size,
+                                      int rank, u64 subgroup_params) {
+  if (world_size == 0) throw std::invalid_argument("sharding: world_size == 0");
+  if (rank < 0 || static_cast<u32>(rank) >= world_size) {
+    throw std::invalid_argument("sharding: rank out of range");
+  }
+  if (subgroup_params == 0) {
+    throw std::invalid_argument("sharding: subgroup_params == 0");
+  }
+  if (total_params == 0) {
+    throw std::invalid_argument("sharding: total_params == 0");
+  }
+
+  // World-size-independent global decomposition.
+  const u64 groups = (total_params + subgroup_params - 1) / subgroup_params;
+  if (groups < world_size) {
+    throw std::invalid_argument(
+        "sharding: elastic layout needs at least one global subgroup per "
+        "rank (" +
+        std::to_string(groups) + " subgroups < world_size " +
+        std::to_string(world_size) + "); lower subgroup_params");
+  }
+
+  ShardLayout layout;
+  layout.total_params = total_params;
+  layout.world_size = world_size;
+  layout.rank = rank;
+  layout.subgroup_params = subgroup_params;
+
+  // Contiguous gid blocks, first (groups % world_size) ranks get one extra.
+  const u64 base = groups / world_size;
+  const u64 rem = groups % world_size;
+  const u64 r = static_cast<u64>(rank);
+  const u64 owned = base + (r < rem ? 1 : 0);
+  const u64 first = r * base + std::min(r, rem);
+
+  layout.shard_params = 0;
+  layout.subgroup_sizes.reserve(owned);
+  layout.subgroup_gids.reserve(owned);
+  for (u64 g = first; g < first + owned; ++g) {
+    const u64 size = g + 1 == groups
+        ? total_params - g * subgroup_params
+        : subgroup_params;
+    layout.subgroup_sizes.push_back(size);
+    layout.subgroup_gids.push_back(static_cast<u32>(g));
+    layout.shard_params += size;
+  }
+  return layout;
+}
+
+ShardLayout make_elastic_shard_layout(const ModelConfig& model,
+                                      u32 world_size, int rank,
+                                      u64 subgroup_params) {
+  return make_elastic_shard_layout(model.parameters(), world_size, rank,
+                                   subgroup_params);
 }
 
 }  // namespace mlpo

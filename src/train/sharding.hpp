@@ -20,7 +20,29 @@ struct ShardLayout {
   u64 subgroup_params;     ///< nominal parameters per subgroup
   std::vector<u64> subgroup_sizes;  ///< per-subgroup parameter counts
 
+  /// Elastic layouts only: the *global* subgroup id behind each local
+  /// index. The model is decomposed into world-size-independent global
+  /// subgroups first and ownership is remapped onto ranks second, so a
+  /// checkpoint written under one world size can be restored under another
+  /// (elastic restart). Empty for classic per-rank layouts.
+  std::vector<u32> subgroup_gids;
+
   u32 num_subgroups() const { return static_cast<u32>(subgroup_sizes.size()); }
+
+  bool elastic() const { return !subgroup_gids.empty(); }
+
+  /// World-size-independent identity of local subgroup `local`: its global
+  /// id for elastic layouts, the local id itself otherwise.
+  u32 global_id(u32 local) const {
+    return elastic() ? subgroup_gids.at(local) : local;
+  }
+
+  /// Rank used for deterministic content generation (parameter init,
+  /// synthetic gradients). Elastic layouts key content on the global
+  /// subgroup id alone (canonical rank 0) so the training state is
+  /// bit-identical across node counts; classic layouts key on the real
+  /// rank, as the per-rank equivalence tests expect.
+  int content_rank() const { return elastic() ? 0 : rank; }
 };
 
 inline constexpr u64 kDefaultSubgroupParams = 100'000'000ull;
@@ -37,5 +59,20 @@ ShardLayout make_shard_layout(const ModelConfig& model, u32 world_size,
 /// constructing full model configs).
 ShardLayout make_shard_layout(u64 total_params, u32 world_size, int rank,
                               u64 subgroup_params = kDefaultSubgroupParams);
+
+/// Elastic variant: decompose `total_params` into global subgroups of
+/// `subgroup_params` (last takes the remainder) *independently of the world
+/// size*, then assign contiguous gid blocks to ranks as evenly as possible
+/// (the first G % W ranks own one extra subgroup). Because the subgroup
+/// boundaries never move, a checkpoint keyed by gid restores under any
+/// world size — the remap that backs elastic restart. Throws if the world
+/// is larger than the global subgroup count (a rank would own nothing).
+ShardLayout make_elastic_shard_layout(
+    u64 total_params, u32 world_size, int rank,
+    u64 subgroup_params = kDefaultSubgroupParams);
+
+ShardLayout make_elastic_shard_layout(
+    const ModelConfig& model, u32 world_size, int rank,
+    u64 subgroup_params = kDefaultSubgroupParams);
 
 }  // namespace mlpo

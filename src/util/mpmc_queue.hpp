@@ -8,6 +8,7 @@
 #include <deque>
 #include <mutex>
 #include <optional>
+#include <stdexcept>
 
 #include "util/common.hpp"
 
@@ -16,7 +17,15 @@ namespace mlpo {
 template <typename T>
 class MpmcQueue {
  public:
-  explicit MpmcQueue(std::size_t capacity) : capacity_(capacity) {}
+  /// @param capacity bound on queued items; must be > 0 — a zero-capacity
+  ///        queue can never accept a push and would deadlock every producer.
+  explicit MpmcQueue(std::size_t capacity) : capacity_(capacity) {
+    if (capacity == 0) {
+      throw std::invalid_argument(
+          "MpmcQueue: capacity must be > 0 (a zero-capacity queue blocks "
+          "every push forever)");
+    }
+  }
 
   /// Blocks while the queue is full. Returns false if the queue was closed.
   bool push(T item) {

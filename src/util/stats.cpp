@@ -56,13 +56,25 @@ f64 percentile(std::vector<f64> samples, f64 q) {
   return samples[lo] * (1.0 - frac) + samples[hi] * frac;
 }
 
-Histogram::Histogram(f64 lo, f64 hi, std::size_t buckets)
-    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<f64>(buckets)),
-      counts_(buckets, 0) {
+namespace {
+
+// Validation must run before the member initializers: width_ divides by
+// `buckets`, so the bad-argument check has to precede that computation, not
+// follow it in the constructor body.
+std::size_t validated_histogram_buckets(f64 lo, f64 hi, std::size_t buckets) {
   if (buckets == 0 || hi <= lo) {
     throw std::invalid_argument("Histogram: need hi > lo and buckets > 0");
   }
+  return buckets;
 }
+
+}  // namespace
+
+Histogram::Histogram(f64 lo, f64 hi, std::size_t buckets)
+    : lo_(lo), hi_(hi),
+      width_((hi - lo) /
+             static_cast<f64>(validated_histogram_buckets(lo, hi, buckets))),
+      counts_(buckets, 0) {}
 
 void Histogram::add(f64 x) {
   std::size_t idx;

@@ -33,7 +33,8 @@ struct Rig {
         /*persistent=*/true));
   }
 
-  std::unique_ptr<OffloadEngine> make_engine(bool multipath) {
+  std::unique_ptr<OffloadEngine> make_engine(bool multipath,
+                                             u32 num_subgroups = kNumSubgroups) {
     EngineOptions opts = multipath ? EngineOptions::mlp_offload()
                                    : EngineOptions::deepspeed_zero3();
     opts.cpu_update_rate = 1e9;
@@ -52,7 +53,7 @@ struct Rig {
     ctx.io = schedulers.back().get();
     ctx.grads = &grads;
     auto engine = std::make_unique<OffloadEngine>(
-        ctx, opts, make_shard_layout(kSubgroupParams * kNumSubgroups, 1, 0,
+        ctx, opts, make_shard_layout(kSubgroupParams * num_subgroups, 1, 0,
                                      kSubgroupParams));
     engine->initialize();
     return engine;
@@ -139,6 +140,45 @@ TEST(Checkpoint, RestoreRoundtripAfterFurtherTraining) {
   // Training can resume from the restored state.
   train_iter(2);
   EXPECT_NE(engine->state_checksum(), at_checkpoint);
+}
+
+TEST(Checkpoint, RestoreChargesVirtualTimeScalingWithCheckpointSize) {
+  // Regression: restore used to submit its external reads with
+  // sim_bytes=0, so pulling state back from the checkpoint store was
+  // charged zero virtual I/O time while checkpoint_prestage charged full
+  // bytes for the same objects. Each restored subgroup must now pay at
+  // least its simulated footprint at the store's read bandwidth.
+  // Slow enough that the simulated transfer charge dwarfs the wall-clock-
+  // derived scheduling overheads at this time scale (notably the one-off
+  // spawn of the store's lazily-created external channel thread).
+  constexpr f64 kStoreReadBw = 2e3;
+  const auto timed_restore = [&](u32 num_subgroups) {
+    Rig rig;
+    auto engine = rig.make_engine(/*multipath=*/true, num_subgroups);
+    // A throttled, PFS-like store so virtual time is actually charged.
+    ThrottledTier store("ckpt-throttled", std::make_shared<MemoryTier>("cb"),
+                        rig.clock, ThrottleSpec{kStoreReadBw, 2e6},
+                        /*persistent=*/true);
+    // (writes stay fast: prestage cost is not under test here)
+    checkpoint_prestage(*engine, store);
+    const f64 before = rig.clock.now();
+    EXPECT_EQ(checkpoint_restore(*engine, store), num_subgroups);
+    return rig.clock.now() - before;
+  };
+
+  const f64 full_seconds = timed_restore(kNumSubgroups);
+  const u64 total_sim_bytes =
+      kSubgroupParams * kNumSubgroups * kOptimStateBytesPerParam;
+  const f64 min_expected = static_cast<f64>(total_sim_bytes) / kStoreReadBw;
+  EXPECT_GE(full_seconds, min_expected)
+      << "restore must be billed the full simulated transfer";
+
+  // And the charge scales with checkpoint size: a third of the subgroups
+  // restores in well under half the time (store reads and write-backs both
+  // shrink proportionally; only per-request scheduling overhead — which
+  // pushes times up, never down — is size-independent).
+  const f64 third_seconds = timed_restore(kNumSubgroups / 3);
+  EXPECT_GT(full_seconds, 2.0 * third_seconds);
 }
 
 TEST(Checkpoint, RestoreFromEmptyStoreFails) {

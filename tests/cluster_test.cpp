@@ -95,6 +95,32 @@ TEST(ClusterSim, RunsIterationsAcrossNodes) {
   EXPECT_GT(reports[0].update_seconds, 0.0);
 }
 
+TEST(ClusterSim, MergePreservesIoSchedulerCounters) {
+  // Regression: the cluster merge used to drop io_classes,
+  // io_coalesced_batches and io_max_queue_depth, silently zeroing the
+  // per-priority queue-wait/service telemetry at cluster scope even though
+  // every node-level report carried it.
+  SimClock clock(2000.0);
+  ClusterSim cluster(clock, make_config(2));
+  cluster.initialize();
+  const auto report = cluster.run_iteration(0);
+
+  const auto& demand =
+      report.io_classes[static_cast<std::size_t>(IoPriority::kDemandPrefetch)];
+  EXPECT_GT(demand.requests, 0u);
+  EXPECT_GT(demand.sim_bytes, 0u);
+  EXPECT_GT(demand.service_seconds, 0.0);
+  const auto& flush =
+      report.io_classes[static_cast<std::size_t>(IoPriority::kLazyFlush)];
+  EXPECT_GT(flush.requests, 0u);
+  EXPECT_GT(report.io_max_queue_depth, 0u);
+
+  // The cluster-level counters are the sum over nodes: they must cover at
+  // least one demand fetch per processed subgroup minus cache hits.
+  EXPECT_GE(demand.requests + report.host_cache_hits,
+            report.subgroups_processed);
+}
+
 TEST(ClusterSim, InterNodeCommChargedInForward) {
   // Multi-node DP must make the forward/backward phases more expensive
   // than single-node (slingshot allgathers vs pure NVLink).

@@ -1,0 +1,36 @@
+// Shared cluster fixture for the resilience suites: resilience_test (unit
+// coverage) and recovery_equivalence_test (the checksum parity grid) must
+// run the exact same scenario knobs, or the grid silently drifts from the
+// units it is meant to back.
+#pragma once
+
+#include "runtime/cluster.hpp"
+#include "resilience/failure_injector.hpp"
+
+namespace mlpo::test {
+
+inline ModelConfig tiny_model() { return ModelConfig{"tiny", 2, 2048, 32}; }
+
+inline ClusterConfig make_cluster_config(u32 nodes, bool elastic = false) {
+  ClusterConfig cfg;
+  cfg.nodes = nodes;
+  cfg.node.model = tiny_model();
+  cfg.node.testbed = TestbedSpec::testbed2();
+  cfg.node.engine_opts = EngineOptions::mlp_offload();
+  cfg.node.engine_opts.elem_scale = 65536;
+  cfg.node.subgroup_params = 4'000'000;
+  cfg.node.host_cache_override = 2;
+  cfg.node.wrap_failstop = true;
+  cfg.node.elastic_sharding = elastic;
+  return cfg;
+}
+
+inline FailureEvent node_failure_at(u32 node, i64 iteration) {
+  FailureEvent event;
+  event.kind = FailureEvent::Kind::kNode;
+  event.node = node;
+  event.at_iteration = iteration;
+  return event;
+}
+
+}  // namespace mlpo::test

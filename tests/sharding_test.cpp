@@ -1,6 +1,8 @@
 // ZeRO-3 sharding layout: partition invariants over randomized configs.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <map>
 #include <numeric>
 #include <random>
 
@@ -98,6 +100,70 @@ TEST(Sharding, PaperScaleSubgroupCounts) {
   const auto layout = make_shard_layout(paper_model("40B"), 4, 0);
   EXPECT_GE(layout.num_subgroups(), 95u);
   EXPECT_LE(layout.num_subgroups(), 110u);
+}
+
+TEST(ElasticSharding, GlobalSubgroupsAreWorldSizeInvariant) {
+  // The elastic layout's promise: the (gid -> size) decomposition never
+  // depends on the world size, only ownership does. Collect it under
+  // several world sizes and compare.
+  constexpr u64 kTotal = 1'000'003;
+  constexpr u64 kSubgroup = 1000;
+  std::map<u32, u64> reference;  // gid -> size, from world_size 1
+  {
+    const auto layout = make_elastic_shard_layout(kTotal, 1, 0, kSubgroup);
+    for (u32 i = 0; i < layout.num_subgroups(); ++i) {
+      reference[layout.global_id(i)] = layout.subgroup_sizes[i];
+    }
+  }
+  EXPECT_EQ(reference.size(), (kTotal + kSubgroup - 1) / kSubgroup);
+
+  for (const u32 world : {2u, 3u, 7u, 32u}) {
+    std::map<u32, u64> seen;
+    u64 sum = 0;
+    for (u32 r = 0; r < world; ++r) {
+      const auto layout =
+          make_elastic_shard_layout(kTotal, world, static_cast<int>(r),
+                                    kSubgroup);
+      EXPECT_TRUE(layout.elastic());
+      EXPECT_EQ(layout.content_rank(), 0);
+      for (u32 i = 0; i < layout.num_subgroups(); ++i) {
+        const auto [it, inserted] =
+            seen.emplace(layout.global_id(i), layout.subgroup_sizes[i]);
+        EXPECT_TRUE(inserted) << "gid owned twice: " << layout.global_id(i);
+      }
+      sum += layout.shard_params;
+    }
+    EXPECT_EQ(sum, kTotal) << world;
+    EXPECT_EQ(seen, reference) << world;
+  }
+}
+
+TEST(ElasticSharding, OwnershipIsBalancedWithinOneSubgroup) {
+  for (const u32 world : {2u, 3u, 7u}) {
+    u32 mn = ~0u, mx = 0;
+    for (u32 r = 0; r < world; ++r) {
+      const u32 n = make_elastic_shard_layout(1'000'003, world,
+                                              static_cast<int>(r), 1000)
+                        .num_subgroups();
+      mn = std::min(mn, n);
+      mx = std::max(mx, n);
+    }
+    EXPECT_LE(mx - mn, 1u) << world;
+  }
+}
+
+TEST(ElasticSharding, RejectsWorldsLargerThanGlobalSubgroupCount) {
+  // 3 global subgroups cannot feed 4 ranks: a rank would own nothing.
+  EXPECT_THROW(make_elastic_shard_layout(3000, 4, 0, 1000),
+               std::invalid_argument);
+  EXPECT_NO_THROW(make_elastic_shard_layout(3000, 3, 0, 1000));
+}
+
+TEST(ElasticSharding, ClassicLayoutKeepsLocalIdentity) {
+  const auto layout = make_shard_layout(10'000, 2, 1, 1000);
+  EXPECT_FALSE(layout.elastic());
+  EXPECT_EQ(layout.global_id(3), 3u);
+  EXPECT_EQ(layout.content_rank(), 1);
 }
 
 }  // namespace

@@ -60,6 +60,12 @@ TEST(ThreadPool, ManyConcurrentSubmits) {
   EXPECT_EQ(count.load(), 1000);
 }
 
+TEST(MpmcQueue, ZeroCapacityIsRejected) {
+  // Regression: a zero-capacity queue used to construct fine and then
+  // deadlock every push() forever (not_full_ can never be satisfied).
+  EXPECT_THROW(MpmcQueue<int>(0), std::invalid_argument);
+}
+
 TEST(MpmcQueue, FifoSingleThread) {
   MpmcQueue<int> q(16);
   for (int i = 0; i < 10; ++i) EXPECT_TRUE(q.push(i));
@@ -197,6 +203,16 @@ TEST(Percentile, InterpolatesCorrectly) {
   EXPECT_NEAR(percentile(xs, 0.1), 1.4, 1e-12);
   EXPECT_THROW(percentile({}, 0.5), std::invalid_argument);
   EXPECT_THROW(percentile(xs, 1.5), std::invalid_argument);
+}
+
+TEST(Histogram, BadArgumentsThrowBeforeAnyArithmetic) {
+  // Regression: the constructor used to compute width_ (a division by
+  // `buckets`) in the init list before the body's validation ran. Both
+  // bad-argument classes must throw cleanly.
+  EXPECT_THROW(Histogram(0.0, 10.0, 0), std::invalid_argument);
+  EXPECT_THROW(Histogram(10.0, 10.0, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram(10.0, 0.0, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram(10.0, 0.0, 0), std::invalid_argument);
 }
 
 TEST(Histogram, BucketsAndClamping) {
