@@ -14,7 +14,6 @@
 #include <algorithm>
 #include <cstdio>
 #include <memory>
-#include <mutex>
 #include <stdexcept>
 #include <vector>
 
@@ -22,6 +21,7 @@
 #include "harness/bench_registry.hpp"
 #include "io/io_batch.hpp"
 #include "io/io_scheduler.hpp"
+#include "util/mutex.hpp"
 #include "tiers/memory_tier.hpp"
 #include "tiers/throttled_tier.hpp"
 
@@ -65,7 +65,7 @@ WaitProfile run_discipline(bool strict_fifo, f64 time_scale) {
   IoScheduler sched(clock, cfg);
 
   WaitProfile profile;
-  std::mutex mu;
+  Mutex mu;
 
   // Each round queues a burst of lazy flushes (the update pipeline's
   // write-back stream) and then issues the latency-critical demand fetch,
@@ -86,7 +86,7 @@ WaitProfile run_discipline(bool strict_fifo, f64 time_scale) {
       req.sim_bytes = kFlushSimBytes;
       req.priority = IoPriority::kLazyFlush;
       req.on_complete = [&](const IoResult& res) {
-        std::lock_guard lk(mu);
+        MutexLock lk(mu);
         profile.flush_wait_sum += res.queue_wait_seconds;
         ++profile.flush_count;
       };
@@ -102,7 +102,7 @@ WaitProfile run_discipline(bool strict_fifo, f64 time_scale) {
     req.sim_bytes = kReadSimBytes;
     req.priority = IoPriority::kDemandPrefetch;
     req.on_complete = [&](const IoResult& res) {
-      std::lock_guard lk(mu);
+      MutexLock lk(mu);
       profile.demand_waits.push_back(res.queue_wait_seconds);
     };
     sched.submit(std::move(req)).get();

@@ -56,18 +56,27 @@ IoScheduler::~IoScheduler() {
   closed_.store(true, std::memory_order_release);
   const auto wake = [](ChannelQueue& q) {
     {
-      std::lock_guard lk(q.mutex);  // publish `closed_` to parked waiters
+      MutexLock lk(q.mutex);  // publish `closed_` to parked waiters
     }
     q.not_empty.notify_all();
     q.not_full.notify_all();
   };
   for (auto& q : queues_) wake(*q);
+  // Snapshot the lazily-created external channels under external_mutex_,
+  // then wake and join outside it: tier_queues_ must not be iterated
+  // unlocked (a racing external_channel_for may still be inserting until
+  // its closed_ check lands), and joining under the lock would deadlock
+  // against any dispatch thread calling back into the scheduler. closed_
+  // is already set, so no new channel can be created after the snapshot.
+  std::vector<ChannelQueue*> externals;
   {
-    std::lock_guard lk(external_mutex_);
-    for (auto& [tier, q] : tier_queues_) wake(*q);
+    MutexLock lk(external_mutex_);
+    externals.reserve(tier_queues_.size());
+    for (auto& [tier, q] : tier_queues_) externals.push_back(q.get());
   }
+  for (auto* q : externals) wake(*q);
   for (auto& q : queues_) q->worker.join();
-  for (auto& [tier, q] : tier_queues_) q->worker.join();
+  for (auto* q : externals) q->worker.join();
 }
 
 IoScheduler::ChannelQueue& IoScheduler::route(const IoRequest& req) {
@@ -112,7 +121,7 @@ IoScheduler::ChannelQueue& IoScheduler::route(const IoRequest& req) {
 
 IoScheduler::ChannelQueue& IoScheduler::external_channel_for(
     StorageTier* tier) {
-  std::lock_guard lk(external_mutex_);
+  MutexLock lk(external_mutex_);
   const auto it = tier_queues_.find(tier);
   if (it != tier_queues_.end()) return *it->second;
   if (closed_.load(std::memory_order_acquire)) {
@@ -144,14 +153,15 @@ std::future<void> IoScheduler::submit(IoRequest req) {
 
   std::size_t depth_after = 0;
   {
-    std::unique_lock lk(q.mutex);
-    q.not_full.wait(lk, [&] {
-      return closed_.load(std::memory_order_acquire) ||
-             q.size < cfg_.queue_depth;
-    });
+    MutexLock lk(q.mutex);
+    while (!closed_.load(std::memory_order_acquire) &&
+           q.size >= cfg_.queue_depth) {
+      q.not_full.wait(lk);
+    }
     if (closed_.load(std::memory_order_acquire)) {
-      pending->done.set_exception(std::make_exception_ptr(
-          std::runtime_error("IoScheduler: submit after shutdown")));
+      settle_error(*pending,
+                   std::make_exception_ptr(std::runtime_error(
+                       "IoScheduler: submit after shutdown")));
       return fut;
     }
     q.classes[class_of(pending->req)].push_back(std::move(pending));
@@ -166,7 +176,7 @@ std::future<void> IoScheduler::submit(IoRequest req) {
   // a channel lock (a fast dispatcher may transiently show completed >
   // submitted; the counters are monotonic and converge immediately).
   {
-    std::lock_guard slk(stats_mutex_);
+    MutexLock slk(stats_mutex_);
     ++stats_.priority[pri].submitted;
     stats_.max_queue_depth = std::max<u64>(stats_.max_queue_depth, depth_after);
   }
@@ -185,7 +195,7 @@ std::size_t IoScheduler::cancel_queued(IoPriority priority) {
 std::size_t IoScheduler::cancel_queued_matching(const IoPriority* priority) {
   std::size_t flagged = 0;
   const auto sweep = [&](ChannelQueue& q) {
-    std::lock_guard lk(q.mutex);
+    MutexLock lk(q.mutex);
     // All classes are swept (not just the matching class index): under
     // strict_fifo every priority shares class 0, so the filter must look
     // at the request itself.
@@ -200,7 +210,7 @@ std::size_t IoScheduler::cancel_queued_matching(const IoPriority* priority) {
   };
   for (auto& q : queues_) sweep(*q);
   {
-    std::lock_guard lk(external_mutex_);
+    MutexLock lk(external_mutex_);
     for (auto& [tier, q] : tier_queues_) sweep(*q);
   }
   return flagged;
@@ -210,10 +220,10 @@ void IoScheduler::dispatch_loop(ChannelQueue& q) {
   for (;;) {
     std::vector<std::unique_ptr<Pending>> batch;
     {
-      std::unique_lock lk(q.mutex);
-      q.not_empty.wait(lk, [&] {
-        return closed_.load(std::memory_order_acquire) || q.size > 0;
-      });
+      MutexLock lk(q.mutex);
+      while (!closed_.load(std::memory_order_acquire) && q.size == 0) {
+        q.not_empty.wait(lk);
+      }
       if (q.size == 0) {
         if (closed_.load(std::memory_order_acquire)) return;
         continue;
@@ -252,7 +262,7 @@ void IoScheduler::run_batch(ChannelQueue& q,
                             std::vector<std::unique_ptr<Pending>>& batch) {
   const f64 dispatch_start = clock_->now();
   if (batch.size() > 1) {
-    std::lock_guard slk(stats_mutex_);
+    MutexLock slk(stats_mutex_);
     ++stats_.coalesced_batches;
     stats_.coalesced_requests += batch.size();
   }
@@ -266,11 +276,12 @@ void IoScheduler::run_batch(ChannelQueue& q,
     const auto pri = static_cast<std::size_t>(p->req.priority);
     if (p->req.token.cancelled()) {
       {
-        std::lock_guard slk(stats_mutex_);
+        MutexLock slk(stats_mutex_);
         ++stats_.priority[pri].cancelled;
       }
-      p->done.set_exception(std::make_exception_ptr(IoCancelled(
-          "IoScheduler: request cancelled while queued: " + p->req.key)));
+      settle_error(*p, std::make_exception_ptr(IoCancelled(
+                           "IoScheduler: request cancelled while queued: " +
+                           p->req.key)));
       finish_one();
       continue;
     }
@@ -287,7 +298,7 @@ void IoScheduler::run_batch(ChannelQueue& q,
     {
       // Failed requests still waited and occupied the channel; fold their
       // times in so mean waits are not skewed low by error storms.
-      std::lock_guard slk(stats_mutex_);
+      MutexLock slk(stats_mutex_);
       auto& s = stats_.priority[pri];
       s.queue_wait_seconds += queue_wait;
       s.service_seconds += service;
@@ -313,7 +324,7 @@ void IoScheduler::run_batch(ChannelQueue& q,
       }
     }
     if (error) {
-      p->done.set_exception(error);
+      settle_error(*p, std::move(error));
     } else {
       p->done.set_value();
     }
@@ -353,30 +364,50 @@ u64 IoScheduler::execute(IoRequest& req, IoChannel& channel) {
   throw std::logic_error("IoScheduler: unreachable target");
 }
 
+void IoScheduler::settle_error(Pending& pending, std::exception_ptr error) {
+  // Failing the future also pins a copy of the exception_ptr until the
+  // scheduler is destroyed. Without the pin, the LAST release of the
+  // exception is unordered between the waiter (rethrow from get(),
+  // refcount drop at the end of its catch block) and this worker
+  // (promise destruction when the dispatched batch goes out of scope);
+  // the refcount itself is atomic, but it lives in libstdc++'s eh_ptr
+  // machinery, which ThreadSanitizer cannot instrument, so a waiter
+  // still reading what() while the worker performs the final free is
+  // reported as a use-after-free race. Pinning moves the final release
+  // to ~IoScheduler — after every worker is joined, which is an edge
+  // the sanitizer (and a human) can see. The cost is one smart pointer
+  // per failed request for the scheduler's lifetime.
+  {
+    MutexLock lk(retired_mutex_);
+    retired_errors_.push_back(error);
+  }
+  pending.done.set_exception(std::move(error));
+}
+
 void IoScheduler::finish_one() {
   {
-    std::lock_guard lk(drain_mutex_);
+    MutexLock lk(drain_mutex_);
     settled_.fetch_add(1, std::memory_order_release);
   }
   drain_cv_.notify_all();
 }
 
 void IoScheduler::drain() {
-  std::unique_lock lk(drain_mutex_);
-  drain_cv_.wait(lk, [this] {
-    return settled_.load(std::memory_order_acquire) >=
-           submitted_.load(std::memory_order_acquire);
-  });
+  MutexLock lk(drain_mutex_);
+  while (settled_.load(std::memory_order_acquire) <
+         submitted_.load(std::memory_order_acquire)) {
+    drain_cv_.wait(lk);
+  }
 }
 
 IoScheduler::Stats IoScheduler::stats() const {
-  std::lock_guard slk(stats_mutex_);
+  MutexLock slk(stats_mutex_);
   return stats_;
 }
 
 std::size_t IoScheduler::queued(std::size_t queue_idx) const {
   const ChannelQueue& q = *queues_.at(queue_idx);
-  std::lock_guard lk(q.mutex);
+  MutexLock lk(q.mutex);
   return q.size;
 }
 

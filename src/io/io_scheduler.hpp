@@ -31,17 +31,17 @@
 #pragma once
 
 #include <array>
-#include <condition_variable>
 #include <deque>
+#include <exception>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
 #include "io/io_channel.hpp"
 #include "io/io_request.hpp"
+#include "util/mutex.hpp"
 #include "util/sim_clock.hpp"
 
 namespace mlpo {
@@ -154,16 +154,18 @@ class IoScheduler {
   struct ChannelQueue {
     explicit ChannelQueue(IoChannel chan) : channel(std::move(chan)) {}
     IoChannel channel;
-    mutable std::mutex mutex;
-    std::condition_variable not_empty;
-    std::condition_variable not_full;
-    std::array<std::deque<std::unique_ptr<Pending>>, kIoPriorityCount> classes;
-    std::size_t size = 0;
+    mutable Mutex mutex;
+    CondVar not_empty;
+    CondVar not_full;
+    std::array<std::deque<std::unique_ptr<Pending>>, kIoPriorityCount> classes
+        MLPO_GUARDED_BY(mutex);
+    std::size_t size MLPO_GUARDED_BY(mutex) = 0;
     std::thread worker;
   };
 
   ChannelQueue& route(const IoRequest& req);
   ChannelQueue& external_channel_for(StorageTier* tier);
+  void settle_error(Pending& pending, std::exception_ptr error);
   std::size_t cancel_queued_matching(const IoPriority* priority);
   std::size_t class_of(const IoRequest& req) const;
   static u64 effective_bytes(const IoRequest& req);
@@ -179,18 +181,27 @@ class IoScheduler {
   std::size_t tier_paths_ = 0;
   std::vector<std::unique_ptr<ChannelQueue>> queues_;
   /// Lazily-created channels for foreign tiers, keyed by tier identity.
-  std::mutex external_mutex_;
+  Mutex external_mutex_;
   std::unordered_map<StorageTier*, std::unique_ptr<ChannelQueue>>
-      tier_queues_;
+      tier_queues_ MLPO_GUARDED_BY(external_mutex_);
   std::atomic<bool> closed_{false};
 
-  mutable std::mutex stats_mutex_;
-  Stats stats_;
+  mutable Mutex stats_mutex_;
+  Stats stats_ MLPO_GUARDED_BY(stats_mutex_);
 
   std::atomic<u64> submitted_{0};
   std::atomic<u64> settled_{0};
-  std::mutex drain_mutex_;
-  std::condition_variable drain_cv_;
+  Mutex drain_mutex_;
+  CondVar drain_cv_;
+
+  // Every exception_ptr settled into a future is also pinned here until
+  // the scheduler is destroyed (see settle_error for why). One pointer
+  // per FAILED request — the success path retains nothing — so the cost
+  // is bounded by the number of failures/cancellations in the
+  // scheduler's lifetime, which are exceptional by construction.
+  Mutex retired_mutex_;
+  std::vector<std::exception_ptr> retired_errors_
+      MLPO_GUARDED_BY(retired_mutex_);
 };
 
 }  // namespace mlpo

@@ -87,7 +87,7 @@ PerfModel::PerfModel(std::vector<f64> nominal_bw, u32 num_subgroups,
 void PerfModel::observe(std::size_t path, u64 sim_bytes, f64 seconds) {
   if (seconds <= 0 || sim_bytes == 0) return;
   const f64 bw = static_cast<f64>(sim_bytes) / seconds;
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   if (path >= estimate_.size()) return;
   if (!observed_[path]) {
     // First observation replaces the microbenchmark seed outright.
@@ -99,23 +99,23 @@ void PerfModel::observe(std::size_t path, u64 sim_bytes, f64 seconds) {
 }
 
 std::vector<f64> PerfModel::bandwidths() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   return estimate_;
 }
 
 void PerfModel::rebalance() {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   quotas_ = eq1_subgroup_quotas(num_subgroups_, estimate_);
   placement_ = interleaved_placement(quotas_);
 }
 
 std::vector<u32> PerfModel::quotas() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   return quotas_;
 }
 
 std::size_t PerfModel::path_for(u32 idx) const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   return placement_.at(idx);
 }
 

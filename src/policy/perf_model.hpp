@@ -11,10 +11,10 @@
 // interference from other jobs.
 #pragma once
 
-#include <mutex>
 #include <vector>
 
 #include "util/common.hpp"
+#include "util/mutex.hpp"
 
 namespace mlpo {
 
@@ -57,14 +57,16 @@ class PerfModel {
   std::size_t path_for(u32 idx) const;
 
  private:
-  mutable std::mutex mutex_;
+  mutable Mutex mutex_;
+  /// nominal_/num_subgroups_/ema_alpha_ are set once in the constructor and
+  /// read-only afterwards; everything the EMA and rebalance touch is guarded.
   std::vector<f64> nominal_;
-  std::vector<f64> estimate_;
-  std::vector<bool> observed_;
+  std::vector<f64> estimate_ MLPO_GUARDED_BY(mutex_);
+  std::vector<bool> observed_ MLPO_GUARDED_BY(mutex_);
   u32 num_subgroups_;
   f64 ema_alpha_;
-  std::vector<u32> quotas_;
-  std::vector<std::size_t> placement_;
+  std::vector<u32> quotas_ MLPO_GUARDED_BY(mutex_);
+  std::vector<std::size_t> placement_ MLPO_GUARDED_BY(mutex_);
 };
 
 }  // namespace mlpo

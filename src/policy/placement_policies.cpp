@@ -6,11 +6,11 @@
 // rather than device service time alone.
 #include <algorithm>
 #include <limits>
-#include <mutex>
 #include <stdexcept>
 
 #include "policy/perf_model.hpp"
 #include "policy/policy_registry.hpp"
+#include "util/mutex.hpp"
 
 namespace mlpo {
 
@@ -178,7 +178,7 @@ class BandwidthGreedyPlacement final : public PlacementPolicy {
     for (const f64 b : nominal_bandwidths) {
       if (b <= 0) throw std::invalid_argument("bandwidth_greedy: bw <= 0");
     }
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     estimates_.seed(std::move(nominal_bandwidths));
     num_subgroups_ = num_subgroups;
     recompute_locked();
@@ -187,36 +187,36 @@ class BandwidthGreedyPlacement final : public PlacementPolicy {
   void observe(std::size_t path, u64 sim_bytes, f64 service_seconds,
                f64 /*queue_wait_seconds*/) override {
     if (service_seconds <= 0 || sim_bytes == 0) return;
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     estimates_.update(path, static_cast<f64>(sim_bytes) / service_seconds,
                       kAlpha);
   }
 
   void rebalance() override {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     require_bound(!estimates_.values().empty(), name());
     recompute_locked();
   }
 
   std::size_t path_for(u32 idx) const override {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     require_bound(!estimates_.values().empty(), name());
     return placement_.at(idx);
   }
   std::vector<u32> quotas() const override {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     require_bound(!estimates_.values().empty(), name());
     return quotas_;
   }
   std::vector<f64> bandwidths() const override {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     return estimates_.values();
   }
 
  private:
   static constexpr f64 kAlpha = 0.2;
 
-  void recompute_locked() {
+  void recompute_locked() MLPO_REQUIRES(mutex_) {
     const auto& bw = estimates_.values();
     quotas_.assign(bw.size(), 0);
     placement_.assign(num_subgroups_, 0);
@@ -235,11 +235,11 @@ class BandwidthGreedyPlacement final : public PlacementPolicy {
     }
   }
 
-  mutable std::mutex mutex_;
-  EmaEstimates estimates_;
-  u32 num_subgroups_ = 0;
-  std::vector<u32> quotas_;
-  std::vector<std::size_t> placement_;
+  mutable Mutex mutex_;
+  EmaEstimates estimates_ MLPO_GUARDED_BY(mutex_);
+  u32 num_subgroups_ MLPO_GUARDED_BY(mutex_) = 0;
+  std::vector<u32> quotas_ MLPO_GUARDED_BY(mutex_);
+  std::vector<std::size_t> placement_ MLPO_GUARDED_BY(mutex_);
 };
 
 /// Eq. 1 over *effective* bandwidth: each observation is weighed by total

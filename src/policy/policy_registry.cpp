@@ -1,9 +1,10 @@
 #include "policy/policy_registry.hpp"
 
 #include <map>
-#include <mutex>
 #include <sstream>
 #include <stdexcept>
+
+#include "util/mutex.hpp"
 
 namespace mlpo {
 
@@ -19,12 +20,12 @@ template <typename Factory>
 class Registry {
  public:
   void add(const std::string& name, Factory factory) {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     factories_[name] = std::move(factory);
   }
 
   Factory find(const std::string& name, const char* kind) {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     const auto it = factories_.find(name);
     if (it == factories_.end()) {
       std::ostringstream msg;
@@ -37,7 +38,7 @@ class Registry {
   }
 
   std::vector<std::string> names() {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     std::vector<std::string> out;
     out.reserve(factories_.size());
     for (const auto& [name, _] : factories_) out.push_back(name);
@@ -45,8 +46,8 @@ class Registry {
   }
 
  private:
-  std::mutex mutex_;
-  std::map<std::string, Factory> factories_;
+  Mutex mutex_;
+  std::map<std::string, Factory> factories_ MLPO_GUARDED_BY(mutex_);
 };
 
 // Two-level accessors: the *_store() functions hand out the raw registry

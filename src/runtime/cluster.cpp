@@ -2,12 +2,12 @@
 
 #include <algorithm>
 #include <exception>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <utility>
 
 #include "util/logging.hpp"
+#include "util/mutex.hpp"
 
 namespace mlpo {
 
@@ -58,13 +58,13 @@ void ClusterSim::replace_node(u32 idx) {
 void ClusterSim::initialize() {
   std::vector<std::thread> threads;
   std::exception_ptr error;
-  std::mutex error_mutex;
+  Mutex error_mutex;
   for (auto& node : nodes_) {
     threads.emplace_back([&node, &error, &error_mutex] {
       try {
         node->initialize();
       } catch (...) {
-        std::lock_guard lock(error_mutex);
+        MutexLock lock(error_mutex);
         if (!error) error = std::current_exception();
       }
     });

@@ -24,6 +24,7 @@ fs::path FileTier::path_for(const std::string& key) const {
 
 void FileTier::write(const std::string& key, std::span<const u8> data,
                      u64 sim_bytes) {
+  TierStats::TransferScope transfer(stats_);
   const fs::path path = path_for(key);
   // Write to a temp file then rename for atomic replacement — readers never
   // observe a torn object (matters for checkpoint durability claims).
@@ -50,6 +51,7 @@ void FileTier::write(const std::string& key, std::span<const u8> data,
 }
 
 void FileTier::read(const std::string& key, std::span<u8> out, u64 sim_bytes) {
+  TierStats::TransferScope transfer(stats_);
   const fs::path path = path_for(key);
   std::FILE* f = std::fopen(path.c_str(), "rb");
   if (f == nullptr) {

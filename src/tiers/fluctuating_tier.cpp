@@ -38,7 +38,7 @@ FluctuatingTier::FluctuatingTier(std::string name,
 
 void FluctuatingTier::apply_schedule() {
   const f64 factor = schedule_.factor_at(clock_->now());
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   if (factor != applied_factor_) {
     inner_.set_read_bandwidth(nominal_.read_bw * factor);
     inner_.set_write_bandwidth(nominal_.write_bw * factor);
@@ -47,12 +47,13 @@ void FluctuatingTier::apply_schedule() {
 }
 
 f64 FluctuatingTier::current_factor() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   return applied_factor_;
 }
 
 void FluctuatingTier::write(const std::string& key, std::span<const u8> data,
                             u64 sim_bytes) {
+  TierStats::TransferScope transfer(stats_);
   apply_schedule();
   inner_.write(key, data, sim_bytes);
   stats_.writes.fetch_add(1, std::memory_order_relaxed);
@@ -62,6 +63,7 @@ void FluctuatingTier::write(const std::string& key, std::span<const u8> data,
 
 void FluctuatingTier::read(const std::string& key, std::span<u8> out,
                            u64 sim_bytes) {
+  TierStats::TransferScope transfer(stats_);
   apply_schedule();
   inner_.read(key, out, sim_bytes);
   stats_.reads.fetch_add(1, std::memory_order_relaxed);

@@ -12,11 +12,11 @@
 #pragma once
 
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "tiers/storage_tier.hpp"
 #include "tiers/throttled_tier.hpp"
+#include "util/mutex.hpp"
 #include "util/sim_clock.hpp"
 
 namespace mlpo {
@@ -74,8 +74,8 @@ class FluctuatingTier : public StorageTier {
   ThrottleSpec nominal_;
   BandwidthSchedule schedule_;
   ThrottledTier inner_;
-  mutable std::mutex mutex_;
-  f64 applied_factor_ = 1.0;
+  mutable Mutex mutex_;
+  f64 applied_factor_ MLPO_GUARDED_BY(mutex_) = 1.0;
 };
 
 }  // namespace mlpo

@@ -1,7 +1,6 @@
 #include "tiers/memory_tier.hpp"
 
 #include <cstring>
-#include <mutex>
 #include <stdexcept>
 
 namespace mlpo {
@@ -11,8 +10,9 @@ MemoryTier::MemoryTier(std::string name, f64 read_bw, f64 write_bw)
 
 void MemoryTier::write(const std::string& key, std::span<const u8> data,
                        u64 sim_bytes) {
+  TierStats::TransferScope transfer(stats_);
   {
-    std::unique_lock lock(mutex_);
+    WriterMutexLock lock(mutex_);
     auto& obj = objects_[key];
     obj.assign(data.begin(), data.end());
   }
@@ -23,8 +23,9 @@ void MemoryTier::write(const std::string& key, std::span<const u8> data,
 
 void MemoryTier::read(const std::string& key, std::span<u8> out,
                       u64 sim_bytes) {
+  TierStats::TransferScope transfer(stats_);
   {
-    std::shared_lock lock(mutex_);
+    ReaderMutexLock lock(mutex_);
     const auto it = objects_.find(key);
     if (it == objects_.end()) {
       throw std::out_of_range("MemoryTier '" + name_ + "': no object " + key);
@@ -41,12 +42,12 @@ void MemoryTier::read(const std::string& key, std::span<u8> out,
 }
 
 bool MemoryTier::exists(const std::string& key) const {
-  std::shared_lock lock(mutex_);
+  ReaderMutexLock lock(mutex_);
   return objects_.count(key) > 0;
 }
 
 u64 MemoryTier::object_size(const std::string& key) const {
-  std::shared_lock lock(mutex_);
+  ReaderMutexLock lock(mutex_);
   const auto it = objects_.find(key);
   if (it == objects_.end()) {
     throw std::out_of_range("MemoryTier '" + name_ + "': no object " + key);
@@ -55,17 +56,17 @@ u64 MemoryTier::object_size(const std::string& key) const {
 }
 
 void MemoryTier::erase(const std::string& key) {
-  std::unique_lock lock(mutex_);
+  WriterMutexLock lock(mutex_);
   objects_.erase(key);
 }
 
 std::size_t MemoryTier::object_count() const {
-  std::shared_lock lock(mutex_);
+  ReaderMutexLock lock(mutex_);
   return objects_.size();
 }
 
 u64 MemoryTier::stored_bytes() const {
-  std::shared_lock lock(mutex_);
+  ReaderMutexLock lock(mutex_);
   u64 total = 0;
   for (const auto& [key, obj] : objects_) total += obj.size();
   return total;

@@ -2,11 +2,11 @@
 // ThrottledTier) and usable directly as a "host memory" staging target.
 #pragma once
 
-#include <shared_mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "tiers/storage_tier.hpp"
+#include "util/mutex.hpp"
 
 namespace mlpo {
 
@@ -35,8 +35,8 @@ class MemoryTier : public StorageTier {
   std::string name_;
   f64 read_bw_;
   f64 write_bw_;
-  mutable std::shared_mutex mutex_;
-  std::unordered_map<std::string, std::vector<u8>> objects_;
+  mutable SharedMutex mutex_;
+  std::unordered_map<std::string, std::vector<u8>> objects_ MLPO_GUARDED_BY(mutex_);
 };
 
 }  // namespace mlpo

@@ -12,6 +12,7 @@
 #pragma once
 
 #include <atomic>
+#include <cassert>
 #include <span>
 #include <string>
 
@@ -34,12 +35,36 @@ struct TierStats {
   f64 read_seconds() const { return static_cast<f64>(read_usecs.load()) / 1e6; }
   f64 write_seconds() const { return static_cast<f64>(write_usecs.load()) / 1e6; }
 
+  /// RAII marker for one in-flight transfer. Tier implementations open one
+  /// scope around each read()/write() counter update so the
+  /// no-concurrent-transfers contract of reset() is machine-checked (in
+  /// debug builds) instead of living in a comment.
+  class TransferScope {
+   public:
+    explicit TransferScope(TierStats& stats) : stats_(&stats) {
+      stats_->in_flight_.fetch_add(1, std::memory_order_acq_rel);
+    }
+    ~TransferScope() { stats_->in_flight_.fetch_sub(1, std::memory_order_acq_rel); }
+    TransferScope(const TransferScope&) = delete;
+    TransferScope& operator=(const TransferScope&) = delete;
+
+   private:
+    TierStats* stats_;
+  };
+
+  /// Transfers currently inside a TransferScope (diagnostics / tests).
+  u32 in_flight() const { return in_flight_.load(std::memory_order_acquire); }
+
   /// Zero every counter with individual atomic stores. NOT atomic as a
   /// whole: a transfer racing with reset() may land partly before and
   /// partly after it, leaving the counters mutually inconsistent (e.g.
   /// reads counted whose bytes were wiped). Only call between iterations /
-  /// phases, when no transfer is in flight on this tier.
+  /// phases, when no transfer is in flight on this tier — debug builds
+  /// assert that via the TransferScope counter.
   void reset() {
+    assert(in_flight_.load(std::memory_order_acquire) == 0 &&
+           "TierStats::reset() while a transfer is in flight violates the "
+           "no-concurrent-transfers contract");
     reads.store(0);
     writes.store(0);
     bytes_read.store(0);
@@ -47,6 +72,9 @@ struct TierStats {
     read_usecs.store(0);
     write_usecs.store(0);
   }
+
+ private:
+  std::atomic<u32> in_flight_{0};
 };
 
 class StorageTier {

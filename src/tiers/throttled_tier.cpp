@@ -54,6 +54,7 @@ f64 ThrottledTier::throttle(RateLimiter& channel, u64 sim_bytes,
 
 void ThrottledTier::write(const std::string& key, std::span<const u8> data,
                           u64 sim_bytes) {
+  TierStats::TransferScope transfer(stats_);
   const u64 bytes = sim_bytes ? sim_bytes : data.size();
   // Move real bytes first (cheap memcpy), then charge the virtual transfer
   // time; ordering does not matter because the caller only observes
@@ -69,6 +70,7 @@ void ThrottledTier::write(const std::string& key, std::span<const u8> data,
 
 void ThrottledTier::read(const std::string& key, std::span<u8> out,
                          u64 sim_bytes) {
+  TierStats::TransferScope transfer(stats_);
   const u64 bytes = sim_bytes ? sim_bytes : out.size();
   backend_->read(key, out, 0);
   const f64 elapsed =

@@ -12,15 +12,15 @@ void TierLock::Guard::release() {
 }
 
 TierLock::Guard TierLock::lock(int worker) {
-  std::unique_lock lock(mutex_);
-  cv_.wait(lock, [&] { return owner_ == -1 || owner_ == worker; });
+  MutexLock lock(mutex_);
+  while (owner_ != -1 && owner_ != worker) cv_.wait(lock);
   owner_ = worker;
   ++shares_;
   return Guard(this, worker);
 }
 
 std::optional<TierLock::Guard> TierLock::try_lock(int worker) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   if (owner_ != -1 && owner_ != worker) return std::nullopt;
   owner_ = worker;
   ++shares_;
@@ -28,14 +28,14 @@ std::optional<TierLock::Guard> TierLock::try_lock(int worker) {
 }
 
 int TierLock::owner() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   return owner_;
 }
 
 void TierLock::unlock(int worker) {
   bool notify = false;
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     assert(owner_ == worker && shares_ > 0);
     (void)worker;
     if (--shares_ == 0) {

@@ -14,11 +14,10 @@
 // integer worker id rather than by thread identity.
 #pragma once
 
-#include <condition_variable>
-#include <mutex>
 #include <optional>
 
 #include "util/common.hpp"
+#include "util/mutex.hpp"
 
 namespace mlpo {
 
@@ -70,12 +69,18 @@ class TierLock {
 
  private:
   friend class Guard;
+
+  /// Drop one share on behalf of `worker` (Guard::release's path). NOT the
+  /// C++ lock contract — ownership is keyed by worker id, not by thread or
+  /// scope, so the capability analysis cannot model TierLock itself as a
+  /// lockable; what it checks instead is that owner_/shares_ are only ever
+  /// touched under mutex_.
   void unlock(int worker);
 
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;
-  int owner_ = -1;
-  u32 shares_ = 0;
+  mutable Mutex mutex_;
+  CondVar cv_;
+  int owner_ MLPO_GUARDED_BY(mutex_) = -1;
+  u32 shares_ MLPO_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace mlpo

@@ -33,7 +33,7 @@ void VirtualTier::write_to(std::size_t path_idx, const std::string& key,
   // after the new write lands so a concurrent reader never finds nothing.
   std::size_t previous = npos;
   {
-    std::shared_lock lock(mutex_);
+    ReaderMutexLock lock(mutex_);
     const auto it = locations_.find(key);
     if (it != locations_.end()) previous = it->second.path;
   }
@@ -41,7 +41,7 @@ void VirtualTier::write_to(std::size_t path_idx, const std::string& key,
   paths_[path_idx].tier->write(key, data, sim_bytes);
 
   {
-    std::unique_lock lock(mutex_);
+    WriterMutexLock lock(mutex_);
     locations_[key] = Location{path_idx, sim_bytes ? sim_bytes : data.size()};
   }
   if (previous != npos && previous != path_idx) {
@@ -68,7 +68,7 @@ void VirtualTier::peek(const std::string& key, std::span<u8> out) const {
 }
 
 std::size_t VirtualTier::locate(const std::string& key) const {
-  std::shared_lock lock(mutex_);
+  ReaderMutexLock lock(mutex_);
   const auto it = locations_.find(key);
   return it == locations_.end() ? npos : it->second.path;
 }
@@ -76,7 +76,7 @@ std::size_t VirtualTier::locate(const std::string& key) const {
 void VirtualTier::erase(const std::string& key) {
   std::size_t idx = npos;
   {
-    std::unique_lock lock(mutex_);
+    WriterMutexLock lock(mutex_);
     const auto it = locations_.find(key);
     if (it == locations_.end()) return;
     idx = it->second.path;
@@ -86,7 +86,7 @@ void VirtualTier::erase(const std::string& key) {
 }
 
 std::vector<u64> VirtualTier::resident_sim_bytes() const {
-  std::shared_lock lock(mutex_);
+  ReaderMutexLock lock(mutex_);
   std::vector<u64> per_path(paths_.size(), 0);
   for (const auto& [key, loc] : locations_) {
     per_path[loc.path] += loc.sim_bytes;

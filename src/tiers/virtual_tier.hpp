@@ -9,13 +9,13 @@
 #pragma once
 
 #include <memory>
-#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "tiers/storage_tier.hpp"
 #include "tiers/tier_lock.hpp"
+#include "util/mutex.hpp"
 
 namespace mlpo {
 
@@ -81,13 +81,15 @@ class VirtualTier {
   std::vector<u64> resident_sim_bytes() const;
 
  private:
+  /// paths_ is append-only during setup and immutable once I/O starts, so
+  /// it is deliberately not guarded; locations_ is the hot shared map.
   std::vector<Path> paths_;
-  mutable std::shared_mutex mutex_;
+  mutable SharedMutex mutex_;
   struct Location {
     std::size_t path;
     u64 sim_bytes;
   };
-  std::unordered_map<std::string, Location> locations_;
+  std::unordered_map<std::string, Location> locations_ MLPO_GUARDED_BY(mutex_);
 };
 
 }  // namespace mlpo

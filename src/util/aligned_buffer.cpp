@@ -55,15 +55,15 @@ void BufferPool::Lease::release() {
 }
 
 BufferPool::Lease BufferPool::acquire() {
-  std::unique_lock lock(mutex_);
-  cv_.wait(lock, [this] { return !free_.empty(); });
+  MutexLock lock(mutex_);
+  while (free_.empty()) cv_.wait(lock);
   AlignedBuffer buf = std::move(free_.back());
   free_.pop_back();
   return Lease(this, std::move(buf));
 }
 
 BufferPool::Lease BufferPool::try_acquire() {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   if (free_.empty()) return Lease{};
   AlignedBuffer buf = std::move(free_.back());
   free_.pop_back();
@@ -71,13 +71,13 @@ BufferPool::Lease BufferPool::try_acquire() {
 }
 
 std::size_t BufferPool::available() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   return free_.size();
 }
 
 void BufferPool::put_back(AlignedBuffer buf) {
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     free_.push_back(std::move(buf));
   }
   cv_.notify_one();

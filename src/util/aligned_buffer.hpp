@@ -8,14 +8,13 @@
 // §3.1/Fig. 5). Pinning itself (mlock) is unnecessary for emulation.
 #pragma once
 
-#include <condition_variable>
 #include <cstdlib>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <vector>
 
 #include "util/common.hpp"
+#include "util/mutex.hpp"
 
 namespace mlpo {
 
@@ -107,9 +106,9 @@ class BufferPool {
 
   const std::size_t capacity_;
   const std::size_t buffer_size_;
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;
-  std::vector<AlignedBuffer> free_;
+  mutable Mutex mutex_;
+  CondVar cv_;
+  std::vector<AlignedBuffer> free_ MLPO_GUARDED_BY(mutex_);
 };
 
 }  // namespace mlpo

@@ -4,7 +4,8 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <mutex>
+
+#include "util/mutex.hpp"
 
 namespace mlpo {
 
@@ -22,7 +23,7 @@ LogLevel initial_level() {
 }
 
 std::atomic<int> g_level{static_cast<int>(initial_level())};
-std::mutex g_output_mutex;
+Mutex g_output_mutex;  // serializes whole lines onto stderr
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -42,7 +43,7 @@ void set_log_level(LogLevel level) { g_level.store(static_cast<int>(level)); }
 
 void log_line(LogLevel level, const std::string& msg) {
   if (static_cast<int>(level) < g_level.load(std::memory_order_relaxed)) return;
-  std::lock_guard lock(g_output_mutex);
+  MutexLock lock(g_output_mutex);
   std::fprintf(stderr, "[mlpo %-5s] %s\n", level_name(level), msg.c_str());
 }
 

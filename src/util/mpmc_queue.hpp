@@ -2,15 +2,22 @@
 //
 // Used as the submission queue of the async I/O engine. Bounded capacity
 // provides submission backpressure similar to libaio's io_setup queue depth.
+//
+// Wakeup discipline: pushers sleep on not_full_, poppers on not_empty_, and
+// every notify happens after the critical section that changed the
+// predicate closes — a notify inside the lock would only make the woken
+// thread immediately block on the mutex, and a notify without the preceding
+// locked mutation is the classic missed-wakeup bug. close() must notify
+// *both* condvars under the same rule: producers blocked on a full queue
+// and consumers blocked on an empty one both re-evaluate against closed_.
 #pragma once
 
-#include <condition_variable>
 #include <deque>
-#include <mutex>
 #include <optional>
 #include <stdexcept>
 
 #include "util/common.hpp"
+#include "util/mutex.hpp"
 
 namespace mlpo {
 
@@ -29,11 +36,12 @@ class MpmcQueue {
 
   /// Blocks while the queue is full. Returns false if the queue was closed.
   bool push(T item) {
-    std::unique_lock lock(mutex_);
-    not_full_.wait(lock, [this] { return closed_ || items_.size() < capacity_; });
-    if (closed_) return false;
-    items_.push_back(std::move(item));
-    lock.unlock();
+    {
+      MutexLock lock(mutex_);
+      while (!closed_ && items_.size() >= capacity_) not_full_.wait(lock);
+      if (closed_) return false;
+      items_.push_back(std::move(item));
+    }
     not_empty_.notify_one();
     return true;
   }
@@ -41,23 +49,27 @@ class MpmcQueue {
   /// Blocks while the queue is empty. Returns nullopt once closed and
   /// drained.
   std::optional<T> pop() {
-    std::unique_lock lock(mutex_);
-    not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
-    if (items_.empty()) return std::nullopt;
-    T item = std::move(items_.front());
-    items_.pop_front();
-    lock.unlock();
+    std::optional<T> item;
+    {
+      MutexLock lock(mutex_);
+      while (!closed_ && items_.empty()) not_empty_.wait(lock);
+      if (items_.empty()) return std::nullopt;
+      item = std::move(items_.front());
+      items_.pop_front();
+    }
     not_full_.notify_one();
     return item;
   }
 
   /// Non-blocking pop.
   std::optional<T> try_pop() {
-    std::unique_lock lock(mutex_);
-    if (items_.empty()) return std::nullopt;
-    T item = std::move(items_.front());
-    items_.pop_front();
-    lock.unlock();
+    std::optional<T> item;
+    {
+      MutexLock lock(mutex_);
+      if (items_.empty()) return std::nullopt;
+      item = std::move(items_.front());
+      items_.pop_front();
+    }
     not_full_.notify_one();
     return item;
   }
@@ -65,7 +77,7 @@ class MpmcQueue {
   /// Wake all waiters; push() fails afterwards, pop() drains the remainder.
   void close() {
     {
-      std::lock_guard lock(mutex_);
+      MutexLock lock(mutex_);
       closed_ = true;
     }
     not_empty_.notify_all();
@@ -73,22 +85,22 @@ class MpmcQueue {
   }
 
   std::size_t size() const {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     return items_.size();
   }
 
   bool closed() const {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     return closed_;
   }
 
  private:
   const std::size_t capacity_;
-  mutable std::mutex mutex_;
-  std::condition_variable not_empty_;
-  std::condition_variable not_full_;
-  std::deque<T> items_;
-  bool closed_ = false;
+  mutable Mutex mutex_;
+  CondVar not_empty_;
+  CondVar not_full_;
+  std::deque<T> items_ MLPO_GUARDED_BY(mutex_);
+  bool closed_ MLPO_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace mlpo

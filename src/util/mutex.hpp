@@ -1,0 +1,124 @@
+// Annotated mutex / condition-variable wrappers.
+//
+// Thin, zero-overhead shells over the std synchronization primitives whose
+// only job is to carry Clang Thread Safety capability attributes
+// (util/thread_annotations.hpp): std::mutex itself is invisible to the
+// analysis, so every lock-holding class in the tree uses these instead.
+//
+// Condition-variable waits deliberately take no predicate overload: a
+// predicate lambda is analysed as a separate function that does not hold
+// the capability, so guarded-field reads inside it would need an escape
+// hatch. Callers write the loop explicitly —
+//
+//   MutexLock lock(mutex_);
+//   while (!ready_) cv_.wait(lock);   // ready_ is MLPO_GUARDED_BY(mutex_)
+//
+// — which the analysis checks end to end.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+#include "util/thread_annotations.hpp"
+
+namespace mlpo {
+
+/// Exclusive mutex (annotated std::mutex).
+class MLPO_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() MLPO_ACQUIRE() { mu_.lock(); }
+  void unlock() MLPO_RELEASE() { mu_.unlock(); }
+  bool try_lock() MLPO_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class MutexLock;
+  std::mutex mu_;
+};
+
+/// Reader/writer mutex (annotated std::shared_mutex).
+class MLPO_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void lock() MLPO_ACQUIRE() { mu_.lock(); }
+  void unlock() MLPO_RELEASE() { mu_.unlock(); }
+  void lock_shared() MLPO_ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void unlock_shared() MLPO_RELEASE_SHARED() { mu_.unlock_shared(); }
+
+ private:
+  std::shared_mutex mu_;
+};
+
+/// RAII critical section over a Mutex. Also the handle CondVar waits on
+/// (it wraps a std::unique_lock so the native condvar can release and
+/// reacquire during the wait).
+class MLPO_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) MLPO_ACQUIRE(mu) : lock_(mu.mu_) {}
+  // User-provided (not `= default`) so the release annotation sits on a
+  // plain declarator; the wrapped unique_lock does the actual unlock.
+  ~MutexLock() MLPO_RELEASE() {}
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  friend class CondVar;
+  std::unique_lock<std::mutex> lock_;
+};
+
+/// RAII exclusive (writer) section over a SharedMutex.
+class MLPO_SCOPED_CAPABILITY WriterMutexLock {
+ public:
+  explicit WriterMutexLock(SharedMutex& mu) MLPO_ACQUIRE(mu) : mu_(mu) {
+    mu_.lock();
+  }
+  ~WriterMutexLock() MLPO_RELEASE() { mu_.unlock(); }
+
+  WriterMutexLock(const WriterMutexLock&) = delete;
+  WriterMutexLock& operator=(const WriterMutexLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// RAII shared (reader) section over a SharedMutex.
+class MLPO_SCOPED_CAPABILITY ReaderMutexLock {
+ public:
+  explicit ReaderMutexLock(SharedMutex& mu) MLPO_ACQUIRE_SHARED(mu) : mu_(mu) {
+    mu_.lock_shared();
+  }
+  ~ReaderMutexLock() MLPO_RELEASE() { mu_.unlock_shared(); }
+
+  ReaderMutexLock(const ReaderMutexLock&) = delete;
+  ReaderMutexLock& operator=(const ReaderMutexLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// Condition variable bound to MutexLock. From the analysis's perspective
+/// wait() neither releases nor reacquires the capability — which is exactly
+/// the caller-visible contract (the lock is held again when wait returns).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void wait(MutexLock& lock) { cv_.wait(lock.lock_); }
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace mlpo

@@ -10,7 +10,7 @@ RateLimiter::RateLimiter(const SimClock& clock, f64 rate) : clock_(&clock) {
 }
 
 f64 RateLimiter::reserve(u64 bytes) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   const f64 now = clock_->now();
   const f64 start = std::max(now, next_free_);
   next_free_ = start + static_cast<f64>(bytes) / rate_;
@@ -24,18 +24,18 @@ f64 RateLimiter::acquire(u64 bytes) {
 }
 
 f64 RateLimiter::rate() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   return rate_;
 }
 
 void RateLimiter::set_rate(f64 rate) {
   if (rate <= 0.0) throw std::invalid_argument("RateLimiter: rate must be > 0");
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   rate_ = rate;
 }
 
 f64 RateLimiter::busy_until() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   return next_free_;
 }
 

@@ -13,9 +13,8 @@
 // subgroups.
 #pragma once
 
-#include <mutex>
-
 #include "util/common.hpp"
+#include "util/mutex.hpp"
 #include "util/sim_clock.hpp"
 
 namespace mlpo {
@@ -42,9 +41,9 @@ class RateLimiter {
 
  private:
   const SimClock* clock_;
-  mutable std::mutex mutex_;
-  f64 rate_;
-  f64 next_free_ = 0.0;
+  mutable Mutex mutex_;
+  f64 rate_ MLPO_GUARDED_BY(mutex_);
+  f64 next_free_ MLPO_GUARDED_BY(mutex_) = 0.0;
 };
 
 }  // namespace mlpo

@@ -1,0 +1,88 @@
+// Clang Thread Safety Analysis annotation macros.
+//
+// Every lock-holding class in the tree declares its locking discipline with
+// these macros so `-Wthread-safety -Wthread-safety-beta -Werror` (the
+// `thread-safety` CMake preset / MLPO_THREAD_SAFETY option) turns a
+// forgotten lock, a lock-order confusion, or an unguarded field access into
+// a compile error instead of a TSan lottery ticket. On compilers without
+// the attributes (GCC, MSVC) every macro expands to nothing, so the
+// annotated tree builds everywhere and the analysis runs wherever Clang
+// does.
+//
+// Conventions (see README "Correctness tooling"):
+//   * lockable members are mlpo::Mutex / mlpo::SharedMutex (util/mutex.hpp),
+//     never raw std::mutex — the std types carry no capability attributes,
+//     so the analysis cannot see them;
+//   * every field whose access requires a lock is MLPO_GUARDED_BY(mutex_);
+//   * every private method that assumes the caller holds a lock is named
+//     *_locked() and annotated MLPO_REQUIRES(mutex_);
+//   * MLPO_NO_THREAD_SAFETY_ANALYSIS is a last resort and must carry a
+//     comment explaining why the analysis cannot express the invariant.
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#define MLPO_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define MLPO_THREAD_ANNOTATION(x)  // no-op off Clang
+#endif
+
+/// Marks a class as a lockable capability (e.g. "mutex").
+#define MLPO_CAPABILITY(x) MLPO_THREAD_ANNOTATION(capability(x))
+
+/// Marks an RAII class whose lifetime equals a critical section.
+#define MLPO_SCOPED_CAPABILITY MLPO_THREAD_ANNOTATION(scoped_lockable)
+
+/// Field may only be accessed while holding `x`.
+#define MLPO_GUARDED_BY(x) MLPO_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer field: the *pointee* may only be accessed while holding `x`.
+#define MLPO_PT_GUARDED_BY(x) MLPO_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Document lock-ordering edges (acquiring this before/after those).
+#define MLPO_ACQUIRED_BEFORE(...) \
+  MLPO_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define MLPO_ACQUIRED_AFTER(...) \
+  MLPO_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+/// Function requires the caller to hold the capability (exclusively /
+/// shared).
+#define MLPO_REQUIRES(...) \
+  MLPO_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define MLPO_REQUIRES_SHARED(...) \
+  MLPO_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+/// Function acquires the capability (and does not release it).
+#define MLPO_ACQUIRE(...) \
+  MLPO_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define MLPO_ACQUIRE_SHARED(...) \
+  MLPO_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+
+/// Function releases the capability.
+#define MLPO_RELEASE(...) \
+  MLPO_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define MLPO_RELEASE_SHARED(...) \
+  MLPO_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+#define MLPO_RELEASE_GENERIC(...) \
+  MLPO_THREAD_ANNOTATION(release_generic_capability(__VA_ARGS__))
+
+/// Function tries to acquire; first argument is the success return value.
+#define MLPO_TRY_ACQUIRE(...) \
+  MLPO_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define MLPO_TRY_ACQUIRE_SHARED(...) \
+  MLPO_THREAD_ANNOTATION(try_acquire_shared_capability(__VA_ARGS__))
+
+/// Function must NOT be called while holding the capability (deadlock
+/// guard for re-entrant call paths).
+#define MLPO_EXCLUDES(...) MLPO_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Function asserts (at runtime) that the capability is held.
+#define MLPO_ASSERT_CAPABILITY(x) \
+  MLPO_THREAD_ANNOTATION(assert_capability(x))
+
+/// Function returns a reference to the capability (lock accessors).
+#define MLPO_RETURN_CAPABILITY(x) MLPO_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch: disable the analysis for one function. Requires a comment
+/// justifying why the invariant is inexpressible.
+#define MLPO_NO_THREAD_SAFETY_ANALYSIS \
+  MLPO_THREAD_ANNOTATION(no_thread_safety_analysis)

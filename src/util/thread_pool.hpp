@@ -5,18 +5,25 @@
 //   * parallel_for() — block-partition an index range across the workers and
 //                      wait for completion (the shape of every Adam/convert
 //                      kernel in this library).
+//
+// Shutdown contract: the destructor sets stopping_ under the lock, wakes
+// every worker, and joins. Workers keep draining queued tasks after
+// stopping_ flips — only an *empty* queue lets a worker exit — so a task
+// submitted before the destructor started still runs, and the future
+// returned for it stays redeemable. submit() racing the destructor throws
+// instead of enqueueing work nobody will execute.
 #pragma once
 
-#include <condition_variable>
 #include <deque>
 #include <functional>
 #include <future>
-#include <mutex>
+#include <memory>
 #include <stdexcept>
 #include <thread>
 #include <vector>
 
 #include "util/common.hpp"
+#include "util/mutex.hpp"
 
 namespace mlpo {
 
@@ -39,7 +46,7 @@ class ThreadPool {
     auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
     auto fut = task->get_future();
     {
-      std::lock_guard lock(mutex_);
+      MutexLock lock(mutex_);
       if (stopping_) throw std::runtime_error("ThreadPool: submit after stop");
       queue_.emplace_back([task] { (*task)(); });
     }
@@ -63,10 +70,10 @@ class ThreadPool {
   void worker_loop();
 
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  bool stopping_ = false;
+  Mutex mutex_;
+  CondVar cv_;
+  std::deque<std::function<void()>> queue_ MLPO_GUARDED_BY(mutex_);
+  bool stopping_ MLPO_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace mlpo

@@ -1,0 +1,48 @@
+# Negative-compilation harness, run as a ctest (see tests/CMakeLists.txt).
+#
+# Compiles two sibling TUs with the same thread-safety flag set the library
+# builds under:
+#   * guarded_access_ok.cpp  — correctly locked; must compile, proving the
+#     harness itself (include path, -std, flags) is sound;
+#   * guarded_access_bad.cpp — unguarded GUARDED_BY access; must FAIL,
+#     proving -Wthread-safety is armed and the annotations are not no-ops.
+#
+# Expected -D inputs: CXX (compiler), SRC_DIR (tests/negative),
+# INCLUDE_DIR (the src/ root).
+if(NOT DEFINED CXX OR NOT DEFINED SRC_DIR OR NOT DEFINED INCLUDE_DIR)
+  message(FATAL_ERROR "check_negative_compile.cmake: pass -DCXX, -DSRC_DIR, -DINCLUDE_DIR")
+endif()
+
+set(flags -std=c++20 -fsyntax-only
+    -Wthread-safety -Wthread-safety-beta -Werror=thread-safety-analysis
+    -I${INCLUDE_DIR})
+
+execute_process(
+  COMMAND ${CXX} ${flags} ${SRC_DIR}/guarded_access_ok.cpp
+  RESULT_VARIABLE ok_result
+  ERROR_VARIABLE ok_stderr)
+if(NOT ok_result EQUAL 0)
+  message(FATAL_ERROR
+    "harness broken: the correctly-locked control TU failed to compile, so "
+    "a failure of the bad TU would prove nothing.\n${ok_stderr}")
+endif()
+
+execute_process(
+  COMMAND ${CXX} ${flags} ${SRC_DIR}/guarded_access_bad.cpp
+  RESULT_VARIABLE bad_result
+  ERROR_VARIABLE bad_stderr)
+if(bad_result EQUAL 0)
+  message(FATAL_ERROR
+    "thread-safety analysis is NOT armed: an unguarded access to a "
+    "MLPO_GUARDED_BY field compiled cleanly. Check that the compiler is "
+    "Clang and -Wthread-safety -Werror=thread-safety-analysis are in "
+    "effect.")
+endif()
+string(FIND "${bad_stderr}" "thread-safety" found_idx)
+if(found_idx EQUAL -1)
+  message(FATAL_ERROR
+    "guarded_access_bad.cpp failed to compile, but not with a "
+    "thread-safety diagnostic — the harness would mask unrelated "
+    "breakage.\n${bad_stderr}")
+endif()
+message(STATUS "negative compile OK: unguarded access rejected by -Wthread-safety")

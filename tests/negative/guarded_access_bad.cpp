@@ -1,0 +1,34 @@
+// MUST NOT COMPILE under the thread-safety preset.
+//
+// Reads a MLPO_GUARDED_BY field without holding its mutex. The
+// negative-compile ctest (tests/negative/check_negative_compile.cmake)
+// feeds this TU to the compiler with -Wthread-safety -Werror and asserts
+// the compile *fails* — proving the annotation plumbing is actually armed,
+// not silently no-op'd (which is exactly what happens if this tree is ever
+// built with the macros stubbed out or the warning flag dropped).
+#include "util/mutex.hpp"
+
+namespace {
+
+class Counter {
+ public:
+  void increment() {
+    mlpo::MutexLock lock(mutex_);
+    ++value_;
+  }
+
+  // BUG (deliberate): unguarded read of value_.
+  int read_without_lock() const { return value_; }
+
+ private:
+  mutable mlpo::Mutex mutex_;
+  int value_ MLPO_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int negative_compile_entry() {
+  Counter c;
+  c.increment();
+  return c.read_without_lock();
+}

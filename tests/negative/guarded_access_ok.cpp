@@ -1,0 +1,33 @@
+// Control TU for the negative-compile ctest: identical shape to
+// guarded_access_bad.cpp but with every access correctly locked. Must
+// compile cleanly under the thread-safety preset — if it does not, the
+// harness flags (include path, -std, warning set) are broken and the
+// "bad TU failed to compile" result would be meaningless.
+#include "util/mutex.hpp"
+
+namespace {
+
+class Counter {
+ public:
+  void increment() {
+    mlpo::MutexLock lock(mutex_);
+    ++value_;
+  }
+
+  int read_with_lock() const {
+    mlpo::MutexLock lock(mutex_);
+    return value_;
+  }
+
+ private:
+  mutable mlpo::Mutex mutex_;
+  int value_ MLPO_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int negative_compile_entry() {
+  Counter c;
+  c.increment();
+  return c.read_with_lock();
+}

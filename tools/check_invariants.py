@@ -1,0 +1,141 @@
+#!/usr/bin/env python3
+"""Project-invariant checker (runs from tools/lint.sh and the CI lint job).
+
+Cross-file contracts the compiler cannot see break silently: a bench case
+renamed in C++ stops being gated against its baseline, a ctest label
+renamed in CMake turns the CI step that selects it into a no-op that tests
+nothing. This script re-derives each side of those contracts from the
+checked-in text and fails loudly on drift.
+
+Checked invariants:
+  1. Every BenchCase registered with the "smoke" label in bench/*.cpp has a
+     baseline entry in bench/baselines/smoke.json (and vice versa), so the
+     perf gate actually covers every smoke case.
+  2. Every `ctest ... -L <label>` selection in .github/workflows/ci.yml
+     names a label that some test in tests/CMakeLists.txt carries, so no CI
+     step can silently select zero tests.
+  3. Every bench/*.cpp that defines a BenchCase is listed in
+     bench/harness/register_all.cpp (registration is by explicit call, not
+     static initialiser; an unlisted case compiles fine and never runs).
+
+Zero third-party dependencies; regex-level parsing is deliberate — the
+source of truth is the checked-in text, not a build artifact, so the check
+works before the first configure.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+FAILURES: list[str] = []
+
+
+def fail(msg: str) -> None:
+    FAILURES.append(msg)
+
+
+def parse_bench_cases() -> dict[str, dict]:
+    """name -> {labels: set[str], file: Path} from BenchCase initialisers."""
+    cases: dict[str, dict] = {}
+    for path in sorted((REPO / "bench").glob("*.cpp")):
+        text = path.read_text()
+        # Designated-initialiser registrations:
+        #   BenchCase{ .name = "fig01_memory_wall", ... .labels = {"smoke"},
+        for m in re.finditer(r"\.name\s*=\s*\"([^\"]+)\"", text):
+            name = m.group(1)
+            tail = text[m.end():]
+            # Labels belong to the same initialiser: stop at the next .name.
+            next_case = re.search(r"\.name\s*=", tail)
+            scope = tail[: next_case.start()] if next_case else tail
+            labels: set[str] = set()
+            lm = re.search(r"\.labels\s*=\s*\{([^}]*)\}", scope)
+            if lm:
+                labels = set(re.findall(r"\"([^\"]+)\"", lm.group(1)))
+            cases[name] = {"labels": labels, "file": path}
+    return cases
+
+
+def check_smoke_baselines(cases: dict[str, dict]) -> None:
+    baseline_path = REPO / "bench" / "baselines" / "smoke.json"
+    if not baseline_path.exists():
+        fail(f"missing baseline file: {baseline_path}")
+        return
+    data = json.loads(baseline_path.read_text())
+    baseline_names = {e["name"] for e in data["benchmarks"]}
+
+    smoke_cases = {n for n, c in cases.items() if "smoke" in c["labels"]}
+    for name in sorted(smoke_cases - baseline_names):
+        fail(
+            f"bench case '{name}' carries the \"smoke\" label but has no "
+            f"entry in bench/baselines/smoke.json — the perf gate will "
+            f"fail on it (unknown case) or skip it"
+        )
+    for name in sorted(baseline_names - smoke_cases):
+        fail(
+            f"bench/baselines/smoke.json lists '{name}' but no registered "
+            f"BenchCase carries that name with the \"smoke\" label — stale "
+            f"baseline entry"
+        )
+
+
+def check_ci_labels() -> None:
+    ci = REPO / ".github" / "workflows" / "ci.yml"
+    cmake = REPO / "tests" / "CMakeLists.txt"
+    if not ci.exists() or not cmake.exists():
+        fail("missing ci.yml or tests/CMakeLists.txt")
+        return
+    used = set(re.findall(r"ctest[^\n]*\s-L\s+([A-Za-z0-9_-]+)", ci.read_text()))
+    cmake_text = cmake.read_text()
+    defined: set[str] = set()
+    for m in re.finditer(r"LABELS\s+\"([^\"]+)\"", cmake_text):
+        defined |= set(m.group(1).split(";"))
+    for label in sorted(used - defined):
+        fail(
+            f"ci.yml selects tests with `ctest -L {label}` but no test in "
+            f"tests/CMakeLists.txt sets that label — the step would run "
+            f"zero tests"
+        )
+
+
+def check_register_all(cases: dict[str, dict]) -> None:
+    reg = REPO / "bench" / "harness" / "register_all.cpp"
+    if not reg.exists():
+        fail("missing bench/harness/register_all.cpp")
+        return
+    text = reg.read_text()
+    registering_files = {c["file"].stem for c in cases.values()}
+    for stem in sorted(registering_files):
+        # register_all calls one registration function per bench TU; match
+        # by the TU's stem (e.g. fig01_memory_wall -> register_fig01...()).
+        if stem not in text:
+            fail(
+                f"bench/{stem}.cpp defines a BenchCase but register_all.cpp "
+                f"never references '{stem}' — the case will never register"
+            )
+
+
+def main() -> int:
+    cases = parse_bench_cases()
+    if not cases:
+        fail("parsed zero BenchCase registrations from bench/*.cpp — "
+             "either the bench tree moved or the parser regressed")
+    check_smoke_baselines(cases)
+    check_ci_labels()
+    check_register_all(cases)
+
+    if FAILURES:
+        print(f"check_invariants: {len(FAILURES)} failure(s)", file=sys.stderr)
+        for msg in FAILURES:
+            print(f"  * {msg}", file=sys.stderr)
+        return 1
+    print(f"check_invariants: OK ({len(cases)} bench cases checked)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
