@@ -10,6 +10,7 @@ void register_fig01_memory_wall(BenchRegistry&);
 void register_fig03_update_io_fraction(BenchRegistry&);
 void register_fig04_tier_concurrency(BenchRegistry&);
 void register_fig05_subgroup_throughput(BenchRegistry&);
+void register_fig07_graph_mode(BenchRegistry&);
 void register_fig07_iteration_breakdown(BenchRegistry&);
 void register_fig08_update_throughput(BenchRegistry&);
 void register_fig09_io_throughput(BenchRegistry&);
@@ -20,6 +21,7 @@ void register_fig13_grad_accum(BenchRegistry&);
 void register_fig14_ablation_nvme(BenchRegistry&);
 void register_fig15_ablation_multipath(BenchRegistry&);
 void register_fig_io_scheduler(BenchRegistry&);
+void register_fig_io_scheduler_graph(BenchRegistry&);
 void register_table1_testbeds(BenchRegistry&);
 void register_table2_models(BenchRegistry&);
 void register_ablation_adaptive_model(BenchRegistry&);
@@ -37,6 +39,7 @@ void register_all_cases(BenchRegistry& registry) {
   register_fig03_update_io_fraction(registry);
   register_fig04_tier_concurrency(registry);
   register_fig05_subgroup_throughput(registry);
+  register_fig07_graph_mode(registry);
   register_fig07_iteration_breakdown(registry);
   register_fig08_update_throughput(registry);
   register_fig09_io_throughput(registry);
@@ -47,6 +50,7 @@ void register_all_cases(BenchRegistry& registry) {
   register_fig14_ablation_nvme(registry);
   register_fig15_ablation_multipath(registry);
   register_fig_io_scheduler(registry);
+  register_fig_io_scheduler_graph(registry);
   register_table1_testbeds(registry);
   register_table2_models(registry);
   register_ablation_adaptive_model(registry);

@@ -20,10 +20,13 @@
 
 #include "core/disk_offloader.hpp"
 #include "core/engine.hpp"
+#include "graph/graph_executor.hpp"
 #include "policy/placement_policy.hpp"
 #include "policy/update_order_policy.hpp"
 #include "tiers/virtual_tier.hpp"
 #include "train/grad_accum.hpp"
+#include "util/mutex.hpp"
+#include "util/work_stealing_pool.hpp"
 
 namespace mlpo {
 
@@ -72,6 +75,9 @@ class TensorNvmeEngine final : public Engine {
   /// Write subgroup `id`'s staging tensor to the offloader the placement
   /// policy currently assigns it, recording that location for later reads.
   void write_through(u32 id);
+  // The two iteration execution modes (EngineOptions::execution).
+  IterationReport run_update_linear(u64 iteration);
+  IterationReport run_update_graph(u64 iteration);
 
   EngineContext ctx_;
   EngineOptions opts_;
@@ -91,6 +97,14 @@ class TensorNvmeEngine final : public Engine {
   std::unique_ptr<GradAccumulator> accum_;
   IoBatch gradient_io_;
   bool initialized_ = false;
+
+  // Graph mode only (null under "linear").
+  std::unique_ptr<WorkStealingPool> graph_pool_;
+  std::unique_ptr<GraphExecutor> graph_exec_;
+  /// Serializes graph-node access to the DiskOffloaders (their pending
+  /// batches are plain future collectors, not thread-safe). The linear
+  /// path never takes it.
+  Mutex graph_mutex_;
 };
 
 }  // namespace mlpo

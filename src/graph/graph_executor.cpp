@@ -1,0 +1,185 @@
+#include "graph/graph_executor.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace mlpo {
+
+// Shared state of one run(). Lives on run()'s stack; every node —
+// including deferred IO completions firing from dispatch threads — is
+// accounted in `remaining`, and run() only returns once it hits zero, so
+// nothing here can dangle.
+struct TaskContext::RunState {
+  const TaskGraph* graph = nullptr;
+  WorkStealingPool* pool = nullptr;
+
+  Mutex mutex;
+  CondVar done_cv;
+  std::vector<u32> pending MLPO_GUARDED_BY(mutex);   ///< in-degree left
+  std::vector<u8> finished MLPO_GUARDED_BY(mutex);   ///< double-finish guard
+  std::size_t remaining MLPO_GUARDED_BY(mutex) = 0;  ///< unfinished nodes
+  u64 frontier MLPO_GUARDED_BY(mutex) = 0;  ///< released, not finished
+  u64 frontier_high_water MLPO_GUARDED_BY(mutex) = 0;
+  u64 executed MLPO_GUARDED_BY(mutex) = 0;
+  u64 skipped MLPO_GUARDED_BY(mutex) = 0;
+  std::exception_ptr first_error MLPO_GUARDED_BY(mutex);
+
+  std::atomic<bool> cancelled{false};
+  std::function<void()> on_cancel;  ///< fired once, outside mutex
+};
+
+bool TaskContext::cancelled() const {
+  return st_->cancelled.load(std::memory_order_acquire);
+}
+
+std::function<void(std::exception_ptr)> TaskContext::defer() {
+  deferred_ = true;
+  if (!fired_) fired_ = std::make_shared<std::atomic<bool>>(false);
+  RunState* st = st_;
+  const u32 id = id_;
+  return [st, id, fired = fired_](std::exception_ptr error) {
+    // Exactly once: the settle path, a caller retry, and exec_node's
+    // post-defer error path all race through this flag; only the winner
+    // calls finish_node (the losers must not even read *st — the winner's
+    // finish may be the run's last, after which st is destroyed).
+    if (fired->exchange(true, std::memory_order_acq_rel)) return;
+    GraphExecutor::finish_node(*st, id, std::move(error));
+  };
+}
+
+void GraphExecutor::dispatch(TaskContext::RunState& st,
+                             std::vector<u32> ready) {
+  // Lower order_rank enters the deques first — the UpdateOrderPolicy as a
+  // tie-break among ready nodes, not a serialization.
+  std::sort(ready.begin(), ready.end(), [&st](u32 a, u32 b) {
+    const auto& na = st.graph->nodes_[a];
+    const auto& nb = st.graph->nodes_[b];
+    return na.order_rank != nb.order_rank ? na.order_rank < nb.order_rank
+                                          : a < b;
+  });
+  for (const u32 id : ready) {
+    // try_submit, not submit: on the shutdown path (a cancelled run
+    // unwinding while the pool is being torn down) the pool may already
+    // be stopping — the node then runs inline on this thread, where the
+    // cancelled flag skips its work and only the bookkeeping happens.
+    if (!st.pool->try_submit([&st, id] { exec_node(st, id); })) {
+      exec_node(st, id);
+    }
+  }
+}
+
+void GraphExecutor::exec_node(TaskContext::RunState& st, u32 id) {
+  TaskContext ctx(st, id);
+  std::exception_ptr error;
+  const bool skip = st.cancelled.load(std::memory_order_acquire);
+  const NodeWork& work = st.graph->nodes_[id].work;
+  // Count BEFORE running the work: once a deferred node's work has
+  // submitted its IO, the settle callback may finish the node — and if it
+  // was the run's last, run() returns and st is destroyed. So after
+  // work() returns, st may only be touched by whoever wins the node's
+  // finish; plain bookkeeping here would be a use-after-free.
+  {
+    MutexLock lock(st.mutex);
+    if (skip) {
+      ++st.skipped;
+    } else {
+      ++st.executed;
+    }
+  }
+  if (!skip && work) {
+    try {
+      work(ctx);
+    } catch (...) {
+      error = std::current_exception();
+    }
+  }
+  if (ctx.deferred_) {
+    // Success: the completion callback owns the finish. A throw after
+    // defer() finishes with the error — through the same fired-once flag,
+    // so if the completion callback got there first we touch nothing.
+    if (!error) return;
+    if (ctx.fired_->exchange(true, std::memory_order_acq_rel)) return;
+  }
+  finish_node(st, id, std::move(error));
+}
+
+void GraphExecutor::finish_node(TaskContext::RunState& st, u32 id,
+                                std::exception_ptr error) {
+  std::vector<u32> ready;
+  bool fire_cancel = false;
+  {
+    MutexLock lock(st.mutex);
+    if (st.finished[id]) return;  // defer() misuse; never finish twice
+    st.finished[id] = 1;
+    if (error && !st.first_error) {
+      st.first_error = std::move(error);
+      st.cancelled.store(true, std::memory_order_release);
+      fire_cancel = st.on_cancel != nullptr;
+    }
+    --st.frontier;
+    for (const u32 to : st.graph->nodes_[id].out) {
+      if (--st.pending[to] == 0) ready.push_back(to);
+    }
+    st.frontier += ready.size();
+    st.frontier_high_water = std::max(st.frontier_high_water, st.frontier);
+  }
+  if (fire_cancel) st.on_cancel();
+  dispatch(st, std::move(ready));
+  // The remaining-count decrement is the LAST touch of st: once it hits
+  // zero run() may wake, return, and destroy st, so nothing below this
+  // block may reference it. notify fires under the lock for the same
+  // reason — after our unlock the waiter owns the state.
+  {
+    MutexLock lock(st.mutex);
+    if (--st.remaining == 0) st.done_cv.notify_all();
+  }
+}
+
+GraphExecutor::Stats GraphExecutor::run(const TaskGraph& graph,
+                                        std::function<void()> on_cancel) {
+  graph.validate();
+  Stats stats;
+  if (graph.node_count() == 0) return stats;
+
+  const u64 stolen_start = pool_->tasks_stolen();
+  const f64 idle_start = pool_->idle_seconds();
+
+  TaskContext::RunState st;
+  st.graph = &graph;
+  st.pool = pool_;
+  st.on_cancel = std::move(on_cancel);
+
+  std::vector<u32> roots;
+  {
+    MutexLock lock(st.mutex);
+    const auto n = static_cast<u32>(graph.node_count());
+    st.pending.resize(n);
+    st.finished.assign(n, 0);
+    st.remaining = n;
+    for (u32 id = 0; id < n; ++id) {
+      st.pending[id] = graph.nodes_[id].in_degree;
+      if (st.pending[id] == 0) roots.push_back(id);
+    }
+    st.frontier = roots.size();
+    st.frontier_high_water = st.frontier;
+  }
+  dispatch(st, std::move(roots));
+
+  std::exception_ptr error;
+  {
+    MutexLock lock(st.mutex);
+    while (st.remaining > 0) st.done_cv.wait(lock);
+    stats.nodes_executed = st.executed;
+    stats.nodes_skipped = st.skipped;
+    stats.frontier_high_water = st.frontier_high_water;
+    error = st.first_error;
+  }
+  // Deltas over the borrowed pool: exact while the engine owns its pool
+  // (the intended wiring), approximate if callers share one.
+  stats.tasks_stolen = pool_->tasks_stolen() - stolen_start;
+  stats.idle_seconds = pool_->idle_seconds() - idle_start;
+  if (error) std::rethrow_exception(error);
+  return stats;
+}
+
+}  // namespace mlpo

@@ -1,0 +1,82 @@
+#include "graph/task_graph.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <stdexcept>
+
+namespace mlpo {
+
+const char* node_kind_name(NodeKind kind) {
+  switch (kind) {
+    case NodeKind::kFetch: return "fetch";
+    case NodeKind::kCompute: return "compute";
+    case NodeKind::kGradDeposit: return "grad-deposit";
+    case NodeKind::kFlush: return "flush";
+    case NodeKind::kCheckpointPrestage: return "checkpoint-prestage";
+  }
+  return "unknown";
+}
+
+u32 TaskGraph::add_node(NodeKind kind, std::string label, u64 order_rank,
+                        NodeWork work) {
+  Node node;
+  node.kind = kind;
+  node.label = std::move(label);
+  node.order_rank = order_rank;
+  node.work = std::move(work);
+  nodes_.push_back(std::move(node));
+  return static_cast<u32>(nodes_.size() - 1);
+}
+
+void TaskGraph::add_edge(u32 from, u32 to) {
+  if (from >= nodes_.size() || to >= nodes_.size()) {
+    throw std::out_of_range("TaskGraph: edge endpoint out of range (" +
+                            std::to_string(from) + " -> " +
+                            std::to_string(to) + ", " +
+                            std::to_string(nodes_.size()) + " nodes)");
+  }
+  if (from == to) {
+    throw std::logic_error("TaskGraph: self-edge on node '" +
+                           nodes_[from].label + "'");
+  }
+  auto& out = nodes_[from].out;
+  if (std::find(out.begin(), out.end(), to) != out.end()) {
+    throw std::logic_error("TaskGraph: duplicate edge '" +
+                           nodes_[from].label + "' -> '" + nodes_[to].label +
+                           "'");
+  }
+  out.push_back(to);
+  ++nodes_[to].in_degree;
+}
+
+void TaskGraph::validate() const {
+  // Kahn's algorithm: repeatedly peel zero-in-degree nodes; anything left
+  // over sits on (or downstream of) a cycle.
+  std::vector<u32> pending(nodes_.size());
+  std::deque<u32> ready;
+  for (u32 id = 0; id < nodes_.size(); ++id) {
+    pending[id] = nodes_[id].in_degree;
+    if (pending[id] == 0) ready.push_back(id);
+  }
+  std::size_t released = 0;
+  while (!ready.empty()) {
+    const u32 id = ready.front();
+    ready.pop_front();
+    ++released;
+    for (const u32 to : nodes_[id].out) {
+      if (--pending[to] == 0) ready.push_back(to);
+    }
+  }
+  if (released != nodes_.size()) {
+    for (u32 id = 0; id < nodes_.size(); ++id) {
+      if (pending[id] != 0) {
+        throw std::logic_error("TaskGraph: cycle through node '" +
+                               nodes_[id].label + "' (" +
+                               std::to_string(nodes_.size() - released) +
+                               " nodes unreleasable)");
+      }
+    }
+  }
+}
+
+}  // namespace mlpo

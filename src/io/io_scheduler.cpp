@@ -152,6 +152,7 @@ std::future<void> IoScheduler::submit(IoRequest req) {
   auto fut = pending->done.get_future();
 
   std::size_t depth_after = 0;
+  bool rejected = false;
   {
     MutexLock lk(q.mutex);
     while (!closed_.load(std::memory_order_acquire) &&
@@ -159,18 +160,24 @@ std::future<void> IoScheduler::submit(IoRequest req) {
       q.not_full.wait(lk);
     }
     if (closed_.load(std::memory_order_acquire)) {
-      settle_error(*pending,
-                   std::make_exception_ptr(std::runtime_error(
-                       "IoScheduler: submit after shutdown")));
-      return fut;
+      rejected = true;
+    } else {
+      q.classes[class_of(pending->req)].push_back(std::move(pending));
+      ++q.size;
+      depth_after = q.size;
+      // Count before the dispatcher can possibly settle this request (we
+      // still hold q.mutex), so drain() never sees settled_ overtake a
+      // stale submitted_ and return with work in flight.
+      submitted_.fetch_add(1, std::memory_order_acq_rel);
     }
-    q.classes[class_of(pending->req)].push_back(std::move(pending));
-    ++q.size;
-    depth_after = q.size;
-    // Count before the dispatcher can possibly settle this request (we
-    // still hold q.mutex), so drain() never sees settled_ overtake a
-    // stale submitted_ and return with work in flight.
-    submitted_.fetch_add(1, std::memory_order_acq_rel);
+  }
+  if (rejected) {
+    // Settled outside q.mutex: on_settle is an arbitrary callback (the
+    // graph executor's completion edge) and must never run under a
+    // channel lock.
+    settle(*pending, std::make_exception_ptr(std::runtime_error(
+                         "IoScheduler: submit after shutdown")));
+    return fut;
   }
   // Stats land outside q.mutex so the global stats lock never nests inside
   // a channel lock (a fast dispatcher may transiently show completed >
@@ -279,9 +286,9 @@ void IoScheduler::run_batch(ChannelQueue& q,
         MutexLock slk(stats_mutex_);
         ++stats_.priority[pri].cancelled;
       }
-      settle_error(*p, std::make_exception_ptr(IoCancelled(
-                           "IoScheduler: request cancelled while queued: " +
-                           p->req.key)));
+      settle(*p, std::make_exception_ptr(IoCancelled(
+                     "IoScheduler: request cancelled while queued: " +
+                     p->req.key)));
       finish_one();
       continue;
     }
@@ -323,11 +330,7 @@ void IoScheduler::run_batch(ChannelQueue& q,
         error = std::current_exception();
       }
     }
-    if (error) {
-      settle_error(*p, std::move(error));
-    } else {
-      p->done.set_value();
-    }
+    settle(*p, std::move(error));
     item_start = clock_->now();
     finish_one();
   }
@@ -362,6 +365,18 @@ u64 IoScheduler::execute(IoRequest& req, IoChannel& channel) {
       return effective_bytes(req);
   }
   throw std::logic_error("IoScheduler: unreachable target");
+}
+
+void IoScheduler::settle(Pending& pending, std::exception_ptr error) {
+  if (error) {
+    settle_error(pending, error);
+  } else {
+    pending.done.set_value();
+  }
+  // on_settle fires strictly after the future has settled, so a hook that
+  // hands the result to another thread can let that thread get() without
+  // blocking. Every settled request passes through here exactly once.
+  if (pending.req.on_settle) pending.req.on_settle(std::move(error));
 }
 
 void IoScheduler::settle_error(Pending& pending, std::exception_ptr error) {

@@ -165,6 +165,7 @@ class IoScheduler {
 
   ChannelQueue& route(const IoRequest& req);
   ChannelQueue& external_channel_for(StorageTier* tier);
+  void settle(Pending& pending, std::exception_ptr error);
   void settle_error(Pending& pending, std::exception_ptr error);
   std::size_t cancel_queued_matching(const IoPriority* priority);
   std::size_t class_of(const IoRequest& req) const;

@@ -67,6 +67,19 @@ EngineOptions engine_from_json(const json::Value& section) {
     opts.host_cache_subgroups =
         static_cast<u32>(section.at("host_cache_subgroups").as_int());
   }
+  // Iteration execution mode, strict-validated at parse time like the
+  // policy names: an unknown mode aborts here with the known set.
+  if (section.contains("execution")) {
+    opts.execution = section.at("execution").as_string();
+    if (opts.execution != "linear" && opts.execution != "graph") {
+      throw std::invalid_argument("config: unknown execution mode '" +
+                                  opts.execution + "' (known: linear graph)");
+    }
+  }
+  if (section.contains("graph_workers")) {
+    opts.graph_workers =
+        static_cast<u32>(section.at("graph_workers").as_int());
+  }
   return opts;
 }
 

@@ -36,6 +36,12 @@ void IterationReport::accumulate_counters(const IterationReport& r) {
   }
   io_coalesced_batches += r.io_coalesced_batches;
   io_max_queue_depth = std::max(io_max_queue_depth, r.io_max_queue_depth);
+  // High-water marks merge as max (like io_max_queue_depth); the other
+  // graph counters are additive like their io_* siblings.
+  graph_frontier_high_water =
+      std::max(graph_frontier_high_water, r.graph_frontier_high_water);
+  graph_tasks_stolen += r.graph_tasks_stolen;
+  graph_executor_idle_seconds += r.graph_executor_idle_seconds;
   recoveries += r.recoveries;
   recovery_seconds += r.recovery_seconds;
   lost_work_iterations += r.lost_work_iterations;
@@ -80,6 +86,11 @@ IterationReport average_reports(const std::vector<IterationReport>& reports) {
   }
   avg.io_coalesced_batches =
       static_cast<u64>(static_cast<f64>(avg.io_coalesced_batches) / n);
+  // graph_frontier_high_water stays the max (a high-water mark has no
+  // meaningful mean); the additive graph counters average per iteration.
+  avg.graph_tasks_stolen =
+      static_cast<u64>(static_cast<f64>(avg.graph_tasks_stolen) / n);
+  avg.graph_executor_idle_seconds /= n;
   // Recovery counters stay *totals* across the averaged window: recoveries
   // are rare discrete events, and "0.33 recoveries per iteration" would
   // round to zero and hide them.

@@ -65,6 +65,12 @@ struct IterationReport {
   u64 io_coalesced_batches = 0;  ///< small-transfer batches merged
   u64 io_max_queue_depth = 0;    ///< channel-queue high-water mark so far
 
+  // Graph-execution counters (zero under the linear pipeline). Set by the
+  // engines from GraphExecutor::Stats when execution == "graph".
+  u64 graph_frontier_high_water = 0;  ///< widest ready frontier seen
+  u64 graph_tasks_stolen = 0;         ///< cross-deque pool steals
+  f64 graph_executor_idle_seconds = 0;  ///< real secs pool workers parked
+
   // Resilience counters (set by the RecoveryDriver on the first iteration
   // after a recovery; zero on failure-free iterations).
   u32 recoveries = 0;            ///< recoveries charged to this iteration

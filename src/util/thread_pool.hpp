@@ -18,6 +18,7 @@
 #include <functional>
 #include <future>
 #include <memory>
+#include <optional>
 #include <stdexcept>
 #include <thread>
 #include <vector>
@@ -48,6 +49,26 @@ class ThreadPool {
     {
       MutexLock lock(mutex_);
       if (stopping_) throw std::runtime_error("ThreadPool: submit after stop");
+      queue_.emplace_back([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return fut;
+  }
+
+  /// Non-throwing submit: returns nullopt instead of throwing when the
+  /// pool is already stopping. For shutdown paths that legitimately race
+  /// the destructor (e.g. a graph executor unwinding a cancelled graph
+  /// while its pool is being torn down) — the caller must be prepared to
+  /// run the task inline or drop it when nullopt comes back.
+  template <typename F>
+  auto try_submit(F&& fn)
+      -> std::optional<std::future<std::invoke_result_t<F>>> {
+    using R = std::invoke_result_t<F>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    auto fut = task->get_future();
+    {
+      MutexLock lock(mutex_);
+      if (stopping_) return std::nullopt;
       queue_.emplace_back([task] { (*task)(); });
     }
     cv_.notify_one();

@@ -1,0 +1,132 @@
+#include "util/work_stealing_pool.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+namespace mlpo {
+
+namespace {
+// Which deque the current thread owns, when it is a pool worker. The pool
+// pointer disambiguates nested pools (an engine's pool worker submitting
+// into another pool must not claim a deque index there).
+thread_local const WorkStealingPool* tls_pool = nullptr;
+thread_local std::size_t tls_worker = 0;
+}  // namespace
+
+WorkStealingPool::WorkStealingPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::max<std::size_t>(2, std::thread::hardware_concurrency());
+  }
+  threads = std::max<std::size_t>(2, threads);
+  deques_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    deques_.push_back(std::make_unique<WorkerDeque>());
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+WorkStealingPool::~WorkStealingPool() {
+  {
+    MutexLock lock(park_mutex_);
+    stopping_ = true;
+  }
+  park_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+f64 WorkStealingPool::idle_seconds() const {
+  MutexLock lock(park_mutex_);
+  return idle_seconds_;
+}
+
+bool WorkStealingPool::enqueue(std::function<void()> task) {
+  // A worker pushes to its own deque (depth-first locality: the node it
+  // just released runs next on this worker unless stolen); outside
+  // threads — the engine thread building the graph, IO dispatch threads
+  // completing deferred nodes — spread round-robin.
+  const std::size_t target =
+      tls_pool == this
+          ? tls_worker
+          : next_deque_.fetch_add(1, std::memory_order_relaxed) %
+                deques_.size();
+  {
+    // stopping_ check, deque push, and queued_ bump form one critical
+    // section under park_mutex_ (deque mutex nested inside): a task is
+    // either visibly queued before the destructor flips stopping_ — and
+    // then drained by the exit condition below — or rejected outright.
+    MutexLock lock(park_mutex_);
+    if (stopping_) return false;
+    {
+      WorkerDeque& d = *deques_[target];
+      MutexLock dlock(d.mutex);
+      d.tasks.push_back(std::move(task));
+    }
+    ++queued_;
+  }
+  park_cv_.notify_one();
+  return true;
+}
+
+std::optional<std::function<void()>> WorkStealingPool::take(
+    std::size_t self) {
+  std::optional<std::function<void()>> task;
+  bool stolen = false;
+  {
+    WorkerDeque& own = *deques_[self];
+    MutexLock dlock(own.mutex);
+    if (!own.tasks.empty()) {
+      task = std::move(own.tasks.front());
+      own.tasks.pop_front();
+    }
+  }
+  if (!task) {
+    // Steal scan: victims in index order starting after self; take the
+    // *back* of the victim's deque, the end its owner touches last.
+    for (std::size_t i = 1; i < deques_.size() && !task; ++i) {
+      WorkerDeque& victim = *deques_[(self + i) % deques_.size()];
+      MutexLock dlock(victim.mutex);
+      if (!victim.tasks.empty()) {
+        task = std::move(victim.tasks.back());
+        victim.tasks.pop_back();
+        stolen = true;
+      }
+    }
+  }
+  if (task) {
+    if (stolen) tasks_stolen_.fetch_add(1, std::memory_order_relaxed);
+    MutexLock lock(park_mutex_);
+    // queued_ lags the deque pops by this decrement; a worker that races
+    // the gap sees a phantom positive count, scans, finds nothing, and
+    // parks — never the reverse (a task hidden behind a zero count).
+    --queued_;
+  }
+  return task;
+}
+
+void WorkStealingPool::worker_loop(std::size_t self) {
+  tls_pool = this;
+  tls_worker = self;
+  for (;;) {
+    if (auto task = take(self)) {
+      (*task)();
+      continue;
+    }
+    MutexLock lock(park_mutex_);
+    if (queued_ == 0 && !stopping_) {
+      const auto park_start = std::chrono::steady_clock::now();
+      while (queued_ == 0 && !stopping_) park_cv_.wait(lock);
+      idle_seconds_ +=
+          std::chrono::duration<f64>(std::chrono::steady_clock::now() -
+                                     park_start)
+              .count();
+    }
+    // Drain-then-exit: only an empty pool lets a worker leave, so every
+    // accepted task's future stays redeemable (ThreadPool's contract).
+    if (queued_ == 0 && stopping_) return;
+  }
+}
+
+}  // namespace mlpo

@@ -10,6 +10,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <future>
 #include <thread>
 #include <vector>
 
@@ -18,6 +19,7 @@
 #include "util/aligned_buffer.hpp"
 #include "util/mpmc_queue.hpp"
 #include "util/thread_pool.hpp"
+#include "util/work_stealing_pool.hpp"
 
 namespace mlpo {
 namespace {
@@ -156,6 +158,124 @@ TEST(ThreadPoolHammer, EverySuccessfulSubmitRedeemsItsFuture) {
     EXPECT_EQ(redeemed, submitted.load()) << "round " << round;
     EXPECT_EQ(executed.load(), submitted.load()) << "round " << round;
   }
+}
+
+TEST(ThreadPoolHammer, TrySubmitNeverThrowsAndEveryFutureRedeems) {
+  // try_submit's contract under the same destructor race: it must never
+  // throw — rejection is nullopt — and every future it DID hand out must
+  // redeem (the task was accepted before stop, so the drain covers it).
+  for (int round = 0; round < 8; ++round) {
+    std::atomic<u64> executed{0};
+    std::atomic<u64> submitted{0};
+    std::atomic<bool> stop{false};
+    std::atomic<bool> saw_rejection{false};
+    std::vector<std::thread> submitters;
+    std::vector<std::future<void>> futures[4];
+
+    {
+      ThreadPool pool(3);
+      for (int s = 0; s < 4; ++s) {
+        submitters.emplace_back([&pool, &executed, &submitted, &stop,
+                                 &saw_rejection, &futs = futures[s]] {
+          while (!stop.load(std::memory_order_acquire)) {
+            auto fut = pool.try_submit([&executed] {
+              executed.fetch_add(1, std::memory_order_relaxed);
+            });
+            if (!fut.has_value()) {
+              saw_rejection.store(true, std::memory_order_relaxed);
+              return;  // pool is stopping — the documented outcome
+            }
+            futs.push_back(std::move(*fut));
+            submitted.fetch_add(1, std::memory_order_relaxed);
+          }
+        });
+      }
+      while (executed.load(std::memory_order_relaxed) < 64) {
+        std::this_thread::yield();
+      }
+      stop.store(true, std::memory_order_release);
+      for (auto& t : submitters) t.join();
+    }  // ~ThreadPool races the submitters above in earlier iterations
+
+    u64 redeemed = 0;
+    for (auto& futs : futures) {
+      for (auto& f : futs) {
+        f.get();
+        ++redeemed;
+      }
+    }
+    EXPECT_EQ(redeemed, submitted.load()) << "round " << round;
+    EXPECT_EQ(executed.load(), submitted.load()) << "round " << round;
+  }
+}
+
+TEST(WorkStealingPoolHammer, DrainsEverythingAcceptedUnderSubmitStorm) {
+  // Same shutdown contract as ThreadPool, plus the steal path: multiple
+  // submitters race each other (round-robin across worker deques) and the
+  // destructor; every accepted task must execute and every future redeem.
+  for (int round = 0; round < 8; ++round) {
+    std::atomic<u64> executed{0};
+    std::atomic<u64> submitted{0};
+    std::atomic<bool> stop{false};
+    std::vector<std::thread> submitters;
+    std::vector<std::future<void>> futures[4];
+
+    {
+      WorkStealingPool pool(3);
+      for (int s = 0; s < 4; ++s) {
+        submitters.emplace_back([&pool, &executed, &submitted, &stop,
+                                 &futs = futures[s]] {
+          while (!stop.load(std::memory_order_acquire)) {
+            auto fut = pool.try_submit([&executed] {
+              executed.fetch_add(1, std::memory_order_relaxed);
+            });
+            if (!fut.has_value()) return;  // stopping
+            futs.push_back(std::move(*fut));
+            submitted.fetch_add(1, std::memory_order_relaxed);
+          }
+        });
+      }
+      while (executed.load(std::memory_order_relaxed) < 64) {
+        std::this_thread::yield();
+      }
+      stop.store(true, std::memory_order_release);
+      for (auto& t : submitters) t.join();
+    }  // ~WorkStealingPool: drain-then-exit
+
+    u64 redeemed = 0;
+    for (auto& futs : futures) {
+      for (auto& f : futs) {
+        f.get();
+        ++redeemed;
+      }
+    }
+    EXPECT_EQ(redeemed, submitted.load()) << "round " << round;
+    EXPECT_EQ(executed.load(), submitted.load()) << "round " << round;
+  }
+}
+
+TEST(WorkStealingPoolHammer, WorkerLocalSubmissionLandsOnOwnDeque) {
+  // Tasks submitted FROM a pool worker push to that worker's own deque
+  // (the locality fast path). Recursive fan-out from inside tasks must
+  // complete without deadlock and preserve the drain guarantee.
+  // No blocking inside tasks (a worker waiting on a future it must itself
+  // drain would deadlock); the main thread waits on the counter instead,
+  // while the pool is alive, so no nested submit can race the stop flag.
+  std::atomic<int> leaf_count{0};
+  WorkStealingPool pool(3);
+  for (int i = 0; i < 16; ++i) {
+    pool.submit([&pool, &leaf_count] {
+      for (int j = 0; j < 8; ++j) {
+        pool.submit([&leaf_count] {
+          leaf_count.fetch_add(1, std::memory_order_relaxed);
+        });
+      }
+    });
+  }
+  while (leaf_count.load(std::memory_order_acquire) < 16 * 8) {
+    std::this_thread::yield();
+  }
+  EXPECT_EQ(leaf_count.load(), 16 * 8);
 }
 
 TEST(BufferPoolHammer, LeasesNeverOversubscribe) {

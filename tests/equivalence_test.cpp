@@ -29,7 +29,8 @@ ShardLayout test_layout() {
 
 // Run a full mini-training with the given options and return the end-state
 // digest. The engine kind in `opts.engine` selects the implementation.
-u64 run_opts(EngineOptions opts, u32 accum_steps = 1) {
+u64 run_opts(EngineOptions opts, u32 accum_steps = 1,
+             const ShardLayout& layout = test_layout()) {
   SimClock clock(50000.0);
   VirtualTier vtier;
   ThrottleSpec fast{8e6, 6e6};
@@ -57,7 +58,7 @@ u64 run_opts(EngineOptions opts, u32 accum_steps = 1) {
   ctx.vtier = &vtier;
   ctx.io = &io;
   ctx.grads = &grads;
-  const auto engine = make_engine(ctx, opts, test_layout());
+  const auto engine = make_engine(ctx, opts, layout);
   engine->initialize();
 
   for (u64 iter = 0; iter < kIterations; ++iter) {
@@ -167,6 +168,74 @@ TEST(Equivalence, DifferentGradientsProduceDifferentStates) {
   // two accumulation micro-steps diverge).
   EXPECT_NE(run_config(true, true, true, true, 1),
             run_config(true, true, true, true, 2));
+}
+
+// --- Graph-vs-linear execution parity ---------------------------------------
+//
+// The task-graph executor reorders and overlaps the same per-subgroup work
+// the linear pipeline serializes; the training state must not notice.
+// Sweep: both offloading engines x several placement/ordering combos, plus
+// the elastic layout variant, each compared against the shared baseline
+// digest (graph == linear == baseline, transitively).
+
+class GraphLinearParity
+    : public ::testing::TestWithParam<
+          std::tuple<std::string, std::string, std::string>> {};
+
+TEST_P(GraphLinearParity, GraphExecutionBitIdenticalToLinear) {
+  const auto& [engine_kind, placement, order] = GetParam();
+  EngineOptions opts;
+  opts.engine = engine_kind;
+  opts.placement_policy = placement;
+  opts.update_order_policy = order;
+  opts.execution = "graph";
+  opts.graph_workers = 4;
+  const u64 graph_digest = run_opts(opts);
+  opts.execution = "linear";
+  const u64 linear_digest = run_opts(opts);
+  EXPECT_EQ(graph_digest, linear_digest)
+      << "engine=" << engine_kind << " placement=" << placement
+      << " order=" << order;
+  EXPECT_EQ(graph_digest, baseline_digest());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    EnginesTimesPolicies, GraphLinearParity,
+    ::testing::Combine(
+        ::testing::Values("offload", "tensor_nvme"),
+        ::testing::Values("adaptive_ema", "eq1_static", "round_robin"),
+        // ascending also exercises the eager-flush (no host cache) graph
+        // path; the other two take the lazy flush-through-cache path.
+        ::testing::Values("ascending", "alternating_cache_friendly",
+                          "host_resident_first")),
+    [](const auto& info) {
+      return std::get<0>(info.param) + "_" + std::get<1>(info.param) + "_x_" +
+             std::get<2>(info.param);
+    });
+
+TEST(GraphLinearParityElastic, ElasticLayoutShardsSumToSameDigest) {
+  // Elastic layouts change subgroup->rank ownership but not subgroup
+  // identity; the commutative whole-model digest (summed over ranks) must
+  // match between executions. World of 2 over 5 global subgroups: rank 0
+  // takes 3, rank 1 takes 2 — an uneven split on purpose.
+  constexpr u32 kWorld = 2;
+  const u64 total_params = kSubgroupParams * 5;
+  for (const std::string engine_kind : {"offload", "tensor_nvme"}) {
+    u64 graph_sum = 0;
+    u64 linear_sum = 0;
+    for (u32 rank = 0; rank < kWorld; ++rank) {
+      const ShardLayout layout = make_elastic_shard_layout(
+          total_params, kWorld, static_cast<int>(rank), kSubgroupParams);
+      EngineOptions opts;
+      opts.engine = engine_kind;
+      opts.execution = "graph";
+      opts.graph_workers = 4;
+      graph_sum += run_opts(opts, 1, layout);
+      opts.execution = "linear";
+      linear_sum += run_opts(opts, 1, layout);
+    }
+    EXPECT_EQ(graph_sum, linear_sum) << "engine=" << engine_kind;
+  }
 }
 
 }  // namespace

@@ -95,6 +95,31 @@ TEST(IterationReport, AverageAcrossIterations) {
   EXPECT_THROW(average_reports({}), std::invalid_argument);
 }
 
+TEST(IterationReport, GraphExecutorCountersFoldWithTheRightSemantics) {
+  // accumulate_counters: the frontier is a high-water mark (max-merge),
+  // steals and idle time are totals (additive). average_reports keeps the
+  // max for the high-water mark and divides the additive ones by n.
+  IterationReport a;
+  a.graph_frontier_high_water = 6;
+  a.graph_tasks_stolen = 10;
+  a.graph_executor_idle_seconds = 0.25;
+  IterationReport b;
+  b.graph_frontier_high_water = 4;
+  b.graph_tasks_stolen = 2;
+  b.graph_executor_idle_seconds = 0.75;
+
+  IterationReport sum = a;
+  sum.accumulate_counters(b);
+  EXPECT_EQ(sum.graph_frontier_high_water, 6u);
+  EXPECT_EQ(sum.graph_tasks_stolen, 12u);
+  EXPECT_NEAR(sum.graph_executor_idle_seconds, 1.0, 1e-12);
+
+  const auto avg = average_reports({a, b});
+  EXPECT_EQ(avg.graph_frontier_high_water, 6u);
+  EXPECT_EQ(avg.graph_tasks_stolen, 6u);
+  EXPECT_NEAR(avg.graph_executor_idle_seconds, 0.5, 1e-12);
+}
+
 TEST(IterationReport, SubgroupTraceThroughputs) {
   SubgroupTrace t{};
   t.sim_bytes_read = 4000;

@@ -153,6 +153,26 @@ TEST(TrainerConfigJson, UnknownPolicyNamesAreLoud) {
                std::invalid_argument);
 }
 
+TEST(TrainerConfigJson, ExecutionModeKeysParsedAndValidated) {
+  EXPECT_EQ(trainer_config_from_json(std::string("{}")).engine.execution,
+            "linear");
+  const auto cfg = trainer_config_from_json(std::string(
+      R"({"mlp_offload": {"execution": "graph", "graph_workers": 6}})"));
+  EXPECT_EQ(cfg.engine.execution, "graph");
+  EXPECT_EQ(cfg.engine.graph_workers, 6u);
+  EXPECT_EQ(cfg.engine.resolved_graph_workers(), 6u);
+  try {
+    trainer_config_from_json(std::string(
+        R"({"mlp_offload": {"execution": "quantum"}})"));
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("quantum"), std::string::npos) << what;
+    EXPECT_NE(what.find("linear"), std::string::npos)
+        << "error must list the known modes: " << what;
+  }
+}
+
 TEST(TrainerConfigJson, NoPfsForcesSinglePath) {
   const auto cfg =
       trainer_config_from_json(std::string(R"({"attach_pfs": false})"));

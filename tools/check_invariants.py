@@ -17,6 +17,10 @@ Checked invariants:
   3. Every bench/*.cpp that defines a BenchCase is listed in
      bench/harness/register_all.cpp (registration is by explicit call, not
      static initialiser; an unlisted case compiles fine and never runs).
+  4. The graph-execution suites stay wired end to end: some test carries
+     the "graph" ctest label, ci.yml has a step selecting `-L graph`, and
+     at least one smoke bench case carries the "graph" label (so the
+     executor's perf gates ride the baseline comparison).
 
 Zero third-party dependencies; regex-level parsing is deliberate — the
 source of truth is the checked-in text, not a build artifact, so the check
@@ -83,22 +87,55 @@ def check_smoke_baselines(cases: dict[str, dict]) -> None:
         )
 
 
+def ctest_labels_defined() -> set[str]:
+    """Labels any ctest registration carries (tests/ and bench/ CMake)."""
+    defined: set[str] = set()
+    for cmake in (REPO / "tests" / "CMakeLists.txt",
+                  REPO / "bench" / "CMakeLists.txt"):
+        if not cmake.exists():
+            continue
+        for m in re.finditer(r"LABELS\s+\"([^\"]+)\"", cmake.read_text()):
+            defined |= set(m.group(1).split(";"))
+    return defined
+
+
 def check_ci_labels() -> None:
     ci = REPO / ".github" / "workflows" / "ci.yml"
-    cmake = REPO / "tests" / "CMakeLists.txt"
-    if not ci.exists() or not cmake.exists():
+    if not ci.exists() or not (REPO / "tests" / "CMakeLists.txt").exists():
         fail("missing ci.yml or tests/CMakeLists.txt")
         return
     used = set(re.findall(r"ctest[^\n]*\s-L\s+([A-Za-z0-9_-]+)", ci.read_text()))
-    cmake_text = cmake.read_text()
-    defined: set[str] = set()
-    for m in re.finditer(r"LABELS\s+\"([^\"]+)\"", cmake_text):
-        defined |= set(m.group(1).split(";"))
+    defined = ctest_labels_defined()
     for label in sorted(used - defined):
         fail(
             f"ci.yml selects tests with `ctest -L {label}` but no test in "
-            f"tests/CMakeLists.txt sets that label — the step would run "
-            f"zero tests"
+            f"tests/ or bench/ CMakeLists.txt sets that label — the step "
+            f"would run zero tests"
+        )
+
+
+def check_graph_suites(cases: dict[str, dict]) -> None:
+    if "graph" not in ctest_labels_defined():
+        fail(
+            "no ctest registration carries the \"graph\" label — the graph "
+            "CI step and `ctest -L graph` would select zero tests"
+        )
+    ci = REPO / ".github" / "workflows" / "ci.yml"
+    if ci.exists() and not re.search(r"ctest[^\n]*\s-L\s+graph\b",
+                                     ci.read_text()):
+        fail(
+            "ci.yml has no step selecting `ctest -L graph` — the graph "
+            "executor suites would not run as their own CI gate"
+        )
+    graph_smoke = {
+        n for n, c in cases.items()
+        if {"graph", "smoke"} <= c["labels"]
+    }
+    if not graph_smoke:
+        fail(
+            "no bench case carries both the \"graph\" and \"smoke\" labels "
+            "— the graph-mode perf win is not gated against the smoke "
+            "baselines"
         )
 
 
@@ -127,6 +164,7 @@ def main() -> int:
     check_smoke_baselines(cases)
     check_ci_labels()
     check_register_all(cases)
+    check_graph_suites(cases)
 
     if FAILURES:
         print(f"check_invariants: {len(FAILURES)} failure(s)", file=sys.stderr)
