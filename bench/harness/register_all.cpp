@@ -18,6 +18,7 @@ void register_fig10_tier_distribution(BenchRegistry&);
 void register_fig11_weak_scaling_time(BenchRegistry&);
 void register_fig12_weak_scaling_thru(BenchRegistry&);
 void register_fig13_grad_accum(BenchRegistry&);
+void register_fig_calibration(BenchRegistry&);
 void register_fig14_ablation_nvme(BenchRegistry&);
 void register_fig15_ablation_multipath(BenchRegistry&);
 void register_fig_io_scheduler(BenchRegistry&);
@@ -47,6 +48,7 @@ void register_all_cases(BenchRegistry& registry) {
   register_fig11_weak_scaling_time(registry);
   register_fig12_weak_scaling_thru(registry);
   register_fig13_grad_accum(registry);
+  register_fig_calibration(registry);
   register_fig14_ablation_nvme(registry);
   register_fig15_ablation_multipath(registry);
   register_fig_io_scheduler(registry);

@@ -39,6 +39,12 @@ CpuOnlyEngine::CpuOnlyEngine(const SimClock& clock, const GradSource& grads,
     accum_elems.push_back(subgroups_.back()->real_elems());
   }
   accum_ = std::make_unique<GradAccumulator>(accum_elems);
+  const u64 max_elems =
+      accum_elems.empty()
+          ? 0
+          : *std::max_element(accum_elems.begin(), accum_elems.end());
+  grad_scratch_.reserve(max_elems);
+  fp32_scratch_.reserve(max_elems);
 }
 
 void CpuOnlyEngine::initialize() {
@@ -68,12 +74,15 @@ void CpuOnlyEngine::deposit_gradients_async(u64 sample_index, u32 subgroup_id,
                     sg.sim_params() * kFp16Bytes, IoPriority::kGradDeposit))
         .get();
   }
-  std::vector<u16> grads(sg.real_elems());
-  grads_->generate_fp16(layout_.content_rank(), sg.id(), sample_index, grads);
+  // Deposits are synchronous on the caller thread, so the reserved-once
+  // member scratch is race-free (and allocation-free after the first use).
+  grad_scratch_.resize(sg.real_elems());
+  grads_->generate_fp16(layout_.content_rank(), sg.id(), sample_index,
+                        grad_scratch_);
   if (first_micro_step) {
-    accum_->store(subgroup_id, grads);
+    accum_->store(subgroup_id, grad_scratch_);
   } else {
-    accum_->accumulate(subgroup_id, grads, cpu_pool_);
+    accum_->accumulate(subgroup_id, grad_scratch_, cpu_pool_);
   }
 }
 
@@ -92,7 +101,7 @@ IterationReport CpuOnlyEngine::run_update(u64 iteration) {
   IterationReport report;
   report.iteration = iteration;
 
-  std::vector<f32> grads_fp32;
+  std::vector<f32>& grads_fp32 = fp32_scratch_;
   for (u32 id = 0; id < subgroups_.size(); ++id) {
     Subgroup& sg = *subgroups_[id];
     SimTimer kernel_timer(*clock_);

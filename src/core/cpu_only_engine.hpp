@@ -86,6 +86,11 @@ class CpuOnlyEngine final : public Engine {
   IoScheduler* io_;
   std::vector<std::unique_ptr<Subgroup>> subgroups_;
   std::unique_ptr<GradAccumulator> accum_;
+  /// Reserved-once scratch: deposits and updates are serial per engine, so
+  /// member buffers (not a pool) suffice to keep the steady-state path free
+  /// of heap churn.
+  std::vector<u16> grad_scratch_;
+  std::vector<f32> fp32_scratch_;
   bool initialized_ = false;
 };
 

@@ -2,39 +2,97 @@
 
 namespace mlpo {
 
+HostCache::HostCache(u32 capacity) : capacity_(capacity) {
+  nodes_.resize(capacity_);
+  // Thread every slot onto the free chain.
+  for (u32 i = 0; i < capacity_; ++i) {
+    nodes_[i].next = (i + 1 < capacity_) ? i + 1 : kNone;
+  }
+  free_ = capacity_ > 0 ? 0 : kNone;
+}
+
+void HostCache::detach(u32 slot) {
+  Node& n = nodes_[slot];
+  if (n.prev != kNone) {
+    nodes_[n.prev].next = n.next;
+  } else {
+    head_ = n.next;
+  }
+  if (n.next != kNone) {
+    nodes_[n.next].prev = n.prev;
+  } else {
+    tail_ = n.prev;
+  }
+  n.prev = n.next = kNone;
+}
+
+void HostCache::append_mru(u32 slot) {
+  Node& n = nodes_[slot];
+  n.prev = tail_;
+  n.next = kNone;
+  if (tail_ != kNone) {
+    nodes_[tail_].next = slot;
+  } else {
+    head_ = slot;
+  }
+  tail_ = slot;
+}
+
 void HostCache::touch(u32 id) {
-  const auto it = index_.find(id);
-  if (it == index_.end()) return;
-  lru_.splice(lru_.end(), lru_, it->second);
+  const u32 slot = slot_for(id);
+  if (slot == kNone) return;
+  detach(slot);
+  append_mru(slot);
 }
 
 std::optional<u32> HostCache::insert(u32 id) {
   if (capacity_ == 0) return id;
-  const auto it = index_.find(id);
-  if (it != index_.end()) {
-    lru_.splice(lru_.end(), lru_, it->second);
+  const u32 existing = slot_for(id);
+  if (existing != kNone) {
+    detach(existing);
+    append_mru(existing);
     return std::nullopt;
   }
   std::optional<u32> evicted;
-  if (lru_.size() >= capacity_) {
-    evicted = lru_.front();
-    index_.erase(lru_.front());
-    lru_.pop_front();
+  u32 slot;
+  if (size_ >= capacity_) {
+    // Recycle the LRU victim's slot in place.
+    slot = head_;
+    evicted = nodes_[slot].id;
+    slot_of_[nodes_[slot].id] = kNone;
+    detach(slot);
+    --size_;
+  } else {
+    slot = free_;
+    free_ = nodes_[slot].next;
+    nodes_[slot].prev = nodes_[slot].next = kNone;
   }
-  lru_.push_back(id);
-  index_[id] = std::prev(lru_.end());
+  nodes_[slot].id = id;
+  if (id >= slot_of_.size()) slot_of_.resize(id + 1, kNone);
+  slot_of_[id] = slot;
+  append_mru(slot);
+  ++size_;
   return evicted;
 }
 
 void HostCache::erase(u32 id) {
-  const auto it = index_.find(id);
-  if (it == index_.end()) return;
-  lru_.erase(it->second);
-  index_.erase(it);
+  const u32 slot = slot_for(id);
+  if (slot == kNone) return;
+  slot_of_[id] = kNone;
+  detach(slot);
+  nodes_[slot].id = kNone;
+  nodes_[slot].next = free_;
+  free_ = slot;
+  --size_;
 }
 
 std::vector<u32> HostCache::resident() const {
-  return {lru_.begin(), lru_.end()};
+  std::vector<u32> out;
+  out.reserve(size_);
+  for (u32 s = head_; s != kNone; s = nodes_[s].next) {
+    out.push_back(nodes_[s].id);
+  }
+  return out;
 }
 
 }  // namespace mlpo

@@ -5,11 +5,15 @@
 // hard capacity. Eviction is decided here; the *flush* of an evicted (dirty)
 // subgroup is the engine's job, so the cache stays a pure bookkeeping
 // structure.
+//
+// The LRU list is intrusive over a fixed node slab sized to `capacity` at
+// construction, with an id-indexed slot table: touch/insert/erase are O(1)
+// pointer surgery with zero steady-state heap traffic, unlike the
+// std::list + unordered_map version this replaced (one node allocation per
+// insert — churn on the exact path the pooled-buffer work de-churns).
 #pragma once
 
-#include <list>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "util/common.hpp"
@@ -20,12 +24,12 @@ class HostCache {
  public:
   /// @param capacity maximum resident subgroups; 0 disables caching
   ///        entirely (insert() immediately returns the inserted id).
-  explicit HostCache(u32 capacity) : capacity_(capacity) {}
+  explicit HostCache(u32 capacity);
 
   u32 capacity() const { return capacity_; }
-  u32 size() const { return static_cast<u32>(lru_.size()); }
+  u32 size() const { return size_; }
 
-  bool contains(u32 id) const { return index_.count(id) > 0; }
+  bool contains(u32 id) const { return slot_for(id) != kNone; }
 
   /// Mark `id` most-recently-used (no-op if absent).
   void touch(u32 id);
@@ -42,9 +46,31 @@ class HostCache {
   std::vector<u32> resident() const;
 
  private:
+  static constexpr u32 kNone = static_cast<u32>(-1);
+
+  struct Node {
+    u32 id = kNone;
+    u32 prev = kNone;
+    u32 next = kNone;
+  };
+
+  /// Slot holding `id`, or kNone when not resident.
+  u32 slot_for(u32 id) const {
+    return id < slot_of_.size() ? slot_of_[id] : kNone;
+  }
+  void detach(u32 slot);       ///< unlink from the LRU list
+  void append_mru(u32 slot);   ///< link at the most-recently-used end
+
   u32 capacity_;
-  std::list<u32> lru_;  // front = LRU victim, back = most recent
-  std::unordered_map<u32, std::list<u32>::iterator> index_;
+  u32 size_ = 0;
+  u32 head_ = kNone;  ///< LRU victim
+  u32 tail_ = kNone;  ///< most recent
+  u32 free_ = kNone;  ///< free-slot chain threaded through Node::next
+  std::vector<Node> nodes_;  ///< capacity_ slots, allocated once
+  /// id -> slot; grows to the largest id ever seen and then stays put
+  /// (subgroup ids are dense and fixed after layout, so this settles
+  /// during the first iteration).
+  std::vector<u32> slot_of_;
 };
 
 }  // namespace mlpo

@@ -87,6 +87,24 @@ OffloadEngine::OffloadEngine(const EngineContext& ctx,
   host_valid_.assign(subgroups_.size(), 0);
   accum_ = std::make_unique<GradAccumulator>(accum_elems);
 
+  // Staging slab sized for 16 worst-case subgroup images: comfortably more
+  // than the prefetch window + in-flight flush budget of the linear
+  // pipeline and the frontier bursts of graph mode, so steady-state
+  // acquire() never blocks and — the gated invariant — never falls back to
+  // the heap.
+  std::size_t max_bytes = 4096;
+  u64 max_elems = 1;
+  for (const auto& sg : subgroups_) {
+    max_bytes = std::max(max_bytes, sg->serialized_bytes());
+    max_elems = std::max(max_elems, sg->real_elems());
+  }
+  max_serialized_bytes_ = max_bytes;
+  BufferPool::Options pool_opts;
+  pool_opts.slab_bytes = 16 * max_bytes;
+  scratch_ = std::make_unique<BufferPool>(pool_opts);
+  slots_.resize(subgroups_.size());
+  for (auto& s : slots_) s.grads_fp32.reserve(max_elems);
+
   // The placement policy spans all paths under multipath, or just the
   // primary (NVMe) path for the single-path baseline.
   std::vector<f64> bws = ctx_.vtier->path_bandwidths();
@@ -119,6 +137,19 @@ std::string OffloadEngine::grad_key(u32 id) const {
   return "grad/" + std::to_string(ctx_.rank) + "/" + std::to_string(id);
 }
 
+void OffloadEngine::reset_slots(u32 n) {
+  if (slots_.size() < n) slots_.resize(n);
+  for (u32 i = 0; i < n; ++i) {
+    UpdateSlot& s = slots_[i];
+    s.id = 0;
+    s.cache_hit = false;
+    s.fetch_done = std::future<void>();
+    s.fetch_seconds = 0;
+    s.fetch_sim_bytes = 0;
+    // grads_fp32 keeps its reserved capacity — the reuse is the point.
+  }
+}
+
 void OffloadEngine::poison_host_state(Subgroup& sg) {
   // Evicted host copies are poisoned so that any code path consuming stale
   // state (instead of re-fetching) fails loudly in tests.
@@ -139,15 +170,19 @@ void OffloadEngine::initialize() {
     Subgroup::deterministic_param_init(layout_.content_rank(), sg.id(),
                                        sg.params());
     const std::size_t path = placement_->path_for(id);
-    auto buf = std::make_shared<std::vector<u8>>(sg.serialized_bytes());
-    sg.serialize(std::span<u8>(*buf));
+    // Pooled staging: acquire may block once >16 writes are in flight, but
+    // the channel threads drain independently of this submitter, so the
+    // backpressure resolves itself.
+    auto buf = std::make_shared<BufferPool::Lease>(
+        scratch_->acquire(sg.serialized_bytes()));
+    sg.serialize(buf->bytes());
     poison_host_state(sg);
     const u64 sim = sg.sim_state_bytes();
 
     IoRequest req = IoRequest::tier_write(state_key(id), path, sim,
                                           IoPriority::kCheckpoint);
     req.work = [buf, sim, key = req.key](IoChannel& chan) -> u64 {
-      chan.write(key, std::span<const u8>(*buf), sim);
+      chan.write(key, buf->bytes(), sim);
       return sim;
     };
     batch.add(ctx_.io->submit(std::move(req)));
@@ -172,7 +207,8 @@ void OffloadEngine::deposit_gradients_async(u64 sample_index, u32 subgroup_id,
       -> u64 {
     // (a) D2H transfer of the FP16 gradients produced on the GPU.
     link.transfer(sim_params * kFp16Bytes);
-    std::vector<u16> grads(real_elems);
+    BufferPool::Lease grad_lease = scratch_->acquire(real_elems * sizeof(u16));
+    const std::span<u16> grads = grad_lease.as<u16>();
     ctx_.grads->generate_fp16(layout_.content_rank(),
                               layout_.global_id(subgroup_id), sample_index,
                               grads);
@@ -194,18 +230,16 @@ void OffloadEngine::deposit_gradients_async(u64 sample_index, u32 subgroup_id,
     // its own bytes/time — this request reports only the link transfer.
     if (!opts_.delayed_grad_conversion && final_micro_step) {
       ctx_.clock->sleep_for(opts_.convert.seconds_for_params(sim_params));
-      auto fp32 = std::make_shared<std::vector<f32>>(real_elems);
-      accum_->upscale_into(subgroup_id, *fp32, ctx_.cpu_pool);
+      auto fp32 = std::make_shared<BufferPool::Lease>(
+          scratch_->acquire(real_elems * sizeof(f32)));
+      accum_->upscale_into(subgroup_id, fp32->as<f32>(), ctx_.cpu_pool);
 
       const std::size_t path = placement_->path_for(subgroup_id);
       const u64 grad_sim = sim_params * kFp32Bytes;
       IoRequest flush = IoRequest::tier_write(
           grad_key(subgroup_id), path, grad_sim, IoPriority::kGradDeposit);
       flush.work = [fp32, grad_sim, key = flush.key](IoChannel& chan) -> u64 {
-        const std::span<const u8> bytes(
-            reinterpret_cast<const u8*>(fp32->data()),
-            fp32->size() * sizeof(f32));
-        chan.write(key, bytes, grad_sim);
+        chan.write(key, fp32->bytes(), grad_sim);
         return grad_sim;
       };
       ctx_.io->submit(std::move(flush)).get();
@@ -249,9 +283,9 @@ u64 OffloadEngine::fetch_subgroup(UpdateSlot& slot, IoChannel& chan) {
                              " not found on any tier");
   }
 
-  std::vector<u8> staging(sg.serialized_bytes());
-  chan.read(key, staging, sg.sim_state_bytes());
-  sg.deserialize(staging);
+  BufferPool::Lease staging = scratch_->acquire(sg.serialized_bytes());
+  chan.read(key, staging.bytes(), sg.sim_state_bytes());
+  sg.deserialize(staging.bytes());
   u64 sim_read = sg.sim_state_bytes();
 
   if (!opts_.delayed_grad_conversion) {
@@ -271,8 +305,9 @@ u64 OffloadEngine::fetch_subgroup(UpdateSlot& slot, IoChannel& chan) {
 std::future<void> OffloadEngine::flush_subgroup_async(
     u32 id, std::vector<SubgroupTrace>* traces) {
   Subgroup& sg = *subgroups_[id];
-  auto buf = std::make_shared<std::vector<u8>>(sg.serialized_bytes());
-  sg.serialize(std::span<u8>(*buf));
+  auto buf = std::make_shared<BufferPool::Lease>(
+      scratch_->acquire(sg.serialized_bytes()));
+  sg.serialize(buf->bytes());
   poison_host_state(sg);
   host_valid_[id] = 0;
   cache_.erase(id);
@@ -283,7 +318,7 @@ std::future<void> OffloadEngine::flush_subgroup_async(
   IoRequest req = IoRequest::tier_write(state_key(id), path, sim,
                                         IoPriority::kLazyFlush);
   req.work = [buf, sim, key = req.key](IoChannel& chan) -> u64 {
-    chan.write(key, std::span<const u8>(*buf), sim);
+    chan.write(key, buf->bytes(), sim);
     return sim;
   };
   req.on_complete = [this, id, path, sim, traces](const IoResult& r) {
@@ -330,7 +365,8 @@ IterationReport OffloadEngine::run_update_linear(u64 iteration) {
   std::vector<SubgroupTrace> traces(n);
   for (u32 id = 0; id < n; ++id) traces[id].subgroup_id = id;
 
-  std::vector<UpdateSlot> slots(n);
+  reset_slots(n);
+  std::vector<UpdateSlot>& slots = slots_;
   // Host I/O buffers are a hard budget (paper §3.1: "three subgroups at a
   // time: one prefetched, one actively updated, one flushed back"). A new
   // prefetch may only be issued once the oldest outstanding flush has
@@ -526,6 +562,13 @@ IterationReport OffloadEngine::run_update_linear(u64 iteration) {
   }
   report.update_seconds = ctx_.clock->now() - phase_start;
   fold_io_stats(report, io_stats_start, ctx_.io->stats());
+  // Delta since the previous update epilogue, so backward-phase deposit
+  // churn lands in this iteration's report too.
+  const BufferPool::Stats pool_now = scratch_->stats();
+  report.pool_acquires = pool_now.acquires - pool_mark_.acquires;
+  report.pool_heap_fallbacks =
+      pool_now.heap_fallbacks - pool_mark_.heap_fallbacks;
+  pool_mark_ = pool_now;
   return report;
 }
 
@@ -686,13 +729,19 @@ void OffloadEngine::graph_h2d(TaskContext& tc, UpdateSlot& slot) {
 void OffloadEngine::graph_flush(TaskContext& tc, UpdateSlot& slot,
                                 std::vector<SubgroupTrace>& traces) {
   u32 victim = slot.id;
-  std::shared_ptr<std::vector<u8>> buf;
+  std::shared_ptr<BufferPool::Lease> buf;
+  std::size_t buf_bytes = 0;
+  // Acquire the staging lease BEFORE graph_mutex_: a blocking acquire
+  // under the lock could deadlock against an earlier flush whose settle
+  // hook must take the lock (drain) before its own lease is released. The
+  // victim is unknown until we hold the lock, so lease the worst case.
+  BufferPool::Lease lease = scratch_->acquire(max_serialized_bytes_);
   {
     MutexLock lock(graph_mutex_);
     if (use_host_cache_) {
       host_valid_[slot.id] = 1;
       const auto evicted = cache_.insert(slot.id);
-      if (!evicted) return;  // stays cached; no write-back this turn
+      if (!evicted) return;  // stays cached; lease releases on scope exit
       victim = *evicted;
     }
     // Atomic eviction bookkeeping: choose the victim, capture its host
@@ -700,13 +749,14 @@ void OffloadEngine::graph_flush(TaskContext& tc, UpdateSlot& slot,
     // a concurrent fetch of the victim either sees none of this or parks
     // on the pending entry, never a half-evicted state.
     Subgroup& v = *subgroups_[victim];
-    buf = std::make_shared<std::vector<u8>>(v.serialized_bytes());
-    v.serialize(std::span<u8>(*buf));
+    buf_bytes = v.serialized_bytes();
+    v.serialize(lease.bytes().subspan(0, buf_bytes));
     poison_host_state(v);
     host_valid_[victim] = 0;
     cache_.erase(victim);
     graph_pending_flush_[victim];
   }
+  buf = std::make_shared<BufferPool::Lease>(std::move(lease));
 
   auto done = tc.defer();
   const auto drain = [this, victim] {
@@ -729,8 +779,8 @@ void OffloadEngine::graph_flush(TaskContext& tc, UpdateSlot& slot,
     const u64 sim = subgroups_[victim]->sim_state_bytes();
     IoRequest req = IoRequest::tier_write(state_key(victim), path, sim,
                                           IoPriority::kLazyFlush);
-    req.work = [buf, sim, key = req.key](IoChannel& chan) -> u64 {
-      chan.write(key, std::span<const u8>(*buf), sim);
+    req.work = [buf, buf_bytes, sim, key = req.key](IoChannel& chan) -> u64 {
+      chan.write(key, std::span<const u8>(buf->data(), buf_bytes), sim);
       return sim;
     };
     req.on_complete = [this, victim, path, sim, &traces](const IoResult& r) {
@@ -765,7 +815,8 @@ IterationReport OffloadEngine::run_update_graph(u64 iteration) {
 
   std::vector<SubgroupTrace> traces(n);
   for (u32 id = 0; id < n; ++id) traces[id].subgroup_id = id;
-  std::vector<UpdateSlot> slots(n);
+  reset_slots(n);
+  std::vector<UpdateSlot>& slots = slots_;
 
   // Build the DAG while still single-threaded. Cache hits are claimed and
   // pinned here (see the pin-by-erase note above); everything in the cache
@@ -831,6 +882,11 @@ IterationReport OffloadEngine::run_update_graph(u64 iteration) {
   }
   report.update_seconds = ctx_.clock->now() - phase_start;
   fold_io_stats(report, io_stats_start, ctx_.io->stats());
+  const BufferPool::Stats pool_now = scratch_->stats();
+  report.pool_acquires = pool_now.acquires - pool_mark_.acquires;
+  report.pool_heap_fallbacks =
+      pool_now.heap_fallbacks - pool_mark_.heap_fallbacks;
+  pool_mark_ = pool_now;
   report.graph_frontier_high_water = stats.frontier_high_water;
   report.graph_tasks_stolen = stats.tasks_stolen;
   report.graph_executor_idle_seconds = stats.idle_seconds;

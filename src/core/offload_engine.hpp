@@ -30,6 +30,7 @@
 #include "policy/update_order_policy.hpp"
 #include "tiers/virtual_tier.hpp"
 #include "train/grad_accum.hpp"
+#include "util/aligned_buffer.hpp"
 #include "util/mutex.hpp"
 #include "util/work_stealing_pool.hpp"
 
@@ -84,12 +85,19 @@ class OffloadEngine final : public Engine {
   /// helpers ride the same queues at IoPriority::kCheckpoint).
   IoScheduler* io() const override { return ctx_.io; }
 
+  /// Cumulative staging-pool counters — the ground truth behind the
+  /// alloc-churn metric (heap_fallbacks must stay zero in steady state).
+  BufferPool::Stats scratch_stats() const { return scratch_->stats(); }
+
  private:
   struct UpdateSlot;
 
   std::string state_key(u32 id) const;
   std::string grad_key(u32 id) const;
   void poison_host_state(Subgroup& sg);
+  /// Reset the persistent update slots for a fresh iteration without
+  /// surrendering the grads_fp32 capacity they reserved at construction.
+  void reset_slots(u32 n);
   std::future<void> submit_fetch(UpdateSlot& slot);
   u64 fetch_subgroup(UpdateSlot& slot, IoChannel& chan);
   std::future<void> flush_subgroup_async(u32 id,
@@ -123,6 +131,20 @@ class OffloadEngine final : public Engine {
   HostCache cache_;
   IoBatch gradient_io_;
   bool initialized_ = false;
+
+  /// One slab behind every transient I/O-path buffer (fetch staging, flush
+  /// serialization, deposit scratch): steady-state iterations suballocate
+  /// from here instead of the heap. Created in the ctor once the subgroup
+  /// geometry is known; declared before slots_/graph state so any late
+  /// lease holders destruct first.
+  std::unique_ptr<BufferPool> scratch_;
+  std::size_t max_serialized_bytes_ = 0;
+  /// Persistent per-position update slots, grads_fp32 reserved once to the
+  /// largest subgroup — run_update reuses them every iteration.
+  std::vector<UpdateSlot> slots_;
+  /// stats() snapshot at the end of the previous update phase; the delta
+  /// reported per iteration therefore also covers backward-phase deposits.
+  BufferPool::Stats pool_mark_{};
 
   // Graph mode only (null under "linear"). The engine owns its pool so
   // GraphExecutor::Stats deltas are exact per iteration.

@@ -52,6 +52,10 @@ TensorNvmeEngine::TensorNvmeEngine(const EngineContext& ctx,
   }
   stored_path_.assign(subgroups_.size(), 0);
   accum_ = std::make_unique<GradAccumulator>(accum_elems);
+  u64 max_elems = 1;
+  for (const u64 e : accum_elems) max_elems = std::max(max_elems, e);
+  grad_scratch_.reserve(max_elems);
+  fp32_scratch_.reserve(max_elems);
 
   // The offloader facade has no per-transfer completion feedback (the
   // TensorNVMe API returns bare futures), so adaptive policies run from
@@ -64,6 +68,12 @@ TensorNvmeEngine::TensorNvmeEngine(const EngineContext& ctx,
     graph_pool_ =
         std::make_unique<WorkStealingPool>(opts_.resolved_graph_workers());
     graph_exec_ = std::make_unique<GraphExecutor>(*graph_pool_);
+    // Every pool worker can hold one compute node's FP32 scratch at a
+    // time; the +2 slack keeps acquire() from ever blocking a worker.
+    BufferPool::Options pool_opts;
+    pool_opts.slab_bytes = (opts_.resolved_graph_workers() + 2) *
+                           max_elems * sizeof(f32);
+    fp32_pool_ = std::make_unique<BufferPool>(pool_opts);
   }
 }
 
@@ -126,14 +136,16 @@ void TensorNvmeEngine::deposit_gradients_async(u64 sample_index,
   req.work = [this, sample_index, subgroup_id, first_micro_step, sim_params,
               real_elems](IoChannel& link) -> u64 {
     link.transfer(sim_params * kFp16Bytes);
-    std::vector<u16> grads(real_elems);
+    // Member scratch is safe here: all deposit work functions dispatch on
+    // the one D2H link channel, so they are serial per engine.
+    grad_scratch_.resize(real_elems);
     ctx_.grads->generate_fp16(layout_.content_rank(),
                               layout_.global_id(subgroup_id), sample_index,
-                              grads);
+                              grad_scratch_);
     if (first_micro_step) {
-      accum_->store(subgroup_id, grads);
+      accum_->store(subgroup_id, grad_scratch_);
     } else {
-      accum_->accumulate(subgroup_id, grads, ctx_.cpu_pool);
+      accum_->accumulate(subgroup_id, grad_scratch_, ctx_.cpu_pool);
     }
     return sim_params * kFp16Bytes;
   };
@@ -159,7 +171,7 @@ IterationReport TensorNvmeEngine::run_update_linear(u64 iteration) {
 
   IterationReport report;
   report.iteration = iteration;
-  std::vector<f32> grads_fp32;
+  std::vector<f32>& grads_fp32 = fp32_scratch_;
 
   for (const u32 id : order) {
     Subgroup& sg = *subgroups_[id];
@@ -267,7 +279,9 @@ IterationReport TensorNvmeEngine::run_update_graph(u64 iteration) {
         [this, id, &traces](TaskContext&) {
           Subgroup& sg = *subgroups_[id];
           SimTimer kernel_timer(*ctx_.clock);
-          std::vector<f32> grads_fp32(sg.real_elems());
+          BufferPool::Lease lease =
+              fp32_pool_->acquire(sg.real_elems() * sizeof(f32));
+          const std::span<f32> grads_fp32 = lease.as<f32>();
           accum_->upscale_into(id, grads_fp32, ctx_.cpu_pool);
           ctx_.clock->sleep_for(
               opts_.convert.seconds_for_params(sg.sim_params()));
@@ -332,6 +346,11 @@ IterationReport TensorNvmeEngine::run_update_graph(u64 iteration) {
   report.graph_frontier_high_water = stats.frontier_high_water;
   report.graph_tasks_stolen = stats.tasks_stolen;
   report.graph_executor_idle_seconds = stats.idle_seconds;
+  const BufferPool::Stats pool_now = fp32_pool_->stats();
+  report.pool_acquires = pool_now.acquires - pool_mark_.acquires;
+  report.pool_heap_fallbacks =
+      pool_now.heap_fallbacks - pool_mark_.heap_fallbacks;
+  pool_mark_ = pool_now;
   return report;
 }
 

@@ -25,6 +25,7 @@
 #include "policy/update_order_policy.hpp"
 #include "tiers/virtual_tier.hpp"
 #include "train/grad_accum.hpp"
+#include "util/aligned_buffer.hpp"
 #include "util/mutex.hpp"
 #include "util/work_stealing_pool.hpp"
 
@@ -96,11 +97,22 @@ class TensorNvmeEngine final : public Engine {
   std::vector<std::vector<f32>> staging_;
   std::unique_ptr<GradAccumulator> accum_;
   IoBatch gradient_io_;
+  /// Reserved-once scratch for the serial paths: deposits ride the single
+  /// D2H link channel (one work function at a time per engine) and the
+  /// linear update loop is single-threaded, so member buffers keep them
+  /// allocation-free without a pool.
+  std::vector<u16> grad_scratch_;
+  std::vector<f32> fp32_scratch_;
   bool initialized_ = false;
 
   // Graph mode only (null under "linear").
   std::unique_ptr<WorkStealingPool> graph_pool_;
   std::unique_ptr<GraphExecutor> graph_exec_;
+  /// FP32 gradient scratch for graph-mode compute nodes, which run
+  /// concurrently on the work-stealing pool (unlike the serial paths
+  /// above) and so draw leases instead of sharing a member buffer.
+  std::unique_ptr<BufferPool> fp32_pool_;
+  BufferPool::Stats pool_mark_{};
   /// Serializes graph-node access to the DiskOffloaders (their pending
   /// batches are plain future collectors, not thread-safe). The linear
   /// path never takes it.

@@ -41,6 +41,31 @@ void IoChannel::write(const std::string& key, std::span<const u8> data,
   vtier_->write_to(path_idx_, key, data, sim_bytes);
 }
 
+bool IoChannel::async_capable(const std::string& key) const {
+  if (vtier_ == nullptr) return false;
+  if (op_ == IoOp::kWrite) return vtier_->path_supports_async(path_idx_);
+  const std::size_t loc = vtier_->locate(key);
+  return loc != VirtualTier::npos && vtier_->path_supports_async(loc);
+}
+
+void IoChannel::read_async(const std::string& key, std::span<u8> out,
+                           u64 sim_bytes, StorageTier::AsyncDone done) {
+  if (vtier_ == nullptr) {
+    throw std::logic_error("IoChannel(" + name_ +
+                           "): read_async on non-tier channel");
+  }
+  vtier_->read_async(key, out, sim_bytes, std::move(done));
+}
+
+void IoChannel::write_async(const std::string& key, std::span<const u8> data,
+                            u64 sim_bytes, StorageTier::AsyncDone done) {
+  if (vtier_ == nullptr) {
+    throw std::logic_error("IoChannel(" + name_ +
+                           "): write_async on non-tier channel");
+  }
+  vtier_->write_to_async(path_idx_, key, data, sim_bytes, std::move(done));
+}
+
 void IoChannel::erase(const std::string& key) {
   if (vtier_ == nullptr) {
     throw std::logic_error("IoChannel(" + name_ +

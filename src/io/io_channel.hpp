@@ -77,6 +77,20 @@ class IoChannel {
 
   void erase(const std::string& key);
 
+  /// Would a transfer of `key` in this channel's direction settle on real
+  /// backend completion events (StorageTier::supports_async)? Write
+  /// channels ask their own path; reads resolve the key's current
+  /// location, mirroring read()'s routing.
+  bool async_capable(const std::string& key) const;
+
+  /// Async counterparts of read()/write(): the backend moves the bytes and
+  /// `done` fires from its completion thread. Only meaningful when
+  /// async_capable() — sync backends would degrade to inline completion.
+  void read_async(const std::string& key, std::span<u8> out, u64 sim_bytes,
+                  StorageTier::AsyncDone done);
+  void write_async(const std::string& key, std::span<const u8> data,
+                   u64 sim_bytes, StorageTier::AsyncDone done);
+
   // --- Link-channel operation -------------------------------------------
 
   /// Pass `sim_bytes` through the link, blocking for the modelled transfer

@@ -53,6 +53,12 @@ IoScheduler::IoScheduler(const SimClock& clock)
     : IoScheduler(clock, nullptr, nullptr, nullptr, Config{}) {}
 
 IoScheduler::~IoScheduler() {
+  // Async-capable backends settle requests from their own completion
+  // threads; wait for every submitted request to settle before tearing the
+  // channel machinery down (sync dispatches settle inline, so for them
+  // this returns immediately once the queues empty below — but queued work
+  // is still dispatched after closed_ is set, exactly as before).
+  drain();
   closed_.store(true, std::memory_order_release);
   const auto wake = [](ChannelQueue& q) {
     {
@@ -276,8 +282,12 @@ void IoScheduler::run_batch(ChannelQueue& q,
 
   // The lease is taken lazily so an all-cancelled batch never touches the
   // lock, and held across the whole batch (the coalescing win: one
-  // process-exclusive hand-off for many small transfers).
-  std::optional<IoChannel::Lease> lease;
+  // process-exclusive hand-off for many small transfers). It is shared so
+  // async dispatches can keep the direction lock alive until their real
+  // completion lands — the last holder (batch scope or completion
+  // callback) releases it, from whichever thread that is (TierLock
+  // ownership is worker-keyed, not thread-keyed).
+  std::shared_ptr<IoChannel::Lease> lease;
   f64 item_start = dispatch_start;
   for (auto& p : batch) {
     const auto pri = static_cast<std::size_t>(p->req.priority);
@@ -292,7 +302,76 @@ void IoScheduler::run_batch(ChannelQueue& q,
       finish_one();
       continue;
     }
-    if (!lease) lease.emplace(q.channel.lease());
+    if (!lease) lease = std::make_shared<IoChannel::Lease>(q.channel.lease());
+
+    // Async dispatch: when the backing tier settles on real device events,
+    // hand the transfer to its completion engine and move on — the request
+    // settles (stats, on_complete, future, on_settle) from the completion
+    // callback with the genuinely observed service time, not a simulated
+    // one. Sync backends (throttled/simulated tiers) keep the inline path
+    // below, where SimClock charges the modelled service time.
+    const bool tier_async = p->req.target == IoTarget::kTierPath &&
+                            !p->req.work &&
+                            q.channel.async_capable(p->req.key);
+    const bool external_async = p->req.target == IoTarget::kExternal &&
+                                !p->req.work && p->req.tier != nullptr &&
+                                p->req.tier->supports_async();
+    if (tier_async || external_async) {
+      const f64 queue_wait_async =
+          std::max(0.0, item_start - p->enqueue_vtime);
+      const f64 start = item_start;
+      std::shared_ptr<Pending> pending(p.release());
+      auto on_done = [this, pending, lease, pri, queue_wait_async,
+                      start](std::exception_ptr error) {
+        const f64 service = std::max(0.0, clock_->now() - start);
+        const u64 moved = effective_bytes(pending->req);
+        {
+          MutexLock slk(stats_mutex_);
+          auto& s = stats_.priority[pri];
+          s.queue_wait_seconds += queue_wait_async;
+          s.service_seconds += service;
+          if (error) {
+            ++s.failed;
+          } else {
+            ++s.completed;
+            s.sim_bytes += moved;
+          }
+        }
+        if (!error && pending->req.on_complete) {
+          IoResult result;
+          result.priority = pending->req.priority;
+          result.sim_bytes = moved;
+          result.queue_wait_seconds = queue_wait_async;
+          result.service_seconds = service;
+          try {
+            pending->req.on_complete(result);
+          } catch (...) {
+            error = std::current_exception();
+          }
+        }
+        settle(*pending, std::move(error));
+        finish_one();
+      };
+      IoRequest& req = pending->req;
+      if (tier_async) {
+        if (req.op == IoOp::kRead) {
+          q.channel.read_async(req.key, req.dst, req.sim_bytes,
+                               std::move(on_done));
+        } else {
+          q.channel.write_async(req.key, req.src, req.sim_bytes,
+                                std::move(on_done));
+        }
+      } else if (req.op == IoOp::kRead) {
+        req.tier->read_async(req.key, req.dst, req.sim_bytes,
+                             std::move(on_done));
+      } else {
+        req.tier->write_async(req.key, req.src, req.sim_bytes,
+                              std::move(on_done));
+      }
+      item_start = clock_->now();
+      continue;
+    }
+
     const f64 queue_wait = std::max(0.0, item_start - p->enqueue_vtime);
     std::exception_ptr error;
     u64 moved = 0;
@@ -368,6 +447,15 @@ u64 IoScheduler::execute(IoRequest& req, IoChannel& channel) {
 }
 
 void IoScheduler::settle(Pending& pending, std::exception_ptr error) {
+  // Destroy the work closure and completion hook BEFORE the future
+  // settles. The closures own transfer resources — notably BufferPool
+  // leases pointing into an engine-owned slab — and a waiter is entitled
+  // to tear the engine down the moment its future returns. Releasing here
+  // makes that teardown race-free: the Pending shell destroyed later (end
+  // of the dispatched batch, or the async completion's last shared_ptr)
+  // no longer references anything the engine owns.
+  pending.req.work = nullptr;
+  pending.req.on_complete = nullptr;
   if (error) {
     settle_error(pending, error);
   } else {

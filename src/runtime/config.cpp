@@ -106,6 +106,11 @@ TrainerConfig trainer_config_from_json(const json::Value& doc) {
   if (doc.contains("mlp_offload")) {
     cfg.engine = engine_from_json(doc.at("mlp_offload"));
   }
+  // Storage backend selection; parse-time strict like the policy names
+  // (unknown backend kinds / missing roots abort inside the parser).
+  if (doc.contains("storage")) {
+    cfg.storage = storage_config_from_json(doc.at("storage"));
+  }
   if (!cfg.attach_pfs) cfg.engine.multipath = false;
   if (doc.contains("resilience")) {
     cfg.resilience = resilience_config_from_json(doc.at("resilience"));

@@ -66,7 +66,12 @@ NodeSim::NodeSim(const SimClock& clock, const NodeConfig& cfg,
     failstops_.push_back(failstop);
     return failstop;
   };
-  nvme_ = wrap(cfg_.testbed.make_nvme_tier(clock, "nvme"));
+  // Each node keeps its file-backed objects apart under a node-indexed
+  // directory (the emulated backend is private per node by construction).
+  const std::string node_tag =
+      "node" + std::to_string(cfg_.first_rank / static_cast<int>(gpus));
+  nvme_ = wrap(
+      make_nvme_backend(cfg_.storage, cfg_.testbed, clock, "nvme", node_tag));
   vtier_ = std::make_unique<VirtualTier>();
   vtier_->add_path(nvme_);
   if (cfg_.attach_pfs) {

@@ -10,6 +10,7 @@
 #include "comm/collectives.hpp"
 #include "core/engine.hpp"
 #include "runtime/gpu_cost.hpp"
+#include "runtime/storage_config.hpp"
 #include "runtime/testbed.hpp"
 #include "runtime/worker.hpp"
 #include "telemetry/iteration_report.hpp"
@@ -55,6 +56,10 @@ struct NodeConfig {
   /// subgroups): required for elastic restart, where a checkpoint taken
   /// under one node count resumes under another.
   bool elastic_sharding = false;
+
+  /// NVMe-path backend: emulated ThrottledTier by default, real file/
+  /// io_uring tiers when selected (see runtime/storage_config.hpp).
+  StorageConfig storage;
 };
 
 /// Host-memory budget model: free bytes available for caching subgroups

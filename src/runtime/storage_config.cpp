@@ -1,0 +1,81 @@
+#include "runtime/storage_config.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <stdexcept>
+
+#include "io/uring_backend.hpp"
+#include "tiers/file_tier.hpp"
+
+namespace mlpo {
+
+const std::vector<std::string>& storage_backend_names() {
+  static const std::vector<std::string> kinds{"sim", "file", "uring_file"};
+  return kinds;
+}
+
+void StorageConfig::validate() const {
+  const auto& kinds = storage_backend_names();
+  if (std::find(kinds.begin(), kinds.end(), backend) == kinds.end()) {
+    std::string known;
+    for (const auto& k : kinds) known += " " + k;
+    throw std::invalid_argument("config: unknown storage backend '" + backend +
+                                "' (known:" + known + ")");
+  }
+  if (!is_sim() && root.empty()) {
+    throw std::invalid_argument("config: storage backend '" + backend +
+                                "' requires \"root\"");
+  }
+  if (is_sim() && !root.empty()) {
+    throw std::invalid_argument(
+        "config: storage.root is meaningless with backend \"sim\"");
+  }
+  if (backend == "uring_file" && queue_depth == 0) {
+    throw std::invalid_argument("config: storage.queue_depth must be > 0");
+  }
+  if (backend == "uring_file" && fallback_workers == 0) {
+    throw std::invalid_argument(
+        "config: storage.fallback_workers must be > 0");
+  }
+}
+
+StorageConfig storage_config_from_json(const json::Value& section) {
+  StorageConfig cfg;
+  cfg.backend = section.string_or("backend", cfg.backend);
+  cfg.root = section.string_or("root", cfg.root);
+  if (section.contains("direct")) cfg.direct = section.at("direct").as_bool();
+  cfg.queue_depth = static_cast<u32>(
+      section.int_or("queue_depth", static_cast<i64>(cfg.queue_depth)));
+  cfg.fallback_workers = static_cast<u32>(section.int_or(
+      "fallback_workers", static_cast<i64>(cfg.fallback_workers)));
+  if (section.contains("force_fallback")) {
+    cfg.force_fallback = section.at("force_fallback").as_bool();
+  }
+  cfg.validate();
+  return cfg;
+}
+
+std::shared_ptr<StorageTier> make_nvme_backend(const StorageConfig& cfg,
+                                               const TestbedSpec& testbed,
+                                               const SimClock& clock,
+                                               const std::string& name,
+                                               const std::string& node_tag) {
+  cfg.validate();
+  if (cfg.is_sim()) return testbed.make_nvme_tier(clock, name);
+  const std::filesystem::path root =
+      std::filesystem::path(cfg.root) / node_tag / name;
+  if (cfg.backend == "file") {
+    return std::make_shared<FileTier>(name, root, testbed.nvme_read_bw,
+                                      testbed.nvme_write_bw);
+  }
+  UringFileTier::Options opts;
+  opts.read_bw = testbed.nvme_read_bw;
+  opts.write_bw = testbed.nvme_write_bw;
+  opts.direct = cfg.direct;
+  opts.queue_depth = cfg.queue_depth;
+  opts.fallback_workers = cfg.fallback_workers;
+  opts.force_fallback = cfg.force_fallback;
+  return std::make_shared<UringFileTier>(name, root, opts);
+}
+
+}  // namespace mlpo

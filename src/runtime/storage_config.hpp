@@ -1,0 +1,61 @@
+// Storage backend selection: the simulator→system switch.
+//
+// Every node-local NVMe path is built from a StorageConfig. The default
+// ("sim") keeps the emulated ThrottledTier pipeline that all paper figures
+// run on; "file" and "uring_file" swap in real file-backed tiers rooted
+// under a directory, turning the same engine schedule into genuine storage
+// I/O (run with time_scale == 1 so virtual seconds are wall seconds).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "runtime/testbed.hpp"
+#include "tiers/storage_tier.hpp"
+#include "util/json.hpp"
+
+namespace mlpo {
+
+struct StorageConfig {
+  /// Backend kind: one of storage_backend_names().
+  std::string backend = "sim";
+  /// Root directory for the file-backed kinds; required unless "sim".
+  /// Each node places its objects under <root>/<node_tag>/<tier name>.
+  std::string root;
+  /// O_DIRECT transfers ("uring_file" only; per-file fallback when the
+  /// filesystem refuses, e.g. tmpfs).
+  bool direct = false;
+  /// AsyncFileBackend in-flight budget ("uring_file").
+  u32 queue_depth = 64;
+  /// pread/pwrite fallback pool size ("uring_file").
+  u32 fallback_workers = 2;
+  /// Skip io_uring even when available (also via MLPO_NO_URING=1).
+  bool force_fallback = false;
+
+  bool is_sim() const { return backend == "sim"; }
+
+  /// Parse-time strictness: unknown backend kinds and missing roots abort
+  /// here with the known set, not later inside node construction.
+  void validate() const;
+};
+
+/// Registered StorageTier kinds selectable from config JSON. Tooling
+/// (tools/check_invariants.py) cross-checks that each has test coverage.
+const std::vector<std::string>& storage_backend_names();
+
+/// Parse a "storage" config section ({"backend", "root", "direct",
+/// "queue_depth", "fallback_workers", "force_fallback"}); validated.
+StorageConfig storage_config_from_json(const json::Value& section);
+
+/// Build one node's NVMe path per `cfg`: "sim" delegates to the testbed's
+/// throttled emulated tier; the file kinds create real tiers under
+/// <root>/<node_tag>/<name> advertising the testbed's nominal NVMe
+/// bandwidths (the PerfModel's EMA then tracks measured behaviour).
+std::shared_ptr<StorageTier> make_nvme_backend(const StorageConfig& cfg,
+                                               const TestbedSpec& testbed,
+                                               const SimClock& clock,
+                                               const std::string& name,
+                                               const std::string& node_tag);
+
+}  // namespace mlpo

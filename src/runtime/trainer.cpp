@@ -20,6 +20,7 @@ Trainer::Trainer(const TrainerConfig& cfg) : cfg_(cfg) {
   node.accum_steps = cfg_.accum_steps;
   node.attach_pfs = cfg_.attach_pfs;
   node.host_cache_override = cfg_.host_cache_override;
+  node.storage = cfg_.storage;
   node.wrap_failstop = cfg_.resilience.enabled;
   node.elastic_sharding =
       cfg_.resilience.enabled && cfg_.resilience.elastic_sharding;

@@ -35,6 +35,11 @@ struct TrainerConfig {
   bool attach_pfs = true;
   u32 host_cache_override = 0;
 
+  /// NVMe-path storage backend ("sim" emulated default, or the real
+  /// "file"/"uring_file" tiers — see runtime/storage_config.hpp). Real
+  /// backends are meant to pair with time_scale == 1.
+  StorageConfig storage;
+
   /// Failure injection + elastic checkpoint-restart (src/resilience/).
   /// With resilience.enabled the trainer runs through a RecoveryDriver:
   /// tiers get fail-stop wrappers, checkpoints are taken every
@@ -85,6 +90,14 @@ class Trainer {
 ///     "nodes": 1, "microbatch": 1, "accum_steps": 1,
 ///     "subgroup_params": 100000000,
 ///     "elem_scale": 8192, "time_scale": 2000,
+///     "storage": {
+///       "backend": "sim",         // or "file" / "uring_file" (real I/O;
+///                                 // unknown kinds abort with the known set)
+///       "root": "/mnt/nvme/mlpo", // required for the file-backed kinds
+///       "direct": false,          // O_DIRECT (uring_file)
+///       "queue_depth": 64, "fallback_workers": 2,
+///       "force_fallback": false   // skip io_uring, use pread/pwrite pool
+///     },
 ///     "mlp_offload": {
 ///       "enabled": true,          // false => DeepSpeed ZeRO-3 baseline
 ///       "preset": "mlp_offload",  // named bundle, see EngineOptions::preset

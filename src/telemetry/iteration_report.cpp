@@ -42,6 +42,8 @@ void IterationReport::accumulate_counters(const IterationReport& r) {
       std::max(graph_frontier_high_water, r.graph_frontier_high_water);
   graph_tasks_stolen += r.graph_tasks_stolen;
   graph_executor_idle_seconds += r.graph_executor_idle_seconds;
+  pool_acquires += r.pool_acquires;
+  pool_heap_fallbacks += r.pool_heap_fallbacks;
   recoveries += r.recoveries;
   recovery_seconds += r.recovery_seconds;
   lost_work_iterations += r.lost_work_iterations;
@@ -91,6 +93,11 @@ IterationReport average_reports(const std::vector<IterationReport>& reports) {
   avg.graph_tasks_stolen =
       static_cast<u64>(static_cast<f64>(avg.graph_tasks_stolen) / n);
   avg.graph_executor_idle_seconds /= n;
+  avg.pool_acquires =
+      static_cast<u64>(static_cast<f64>(avg.pool_acquires) / n);
+  // pool_heap_fallbacks stays a *total* like the recovery counters below:
+  // the churn gate asserts zero, and a fractional mean could round a real
+  // fallback down to nothing.
   // Recovery counters stay *totals* across the averaged window: recoveries
   // are rare discrete events, and "0.33 recoveries per iteration" would
   // round to zero and hide them.

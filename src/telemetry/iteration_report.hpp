@@ -71,6 +71,13 @@ struct IterationReport {
   u64 graph_tasks_stolen = 0;         ///< cross-deque pool steals
   f64 graph_executor_idle_seconds = 0;  ///< real secs pool workers parked
 
+  // Staging-pool counters (delta of BufferPool::Stats over the update
+  // phase). pool_heap_fallbacks is the alloc-churn metric the smoke gate
+  // pins at zero: a steady-state iteration must serve every transient
+  // I/O-path buffer from the slab.
+  u64 pool_acquires = 0;
+  u64 pool_heap_fallbacks = 0;
+
   // Resilience counters (set by the RecoveryDriver on the first iteration
   // after a recovery; zero on failure-free iterations).
   u32 recoveries = 0;            ///< recoveries charged to this iteration

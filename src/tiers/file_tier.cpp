@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <system_error>
 
+#include "util/key_escape.hpp"
+
 namespace mlpo {
 
 namespace fs = std::filesystem;
@@ -15,11 +17,7 @@ FileTier::FileTier(std::string name, fs::path root, f64 read_bw, f64 write_bw)
 }
 
 fs::path FileTier::path_for(const std::string& key) const {
-  std::string sanitised = key;
-  for (char& c : sanitised) {
-    if (c == '/' || c == '\\') c = '_';
-  }
-  return root_ / sanitised;
+  return root_ / escape_key(key);
 }
 
 void FileTier::write(const std::string& key, std::span<const u8> data,

@@ -15,8 +15,9 @@ namespace mlpo {
 
 class FileTier : public StorageTier {
  public:
-  /// Creates `root` if missing. Object keys are sanitised into file names
-  /// ('/' becomes '_'), so keys must stay unique after sanitisation.
+  /// Creates `root` if missing. Object keys are escaped into file names
+  /// with the injective util/key_escape scheme, so distinct keys always
+  /// map to distinct files.
   FileTier(std::string name, std::filesystem::path root, f64 read_bw = 1e9,
            f64 write_bw = 1e9);
 

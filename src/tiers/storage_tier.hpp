@@ -13,6 +13,8 @@
 
 #include <atomic>
 #include <cassert>
+#include <exception>
+#include <functional>
 #include <span>
 #include <string>
 
@@ -113,6 +115,41 @@ class StorageTier {
   /// Survives job termination (PFS / object store, not tmpfs or host RAM).
   /// Checkpoint pre-staging only counts persistent-tier bytes as durable.
   virtual bool persistent() const { return false; }
+
+  /// --- Asynchronous extension ------------------------------------------
+  /// Completion callback for async transfers: invoked exactly once, with
+  /// nullptr on success or the failure as an exception_ptr. May run on an
+  /// internal backend thread — callers must not block in it.
+  using AsyncDone = std::function<void(std::exception_ptr)>;
+
+  /// True when {read,write}_async complete on real device events instead
+  /// of inline. The IoScheduler uses this to drive request settlement from
+  /// genuine completions rather than simulated service times.
+  virtual bool supports_async() const { return false; }
+
+  /// Asynchronous write. `data` must stay alive until `done` fires.
+  /// Default shim: synchronous write + inline completion, so every tier is
+  /// async-callable.
+  virtual void write_async(const std::string& key, std::span<const u8> data,
+                           u64 sim_bytes, AsyncDone done) {
+    try {
+      write(key, data, sim_bytes);
+      done(nullptr);
+    } catch (...) {
+      done(std::current_exception());
+    }
+  }
+
+  /// Asynchronous read; same contract as write_async.
+  virtual void read_async(const std::string& key, std::span<u8> out,
+                          u64 sim_bytes, AsyncDone done) {
+    try {
+      read(key, out, sim_bytes);
+      done(nullptr);
+    } catch (...) {
+      done(std::current_exception());
+    }
+  }
 
   TierStats& stats() { return stats_; }
   const TierStats& stats() const { return stats_; }

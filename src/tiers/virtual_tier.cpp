@@ -58,6 +58,49 @@ void VirtualTier::read(const std::string& key, std::span<u8> out,
   paths_[idx].tier->read(key, out, sim_bytes);
 }
 
+void VirtualTier::write_to_async(std::size_t path_idx, const std::string& key,
+                                 std::span<const u8> data, u64 sim_bytes,
+                                 StorageTier::AsyncDone done) {
+  if (path_idx >= paths_.size()) {
+    done(std::make_exception_ptr(
+        std::out_of_range("VirtualTier: bad path index")));
+    return;
+  }
+  std::size_t previous = npos;
+  {
+    ReaderMutexLock lock(mutex_);
+    const auto it = locations_.find(key);
+    if (it != locations_.end()) previous = it->second.path;
+  }
+  const u64 recorded = sim_bytes != 0 ? sim_bytes : data.size();
+  paths_[path_idx].tier->write_async(
+      key, data, sim_bytes,
+      [this, path_idx, key, recorded, previous,
+       done = std::move(done)](std::exception_ptr error) {
+        if (!error) {
+          {
+            WriterMutexLock lock(mutex_);
+            locations_[key] = Location{path_idx, recorded};
+          }
+          if (previous != npos && previous != path_idx) {
+            paths_[previous].tier->erase(key);
+          }
+        }
+        done(std::move(error));
+      });
+}
+
+void VirtualTier::read_async(const std::string& key, std::span<u8> out,
+                             u64 sim_bytes, StorageTier::AsyncDone done) {
+  const std::size_t idx = locate(key);
+  if (idx == npos) {
+    done(std::make_exception_ptr(
+        std::out_of_range("VirtualTier: no object " + key)));
+    return;
+  }
+  paths_[idx].tier->read_async(key, out, sim_bytes, std::move(done));
+}
+
 void VirtualTier::peek(const std::string& key, std::span<u8> out) const {
   const std::size_t idx = locate(key);
   if (idx == npos) {

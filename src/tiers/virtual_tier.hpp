@@ -65,6 +65,22 @@ class VirtualTier {
   /// the key is unknown.
   void read(const std::string& key, std::span<u8> out, u64 sim_bytes = 0);
 
+  /// True when path `idx`'s backend completes transfers on real device
+  /// events (StorageTier::supports_async).
+  bool path_supports_async(std::size_t idx) const {
+    return paths_.at(idx).tier->supports_async();
+  }
+
+  /// Async variants of write_to/read: the transfer runs on the backend's
+  /// completion engine and `done` fires from its thread. Location-map
+  /// bookkeeping happens in the completion shim, after the bytes landed, so
+  /// readers never observe a location whose object is still in flight.
+  void write_to_async(std::size_t path_idx, const std::string& key,
+                      std::span<const u8> data, u64 sim_bytes,
+                      StorageTier::AsyncDone done);
+  void read_async(const std::string& key, std::span<u8> out, u64 sim_bytes,
+                  StorageTier::AsyncDone done);
+
   /// Untimed inspection read (no throttling, no stats). See
   /// StorageTier::peek.
   void peek(const std::string& key, std::span<u8> out) const;

@@ -1,5 +1,7 @@
 #include "util/aligned_buffer.hpp"
 
+#include <sys/mman.h>
+
 #include <cstring>
 #include <new>
 #include <stdexcept>
@@ -36,51 +38,153 @@ AlignedBuffer& AlignedBuffer::operator=(AlignedBuffer&& other) noexcept {
   return *this;
 }
 
-BufferPool::BufferPool(std::size_t buffer_count, std::size_t buffer_size)
-    : capacity_(buffer_count), buffer_size_(buffer_size) {
-  if (buffer_count == 0) {
+namespace {
+
+std::size_t round_up(std::size_t bytes, std::size_t granule) {
+  return (bytes + granule - 1) / granule * granule;
+}
+
+BufferPool::Options checked(BufferPool::Options o) {
+  if (o.granule == 0) {
+    throw std::invalid_argument("BufferPool: granule must be positive");
+  }
+  if (o.slab_bytes == 0) {
+    throw std::invalid_argument("BufferPool: need a non-empty slab");
+  }
+  o.slab_bytes = round_up(o.slab_bytes, o.granule);
+  return o;
+}
+
+BufferPool::Options legacy_options(std::size_t count, std::size_t size) {
+  if (count == 0) {
     throw std::invalid_argument("BufferPool: need at least one buffer");
   }
-  free_.reserve(buffer_count);
-  for (std::size_t i = 0; i < buffer_count; ++i) {
-    free_.emplace_back(buffer_size);
+  BufferPool::Options o;
+  o.slab_bytes = count * round_up(size == 0 ? 1 : size, o.granule);
+  return o;
+}
+
+}  // namespace
+
+BufferPool::BufferPool(const Options& options)
+    : BufferPool(checked(options), std::size_t{0}) {}
+
+BufferPool::BufferPool(std::size_t buffer_count, std::size_t buffer_size)
+    : BufferPool(legacy_options(buffer_count, buffer_size),
+                 buffer_size == 0 ? 1 : buffer_size) {}
+
+// Delegation target shared by both public constructors; `options` is
+// already checked/rounded, default_lease == 0 means one granule.
+BufferPool::BufferPool(Options options, std::size_t default_lease)
+    : granule_(options.granule),
+      default_lease_bytes_(default_lease == 0 ? options.granule
+                                              : default_lease),
+      capacity_(options.slab_bytes / round_up(default_lease_bytes_, granule_)),
+      slab_(options.slab_bytes, granule_),
+      allocator_(options.slab_bytes, granule_) {
+  if (options.pin) {
+    // Best effort: RLIMIT_MEMLOCK commonly forbids this inside containers,
+    // and emulation does not need residency guarantees.
+    pinned_ = ::mlock(slab_.data(), slab_.size()) == 0;
   }
+}
+
+BufferPool::~BufferPool() {
+  if (pinned_) ::munlock(slab_.data(), slab_.size());
 }
 
 void BufferPool::Lease::release() {
   if (pool_ != nullptr) {
-    pool_->put_back(std::move(buf_));
+    if (alloc_.valid()) {
+      pool_->put_back(alloc_);
+    } else {
+      pool_->note_heap_release();
+      heap_ = AlignedBuffer();
+    }
     pool_ = nullptr;
+  }
+  data_ = nullptr;
+  size_ = 0;
+}
+
+BufferPool::Lease BufferPool::acquire(std::size_t bytes) {
+  const std::size_t want = bytes == 0 ? 1 : bytes;
+  if (want > slab_.size()) {
+    {
+      MutexLock lock(mutex_);
+      ++stats_.acquires;
+      ++stats_.heap_fallbacks;
+    }
+    return Lease(this, AlignedBuffer(want, granule_));
+  }
+  MutexLock lock(mutex_);
+  ++stats_.acquires;
+  for (;;) {
+    const auto alloc = allocator_.allocate(want);
+    if (alloc.valid()) {
+      stats_.bytes_in_use += alloc.bytes;
+      if (stats_.bytes_in_use > stats_.peak_bytes_in_use) {
+        stats_.peak_bytes_in_use = stats_.bytes_in_use;
+      }
+      return Lease(this, alloc, slab_.data() + alloc.offset, want);
+    }
+    ++stats_.blocked_waits;
+    cv_.wait(lock);
   }
 }
 
-BufferPool::Lease BufferPool::acquire() {
+BufferPool::Lease BufferPool::try_acquire(std::size_t bytes) {
+  const std::size_t want = bytes == 0 ? 1 : bytes;
+  if (want > slab_.size()) return Lease{};
   MutexLock lock(mutex_);
-  while (free_.empty()) cv_.wait(lock);
-  AlignedBuffer buf = std::move(free_.back());
-  free_.pop_back();
-  return Lease(this, std::move(buf));
-}
-
-BufferPool::Lease BufferPool::try_acquire() {
-  MutexLock lock(mutex_);
-  if (free_.empty()) return Lease{};
-  AlignedBuffer buf = std::move(free_.back());
-  free_.pop_back();
-  return Lease(this, std::move(buf));
+  const auto alloc = allocator_.allocate(want);
+  if (!alloc.valid()) return Lease{};
+  ++stats_.acquires;
+  stats_.bytes_in_use += alloc.bytes;
+  if (stats_.bytes_in_use > stats_.peak_bytes_in_use) {
+    stats_.peak_bytes_in_use = stats_.bytes_in_use;
+  }
+  return Lease(this, alloc, slab_.data() + alloc.offset, want);
 }
 
 std::size_t BufferPool::available() const {
+  const std::size_t slot = round_up(default_lease_bytes_, granule_);
   MutexLock lock(mutex_);
-  return free_.size();
+  return allocator_.free_bytes() / slot;
 }
 
-void BufferPool::put_back(AlignedBuffer buf) {
+std::size_t BufferPool::free_bytes() const {
+  MutexLock lock(mutex_);
+  return allocator_.free_bytes();
+}
+
+BufferPool::Stats BufferPool::stats() const {
+  MutexLock lock(mutex_);
+  return stats_;
+}
+
+void BufferPool::reset_stats() {
+  MutexLock lock(mutex_);
+  const u64 in_use = stats_.bytes_in_use;
+  stats_ = Stats{};
+  stats_.bytes_in_use = in_use;
+  stats_.peak_bytes_in_use = in_use;
+}
+
+void BufferPool::put_back(const OffsetAllocator::Allocation& alloc) {
   {
     MutexLock lock(mutex_);
-    free_.push_back(std::move(buf));
+    allocator_.release(alloc);
+    ++stats_.releases;
+    stats_.bytes_in_use -= alloc.bytes;
   }
-  cv_.notify_one();
+  // Any waiter might now fit (sizes differ), so wake them all.
+  cv_.notify_all();
+}
+
+void BufferPool::note_heap_release() {
+  MutexLock lock(mutex_);
+  ++stats_.releases;
 }
 
 }  // namespace mlpo

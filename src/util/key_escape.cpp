@@ -1,0 +1,64 @@
+#include "util/key_escape.hpp"
+
+#include <stdexcept>
+
+namespace mlpo {
+
+namespace {
+
+constexpr char kHex[] = "0123456789ABCDEF";
+
+bool passthrough(char c) {
+  return (c >= 'A' && c <= 'Z') || (c >= 'a' && c <= 'z') ||
+         (c >= '0' && c <= '9') || c == '_' || c == '-';
+}
+
+int hex_value(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  return -1;
+}
+
+}  // namespace
+
+std::string escape_key(std::string_view key) {
+  std::string out;
+  out.reserve(key.size());
+  for (const char c : key) {
+    if (passthrough(c)) {
+      out.push_back(c);
+    } else {
+      const auto byte = static_cast<unsigned char>(c);
+      out.push_back('%');
+      out.push_back(kHex[byte >> 4]);
+      out.push_back(kHex[byte & 0xF]);
+    }
+  }
+  return out;
+}
+
+std::string unescape_key(std::string_view escaped) {
+  std::string out;
+  out.reserve(escaped.size());
+  for (std::size_t i = 0; i < escaped.size(); ++i) {
+    const char c = escaped[i];
+    if (c != '%') {
+      out.push_back(c);
+      continue;
+    }
+    if (i + 2 >= escaped.size()) {
+      throw std::invalid_argument("unescape_key: truncated escape");
+    }
+    const int hi = hex_value(escaped[i + 1]);
+    const int lo = hex_value(escaped[i + 2]);
+    if (hi < 0 || lo < 0) {
+      throw std::invalid_argument("unescape_key: malformed escape");
+    }
+    out.push_back(static_cast<char>((hi << 4) | lo));
+    i += 2;
+  }
+  return out;
+}
+
+}  // namespace mlpo

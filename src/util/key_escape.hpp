@@ -1,0 +1,24 @@
+// Collision-free escaping of object keys into single file names.
+//
+// The naive '/' → '_' substitution maps distinct keys ("a/b" vs "a_b") to
+// the same file — a silent aliasing bug for any tier that stores one file
+// per object. escape_key() is injective: [A-Za-z0-9_-] pass through and
+// every other byte (including '%', '.', '/' and non-printables) becomes
+// "%XX" uppercase-hex, so two distinct keys can never share an escaped
+// form and the result contains no path separators or special names
+// ("." / ".." / dotfiles all escape their dots).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace mlpo {
+
+/// Injective key → file-name mapping (percent-escaping).
+std::string escape_key(std::string_view key);
+
+/// Inverse of escape_key(). Throws std::invalid_argument on malformed
+/// escapes (truncated or non-hex "%XX").
+std::string unescape_key(std::string_view escaped);
+
+}  // namespace mlpo

@@ -1,0 +1,173 @@
+#include "util/offset_allocator.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace mlpo {
+
+OffsetAllocator::OffsetAllocator(u64 capacity_bytes, u64 granule_bytes)
+    : granule_(granule_bytes) {
+  if (granule_ == 0) {
+    throw std::invalid_argument("OffsetAllocator: granule must be positive");
+  }
+  const u64 pages = capacity_bytes / granule_;
+  if (pages == 0) {
+    throw std::invalid_argument(
+        "OffsetAllocator: capacity smaller than one granule");
+  }
+  if (pages > kNone - 1) {
+    throw std::invalid_argument("OffsetAllocator: too many pages for u32");
+  }
+  pages_ = static_cast<u32>(pages);
+  for (u32& h : heads_) h = kNone;
+  start_node_.assign(pages_, kNone);
+  end_start_.assign(pages_, kNone);
+  push_run(0, pages_);
+  free_pages_ = pages_;
+}
+
+u32 OffsetAllocator::pages_for(u64 bytes) const {
+  if (bytes == 0) return 1;
+  const u64 pages = (bytes + granule_ - 1) / granule_;
+  // A request beyond the whole slab can never fit; saturate so the class
+  // search below fails cleanly instead of overflowing.
+  return pages > pages_ ? pages_ + 1 : static_cast<u32>(pages);
+}
+
+u32 OffsetAllocator::floor_class(u32 pages) {
+  return 31u - static_cast<u32>(std::countl_zero(pages));
+}
+
+u32 OffsetAllocator::ceil_class(u32 pages) {
+  const u32 fc = floor_class(pages);
+  return std::has_single_bit(pages) ? fc : fc + 1;
+}
+
+u32 OffsetAllocator::new_node(u32 start, u32 len) {
+  if (!node_freelist_.empty()) {
+    const u32 id = node_freelist_.back();
+    node_freelist_.pop_back();
+    nodes_[id] = Node{start, len, kNone, kNone};
+    return id;
+  }
+  nodes_.push_back(Node{start, len, kNone, kNone});
+  return static_cast<u32>(nodes_.size() - 1);
+}
+
+void OffsetAllocator::recycle_node(u32 node) { node_freelist_.push_back(node); }
+
+void OffsetAllocator::push_run(u32 start, u32 len) {
+  const u32 id = new_node(start, len);
+  const u32 cls = floor_class(len);
+  nodes_[id].next = heads_[cls];
+  if (heads_[cls] != kNone) nodes_[heads_[cls]].prev = id;
+  heads_[cls] = id;
+  class_mask_ |= (1u << cls);
+  start_node_[start] = id;
+  end_start_[start + len - 1] = start;
+}
+
+void OffsetAllocator::unlink_run(u32 node) {
+  const Node& n = nodes_[node];
+  const u32 cls = floor_class(n.len);
+  if (n.prev != kNone) {
+    nodes_[n.prev].next = n.next;
+  } else {
+    heads_[cls] = n.next;
+    if (n.next == kNone) class_mask_ &= ~(1u << cls);
+  }
+  if (n.next != kNone) nodes_[n.next].prev = n.prev;
+}
+
+void OffsetAllocator::clear_tags(u32 start, u32 len) {
+  start_node_[start] = kNone;
+  end_start_[start + len - 1] = kNone;
+}
+
+OffsetAllocator::Allocation OffsetAllocator::allocate(u64 bytes) {
+  const u32 want = pages_for(bytes);
+  if (want > pages_) return {};
+
+  u32 node = kNone;
+  const u32 cc = ceil_class(want);
+  const u32 mask =
+      cc < kNumClasses ? class_mask_ & ~((1u << cc) - 1u) : 0u;
+  if (mask != 0) {
+    node = heads_[static_cast<u32>(std::countr_zero(mask))];
+  } else {
+    // Good-fit miss: the floor class may still hold a fitting run. One O(1)
+    // peek at its head keeps the common "exact-ish size" case from failing
+    // while the slab has room.
+    const u32 fc = floor_class(want);
+    if (fc != cc && heads_[fc] != kNone && nodes_[heads_[fc]].len >= want) {
+      node = heads_[fc];
+    }
+  }
+  if (node == kNone) return {};
+
+  const u32 start = nodes_[node].start;
+  const u32 len = nodes_[node].len;
+  unlink_run(node);
+  recycle_node(node);
+  clear_tags(start, len);
+  if (len > want) push_run(start + want, len - want);
+  free_pages_ -= want;
+  return Allocation{static_cast<u64>(start) * granule_,
+                    static_cast<u64>(want) * granule_};
+}
+
+void OffsetAllocator::release(const Allocation& allocation) {
+  if (!allocation.valid()) return;
+  if (allocation.offset % granule_ != 0 || allocation.bytes % granule_ != 0 ||
+      allocation.bytes == 0) {
+    throw std::logic_error("OffsetAllocator: release of a foreign allocation");
+  }
+  u32 start = static_cast<u32>(allocation.offset / granule_);
+  u32 len = static_cast<u32>(allocation.bytes / granule_);
+  if (static_cast<u64>(start) + len > pages_) {
+    throw std::logic_error("OffsetAllocator: release outside the slab");
+  }
+  if (start_node_[start] != kNone) {
+    throw std::logic_error("OffsetAllocator: double free");
+  }
+
+  // Coalesce left: a free run ending at start-1 absorbs us.
+  if (start > 0 && end_start_[start - 1] != kNone) {
+    const u32 left_start = end_start_[start - 1];
+    const u32 left_node = start_node_[left_start];
+    const u32 left_len = nodes_[left_node].len;
+    unlink_run(left_node);
+    recycle_node(left_node);
+    clear_tags(left_start, left_len);
+    start = left_start;
+    len += left_len;
+  }
+  // Coalesce right: a free run starting at start+len gets absorbed.
+  if (start + len < pages_ && start_node_[start + len] != kNone) {
+    const u32 right_node = start_node_[start + len];
+    const u32 right_len = nodes_[right_node].len;
+    unlink_run(right_node);
+    recycle_node(right_node);
+    clear_tags(start + len, right_len);
+    len += right_len;
+  }
+
+  push_run(start, len);
+  free_pages_ += static_cast<u32>(allocation.bytes / granule_);
+}
+
+OffsetAllocator::Report OffsetAllocator::report() const {
+  Report r;
+  r.capacity_bytes = capacity_bytes();
+  r.free_bytes = free_bytes();
+  for (u32 cls = 0; cls < kNumClasses; ++cls) {
+    for (u32 id = heads_[cls]; id != kNone; id = nodes_[id].next) {
+      ++r.free_runs;
+      const u64 run_bytes = static_cast<u64>(nodes_[id].len) * granule_;
+      if (run_bytes > r.largest_free_bytes) r.largest_free_bytes = run_bytes;
+    }
+  }
+  return r;
+}
+
+}  // namespace mlpo

@@ -1,0 +1,114 @@
+// Constant-time bin-packed suballocator over one contiguous slab.
+//
+// The allocator manages offsets only — it never touches memory. It carves a
+// fixed capacity into granule-sized pages and keeps free runs of pages in
+// size-segregated free lists (one doubly-linked list per power-of-two size
+// class, plus a 32-bit occupancy mask). allocate() and release() are O(1):
+// class selection is a bitmask scan, list surgery is intrusive, and
+// neighbour coalescing uses boundary tags (per-page start/end markers)
+// instead of any ordered container. This is the allocation discipline
+// DeepNVMe-style engines use for pinned O_DIRECT slabs: a hard capacity,
+// no hidden growth, and no per-request heap traffic.
+//
+// Fragmentation contract: a request for n pages is served from the first
+// non-empty class whose every run is guaranteed to fit (ceil-log2 good
+// fit), with an O(1) peek at the head of the floor class before giving up.
+// Internal waste per allocation is bounded by one granule (size rounding);
+// external fragmentation is bounded by the good-fit policy and full
+// neighbour coalescing on every release.
+//
+// Thread safety: none. Callers (BufferPool) hold their own lock; keeping
+// the allocator single-threaded keeps it trivially exception-free on the
+// hot path.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace mlpo {
+
+class OffsetAllocator {
+ public:
+  static constexpr u64 kInvalidOffset = ~u64{0};
+  static constexpr u32 kNumClasses = 32;
+
+  /// One reservation. `bytes` is the granule-rounded size actually held;
+  /// pass the struct back unmodified to release().
+  struct Allocation {
+    u64 offset = kInvalidOffset;
+    u64 bytes = 0;
+    bool valid() const { return offset != kInvalidOffset; }
+  };
+
+  /// Point-in-time storage report (diagnostics / fragmentation tests).
+  struct Report {
+    u64 capacity_bytes = 0;
+    u64 free_bytes = 0;
+    u64 largest_free_bytes = 0;
+    u64 free_runs = 0;
+  };
+
+  /// Capacity is rounded down to a whole number of granules (at least one).
+  /// The granule is both the allocation quantum and the alignment every
+  /// returned offset is a multiple of — 4096 matches the O_DIRECT contract.
+  explicit OffsetAllocator(u64 capacity_bytes, u64 granule_bytes = 4096);
+
+  /// Reserve at least `bytes` (zero rounds up to one granule). Returns an
+  /// invalid Allocation when no suitable free run exists; never throws on
+  /// this path.
+  Allocation allocate(u64 bytes);
+
+  /// Return a reservation. Coalesces with free neighbours in O(1). Throws
+  /// std::logic_error on double-free or an offset that was never handed
+  /// out (boundary tags make both detectable).
+  void release(const Allocation& allocation);
+
+  u64 capacity_bytes() const { return static_cast<u64>(pages_) * granule_; }
+  u64 granule_bytes() const { return granule_; }
+  u64 free_bytes() const { return static_cast<u64>(free_pages_) * granule_; }
+  Report report() const;
+
+ private:
+  static constexpr u32 kNone = ~u32{0};
+
+  /// Free-run node. Lives in node storage (`nodes_`), linked into the
+  /// per-class list for floor_log2(len).
+  struct Node {
+    u32 start = 0;
+    u32 len = 0;
+    u32 prev = kNone;
+    u32 next = kNone;
+  };
+
+  u32 pages_for(u64 bytes) const;
+  static u32 floor_class(u32 pages);
+  static u32 ceil_class(u32 pages);
+
+  u32 new_node(u32 start, u32 len);
+  void recycle_node(u32 node);
+  void push_run(u32 start, u32 len);
+  void unlink_run(u32 node);
+  /// Clears the boundary tags of a run that is leaving the free state.
+  void clear_tags(u32 start, u32 len);
+
+  u64 granule_;
+  u32 pages_;
+  u32 free_pages_ = 0;
+
+  /// Per-class list heads + occupancy mask (bit k set ⇔ class k non-empty).
+  u32 heads_[kNumClasses];
+  u32 class_mask_ = 0;
+
+  std::vector<Node> nodes_;
+  std::vector<u32> node_freelist_;
+
+  /// Boundary tags. start_node_[p] = node id when a free run starts at page
+  /// p; end_start_[p] = start page of the free run ending at page p. Both
+  /// kNone otherwise (including every allocated or interior page).
+  std::vector<u32> start_node_;
+  std::vector<u32> end_start_;
+};
+
+}  // namespace mlpo

@@ -1,0 +1,101 @@
+// Regression suite for the '/'→'_' key-collision bug: the injective
+// escape scheme must keep distinct keys on distinct files, round-trip
+// losslessly, and never emit path separators or special names.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "tiers/file_tier.hpp"
+#include "util/key_escape.hpp"
+
+namespace mlpo {
+namespace {
+
+namespace fs = std::filesystem;
+
+TEST(KeyEscape, SafeCharactersPassThrough) {
+  EXPECT_EQ(escape_key("abcXYZ019_-"), "abcXYZ019_-");
+}
+
+TEST(KeyEscape, SlashAndUnderscoreKeysStayDistinct) {
+  // The exact aliasing the old '/'→'_' substitution produced.
+  EXPECT_NE(escape_key("a/b"), escape_key("a_b"));
+  EXPECT_EQ(escape_key("a/b"), "a%2Fb");
+  EXPECT_EQ(escape_key("a_b"), "a_b");
+}
+
+TEST(KeyEscape, RoundTripsArbitraryBytes) {
+  const std::vector<std::string> keys = {
+      "",
+      "plain",
+      "rank0/sg.3/state",
+      "a_b",
+      "a/b",
+      "a%2Fb",  // pre-escaped text must survive double handling
+      "%",
+      "..",
+      ".hidden",
+      std::string("nul\0byte", 8),
+      "sp ace\tand\nnewline",
+      "\xff\xfe\x01",
+  };
+  for (const auto& k : keys) {
+    EXPECT_EQ(unescape_key(escape_key(k)), k) << "key: " << k;
+  }
+}
+
+TEST(KeyEscape, EscapedFormsAreInjectiveAndPathSafe) {
+  const std::vector<std::string> keys = {
+      "a/b", "a_b", "a%2Fb", "a%5Fb", "a.b", "a%2Eb", "..", "%2E%2E", ".", "",
+  };
+  std::unordered_set<std::string> seen;
+  for (const auto& k : keys) {
+    const std::string e = escape_key(k);
+    EXPECT_TRUE(seen.insert(e).second) << "collision on escaped: " << e;
+    EXPECT_EQ(e.find('/'), std::string::npos);
+    EXPECT_NE(e, ".");
+    EXPECT_NE(e, "..");
+    EXPECT_TRUE(e.empty() || e[0] != '.') << e;
+  }
+}
+
+TEST(KeyEscape, MalformedEscapesThrow) {
+  EXPECT_THROW(unescape_key("%"), std::invalid_argument);
+  EXPECT_THROW(unescape_key("%2"), std::invalid_argument);
+  EXPECT_THROW(unescape_key("%zz"), std::invalid_argument);
+  EXPECT_THROW(unescape_key("ok%2"), std::invalid_argument);
+}
+
+TEST(KeyEscape, FileTierNoLongerAliasesSlashToUnderscore) {
+  // End-to-end regression at the tier level: before the fix, writing
+  // "a/b" then "a_b" clobbered one object with the other.
+  fs::path root = fs::temp_directory_path() /
+                  ("mlpo_keyesc_" + std::to_string(::getpid()));
+  fs::remove_all(root);
+  {
+    FileTier tier("t", root);
+    const std::vector<u8> va = {1, 2, 3, 4};
+    const std::vector<u8> vb = {9, 8, 7, 6, 5};
+    tier.write("a/b", va);
+    tier.write("a_b", vb);
+    EXPECT_EQ(tier.object_size("a/b"), va.size());
+    EXPECT_EQ(tier.object_size("a_b"), vb.size());
+    std::vector<u8> out(va.size());
+    tier.read("a/b", out);
+    EXPECT_EQ(out, va);
+    out.resize(vb.size());
+    tier.read("a_b", out);
+    EXPECT_EQ(out, vb);
+    tier.erase("a_b");
+    EXPECT_TRUE(tier.exists("a/b"));
+    EXPECT_FALSE(tier.exists("a_b"));
+  }
+  std::error_code ec;
+  fs::remove_all(root, ec);
+}
+
+}  // namespace
+}  // namespace mlpo

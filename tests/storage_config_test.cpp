@@ -1,0 +1,125 @@
+// Strict parse-time validation of the config "storage" section and the
+// backend factory behind it: unknown kinds abort with the known set,
+// file-backed kinds demand a root, and make_nvme_backend builds the tier
+// the JSON asked for.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <memory>
+#include <string>
+
+#include "io/uring_backend.hpp"
+#include "runtime/storage_config.hpp"
+#include "runtime/testbed.hpp"
+#include "tiers/file_tier.hpp"
+#include "util/json.hpp"
+
+namespace mlpo {
+namespace {
+
+namespace fs = std::filesystem;
+
+StorageConfig parse(const std::string& text) {
+  return storage_config_from_json(json::parse(text));
+}
+
+TEST(StorageConfig, DefaultsToSimWithNoRoot) {
+  const StorageConfig cfg = parse("{}");
+  EXPECT_EQ(cfg.backend, "sim");
+  EXPECT_TRUE(cfg.is_sim());
+  EXPECT_TRUE(cfg.root.empty());
+  EXPECT_FALSE(cfg.direct);
+  EXPECT_EQ(cfg.queue_depth, 64u);
+  EXPECT_EQ(cfg.fallback_workers, 2u);
+  EXPECT_FALSE(cfg.force_fallback);
+}
+
+TEST(StorageConfig, ParsesEveryKnob) {
+  const StorageConfig cfg = parse(R"({
+    "backend": "uring_file",
+    "root": "/tmp/mlpo_store",
+    "direct": true,
+    "queue_depth": 16,
+    "fallback_workers": 4,
+    "force_fallback": true
+  })");
+  EXPECT_EQ(cfg.backend, "uring_file");
+  EXPECT_EQ(cfg.root, "/tmp/mlpo_store");
+  EXPECT_TRUE(cfg.direct);
+  EXPECT_EQ(cfg.queue_depth, 16u);
+  EXPECT_EQ(cfg.fallback_workers, 4u);
+  EXPECT_TRUE(cfg.force_fallback);
+}
+
+TEST(StorageConfig, UnknownBackendListsTheKnownSet) {
+  try {
+    parse(R"({"backend": "tape"})");
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("tape"), std::string::npos);
+    for (const auto& k : storage_backend_names()) {
+      EXPECT_NE(msg.find(k), std::string::npos) << "missing kind " << k;
+    }
+  }
+}
+
+TEST(StorageConfig, FileBackedKindsRequireRoot) {
+  EXPECT_THROW(parse(R"({"backend": "file"})"), std::invalid_argument);
+  EXPECT_THROW(parse(R"({"backend": "uring_file"})"), std::invalid_argument);
+  EXPECT_NO_THROW(parse(R"({"backend": "file", "root": "/tmp/x"})"));
+}
+
+TEST(StorageConfig, SimRejectsMeaninglessRoot) {
+  EXPECT_THROW(parse(R"({"backend": "sim", "root": "/tmp/x"})"),
+               std::invalid_argument);
+}
+
+TEST(StorageConfig, UringKnobsMustBePositive) {
+  EXPECT_THROW(
+      parse(R"({"backend": "uring_file", "root": "/tmp/x", "queue_depth": 0})"),
+      std::invalid_argument);
+  EXPECT_THROW(parse(R"({"backend": "uring_file", "root": "/tmp/x",
+                          "fallback_workers": 0})"),
+               std::invalid_argument);
+}
+
+TEST(StorageConfig, FactoryBuildsTheConfiguredTier) {
+  const TestbedSpec testbed = TestbedSpec::testbed1();
+  SimClock clock(1.0);
+  const fs::path root = fs::temp_directory_path() /
+                        ("mlpo_storecfg_" + std::to_string(::getpid()));
+  fs::remove_all(root);
+
+  StorageConfig cfg;  // defaults: sim
+  auto sim = make_nvme_backend(cfg, testbed, clock, "nvme0", "node0");
+  ASSERT_NE(sim, nullptr);
+  EXPECT_EQ(dynamic_cast<FileTier*>(sim.get()), nullptr);
+  EXPECT_EQ(dynamic_cast<UringFileTier*>(sim.get()), nullptr);
+
+  cfg.backend = "file";
+  cfg.root = root.string();
+  auto file = make_nvme_backend(cfg, testbed, clock, "nvme0", "node0");
+  auto* ft = dynamic_cast<FileTier*>(file.get());
+  ASSERT_NE(ft, nullptr);
+  // Per-node namespacing: <root>/<node_tag>/<tier name>.
+  EXPECT_EQ(ft->root(), root / "node0" / "nvme0");
+  EXPECT_EQ(ft->read_bandwidth(), testbed.nvme_read_bw);
+
+  cfg.backend = "uring_file";
+  cfg.force_fallback = true;  // deterministic regardless of kernel support
+  auto uring = make_nvme_backend(cfg, testbed, clock, "nvme1", "node1");
+  auto* ut = dynamic_cast<UringFileTier*>(uring.get());
+  ASSERT_NE(ut, nullptr);
+  EXPECT_EQ(ut->root(), root / "node1" / "nvme1");
+  EXPECT_FALSE(ut->using_uring());
+  EXPECT_EQ(ut->write_bandwidth(), testbed.nvme_write_bw);
+
+  uring.reset();
+  file.reset();
+  std::error_code ec;
+  fs::remove_all(root, ec);
+}
+
+}  // namespace
+}  // namespace mlpo

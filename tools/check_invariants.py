@@ -21,6 +21,10 @@ Checked invariants:
      the "graph" ctest label, ci.yml has a step selecting `-L graph`, and
      at least one smoke bench case carries the "graph" label (so the
      executor's perf gates ride the baseline comparison).
+  5. Every storage backend kind in storage_backend_names() (the set the
+     config parser accepts) is exercised by the storage-labelled tests:
+     a new kind added to src/runtime/storage_config.cpp without test
+     coverage fails here, not silently in production configs.
 
 Zero third-party dependencies; regex-level parsing is deliberate — the
 source of truth is the checked-in text, not a build artifact, so the check
@@ -139,6 +143,70 @@ def check_graph_suites(cases: dict[str, dict]) -> None:
         )
 
 
+def storage_backend_kinds() -> set[str]:
+    """Backend kinds the config parser accepts, from storage_config.cpp."""
+    src = REPO / "src" / "runtime" / "storage_config.cpp"
+    if not src.exists():
+        fail("missing src/runtime/storage_config.cpp")
+        return set()
+    text = src.read_text()
+    m = re.search(
+        r"storage_backend_names\(\)\s*\{[^}]*?\{([^}]*)\}", text, re.S)
+    if not m:
+        fail(
+            "could not parse the kinds list out of storage_backend_names() "
+            "in src/runtime/storage_config.cpp — either the function moved "
+            "or the parser regressed"
+        )
+        return set()
+    return set(re.findall(r"\"([^\"]+)\"", m.group(1)))
+
+
+def check_storage_backend_coverage() -> None:
+    """Every accepted backend kind appears in a storage-labelled test."""
+    kinds = storage_backend_kinds()
+    if not kinds:
+        return
+
+    cmake = REPO / "tests" / "CMakeLists.txt"
+    storage_tests: set[str] = set()
+    for m in re.finditer(r"set_tests_properties\(([^)]*)\)",
+                         cmake.read_text()):
+        block = m.group(1)
+        lm = re.search(r"LABELS\s+\"([^\"]+)\"", block)
+        if not lm or "storage" not in lm.group(1).split(";"):
+            continue
+        head = block[: block.find("PROPERTIES")]
+        storage_tests |= set(head.split())
+    if not storage_tests:
+        fail(
+            "no test in tests/CMakeLists.txt carries the \"storage\" label "
+            "— `ctest -L storage` and its CI step would run zero tests"
+        )
+        return
+
+    corpus = ""
+    for name in sorted(storage_tests):
+        src = REPO / "tests" / f"{name}.cpp"
+        if not src.exists():
+            fail(
+                f"tests/CMakeLists.txt labels '{name}' with \"storage\" but "
+                f"tests/{name}.cpp does not exist"
+            )
+            continue
+        corpus += src.read_text()
+    for kind in sorted(kinds):
+        # The kind must appear as a string literal somewhere in a
+        # storage-labelled suite (config parse, factory dispatch, or both).
+        if f'"{kind}"' not in corpus:
+            fail(
+                f"storage backend kind '{kind}' (accepted by "
+                f"storage_backend_names()) never appears in any "
+                f"storage-labelled test — a config could select an "
+                f"untested backend"
+            )
+
+
 def check_register_all(cases: dict[str, dict]) -> None:
     reg = REPO / "bench" / "harness" / "register_all.cpp"
     if not reg.exists():
@@ -165,6 +233,7 @@ def main() -> int:
     check_ci_labels()
     check_register_all(cases)
     check_graph_suites(cases)
+    check_storage_backend_coverage()
 
     if FAILURES:
         print(f"check_invariants: {len(FAILURES)} failure(s)", file=sys.stderr)
