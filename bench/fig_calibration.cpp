@@ -193,9 +193,9 @@ std::vector<telemetry::Metric> run(BenchContext& ctx) {
     out.push_back(metric("pool_heap_fallbacks", "allocs",
                          static_cast<f64>(r.heap_fallbacks), Better::kLower,
                          params));
-    // Informational calibration telemetry: wall time and EMA divergence
-    // are machine facts, not regressions — they ride the non-gating
-    // BENCH_calibration.json artifact.
+    // Informational calibration telemetry: wall time is a machine fact,
+    // not a regression — it rides the non-gating BENCH_calibration.json
+    // artifact.
     out.push_back(metric("pool_acquires", "leases",
                          static_cast<f64>(r.pool_acquires), Better::kNeither,
                          params));
@@ -203,8 +203,16 @@ std::vector<telemetry::Metric> run(BenchContext& ctx) {
                          Better::kNeither, params));
     out.push_back(metric("wall_seconds", "s", r.wall_seconds,
                          Better::kNeither, params));
-    out.push_back(metric("model_divergence", "%", r.divergence_pct,
-                         Better::kNeither, params));
+    // EMA divergence: on the emulated tier the transfers serve exactly
+    // their spec, so the bandwidth EMA settling far from nominal means the
+    // perf model's feedback loop broke — gate it, with a wide per-metric
+    // band (the EMA path is wall-clock-fed and noisy across runners). Real
+    // backends stay informational: their divergence measures the machine.
+    telemetry::Metric divergence =
+        metric("model_divergence", "%", r.divergence_pct,
+               kind == "sim" ? Better::kLower : Better::kNeither, params);
+    if (kind == "sim") divergence.threshold_pct = 50;
+    out.push_back(std::move(divergence));
   }
   if (ctx.print_tables()) {
     table.print();

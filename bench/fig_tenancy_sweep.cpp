@@ -1,0 +1,167 @@
+// Tenancy sweep: N identical jobs multiplexed over one ClusterSubstrate.
+//
+// The paper's offload machinery assumes it owns the node; the JobManager
+// extension shares one clock, tier set, and I/O scheduler between several
+// Trainer-shaped jobs under per-tenant weighted fair share. This case
+// measures what that sharing costs and proves nobody starves:
+//
+//   * jobs = 1 / 2 / 4 / 8 identical weight-1 jobs — aggregate iteration
+//     throughput (gated: higher is better; co-tenants should pipeline into
+//     each other's compute gaps rather than serialize) and the worst
+//     tenant's p99 iteration time (gated: lower is better; the fairness
+//     layer bounds how much one tenant's latency tail pays for sharing);
+//   * a skewed case (weights 3:1) — recorded for the same metrics, and
+//     feeding the starvation assertion below.
+//
+// Starvation assertion, every scenario: each tenant's share of the
+// scheduler's serviced bytes must reach at least 80% of its entitlement,
+// where entitlement = min(weight_i / sum(weights), 1 / jobs) — capped at
+// the equal split because finished jobs are demand-limited (a heavy tenant
+// that ran out of work under-consumes its weight; that is idleness, not
+// starvation). A violation throws, failing the case and the smoke gate.
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "harness/bench_registry.hpp"
+#include "runtime/job_manager.hpp"
+
+namespace mlpo::bench {
+namespace {
+
+/// Scale-reduced job, sized so an 8-job scenario stays inside the smoke
+/// budget: tiny model, coarse elements, two host-cache slots per job.
+JobSpec sweep_job(const std::string& name, u32 weight) {
+  JobSpec spec;
+  spec.name = name;
+  spec.weight = weight;
+  spec.config.model = ModelConfig{"tiny", 4, 4096, 32};
+  spec.config.elem_scale = 65536;
+  spec.config.time_scale = env_time_scale();
+  spec.config.host_cache_override = 2;
+  spec.iterations = env_iters() + env_warmup();
+  spec.warmup = env_warmup();
+  return spec;
+}
+
+struct ScenarioStats {
+  f64 aggregate_iters_per_vs = 0;  ///< total measured iters / makespan
+  f64 worst_p99_seconds = 0;       ///< max over tenants of p99 iter time
+  f64 worst_share_ratio = 0;       ///< min over tenants of share/entitlement
+};
+
+ScenarioStats run_jobs(const std::vector<u32>& weights,
+                       const std::string& scenario) {
+  JobManagerConfig cfg;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    cfg.jobs.push_back(
+        sweep_job("job" + std::to_string(i + 1), weights[i]));
+  }
+  JobManager manager(std::move(cfg));
+  ClusterSubstrate& substrate = manager.substrate();
+  const auto results = manager.run();
+
+  ScenarioStats stats;
+  u32 total_iters = 0;
+  f64 makespan = 0;
+  for (const JobResult& r : results) {
+    total_iters += r.slo.iterations;
+    makespan = std::max(
+        makespan, r.slo.mean_iteration_seconds * r.slo.iterations);
+    stats.worst_p99_seconds =
+        std::max(stats.worst_p99_seconds, r.slo.p99_iteration_seconds);
+  }
+  stats.aggregate_iters_per_vs =
+      makespan > 0 ? static_cast<f64>(total_iters) / makespan : 0;
+
+  // Starvation check over the shared scheduler's per-tenant accounting.
+  u64 weight_sum = 0;
+  for (const u32 w : weights) weight_sum += w;
+  std::vector<u64> tenant_bytes(results.size(), 0);
+  u64 total_bytes = 0;
+  for (const JobResult& r : results) {
+    const auto s = substrate.io().tenant_stats(r.tenant);
+    u64 bytes = 0;
+    for (const auto& pri : s.priority) bytes += pri.sim_bytes;
+    tenant_bytes[r.tenant - 1] = bytes;
+    total_bytes += bytes;
+  }
+  stats.worst_share_ratio = 1.0;
+  if (total_bytes > 0) {
+    for (const JobResult& r : results) {
+      const f64 share = static_cast<f64>(tenant_bytes[r.tenant - 1]) /
+                        static_cast<f64>(total_bytes);
+      const f64 entitlement =
+          std::min(static_cast<f64>(r.weight) / static_cast<f64>(weight_sum),
+                   1.0 / static_cast<f64>(results.size()));
+      const f64 ratio = share / entitlement;
+      stats.worst_share_ratio = std::min(stats.worst_share_ratio, ratio);
+      if (ratio < 0.8) {
+        throw std::runtime_error(
+            "fig_tenancy_sweep: tenant \"" + r.name + "\" starved in " +
+            scenario + " — serviced-byte share " + std::to_string(share) +
+            " is below 80% of its entitlement " +
+            std::to_string(entitlement));
+      }
+    }
+  }
+  return stats;
+}
+
+std::vector<telemetry::Metric> run(BenchContext& ctx) {
+  using telemetry::Better;
+  print_header("tenancy_sweep",
+               "multi-job sharing of one substrate: aggregate throughput "
+               "holds, no tenant's latency tail or byte share collapses");
+
+  struct Scenario {
+    std::string label;
+    std::vector<u32> weights;
+  };
+  const std::vector<Scenario> scenarios = {
+      {"1", {1}},
+      {"2", {1, 1}},
+      {"4", {1, 1, 1, 1}},
+      {"8", {1, 1, 1, 1, 1, 1, 1, 1}},
+      {"2-skewed", {3, 1}},
+  };
+
+  std::vector<telemetry::Metric> out;
+  TablePrinter table({"Jobs", "Agg thru (iter/vs)", "Worst p99 (vs)",
+                      "Worst share/entitlement"});
+  for (const Scenario& s : scenarios) {
+    const ScenarioStats stats = run_jobs(s.weights, "jobs=" + s.label);
+    table.add_row({s.label, TablePrinter::num(stats.aggregate_iters_per_vs, 3),
+                   TablePrinter::num(stats.worst_p99_seconds, 4),
+                   TablePrinter::num(stats.worst_share_ratio, 3)});
+    json::Object params;
+    params["jobs"] = s.label;
+    out.push_back(metric("aggregate_throughput", "iter/vs",
+                         stats.aggregate_iters_per_vs, Better::kHigher,
+                         params));
+    out.push_back(metric("worst_tenant_p99", "vs", stats.worst_p99_seconds,
+                         Better::kLower, params));
+    out.push_back(metric("worst_share_ratio", "x", stats.worst_share_ratio,
+                         Better::kNeither, params));
+  }
+  if (ctx.print_tables()) table.print();
+  return out;
+}
+
+}  // namespace
+
+void register_fig_tenancy_sweep(BenchRegistry& registry) {
+  registry.add(BenchCase{
+      .name = "fig_tenancy_sweep",
+      .title = "Tenancy sweep - jobs sharing one substrate",
+      .paper_claim =
+          "multi-level offload capacity can be multiplexed between jobs "
+          "under weighted fair share without starving any tenant",
+      .labels = {"smoke", "tenancy"},
+      .sweep = {{"jobs", {"1", "2", "4", "8", "2-skewed"}}},
+      .run = run});
+}
+
+}  // namespace mlpo::bench

@@ -23,6 +23,7 @@ void register_fig14_ablation_nvme(BenchRegistry&);
 void register_fig15_ablation_multipath(BenchRegistry&);
 void register_fig_io_scheduler(BenchRegistry&);
 void register_fig_io_scheduler_graph(BenchRegistry&);
+void register_fig_tenancy_sweep(BenchRegistry&);
 void register_table1_testbeds(BenchRegistry&);
 void register_table2_models(BenchRegistry&);
 void register_ablation_adaptive_model(BenchRegistry&);
@@ -53,6 +54,7 @@ void register_all_cases(BenchRegistry& registry) {
   register_fig15_ablation_multipath(registry);
   register_fig_io_scheduler(registry);
   register_fig_io_scheduler_graph(registry);
+  register_fig_tenancy_sweep(registry);
   register_table1_testbeds(registry);
   register_table2_models(registry);
   register_ablation_adaptive_model(registry);

@@ -66,6 +66,7 @@ CheckpointReport checkpoint_prestage(Engine& engine, StorageTier& store) {
     IoRequest req = IoRequest::external_op(IoOp::kWrite, &store, key,
                                            sim_bytes,
                                            IoPriority::kCheckpoint);
+    req.tenant = engine.tenant();
     req.work = [&store, buf, key, sim_bytes](IoChannel&) -> u64 {
       store.write(key, *buf, sim_bytes);
       return sim_bytes;
@@ -113,6 +114,7 @@ u32 checkpoint_restore(Engine& engine, StorageTier& store) {
         IoRequest req = IoRequest::external_op(IoOp::kRead, &store, key,
                                                sim_bytes,
                                                IoPriority::kCheckpoint);
+        req.tenant = engine.tenant();
         req.work = [&store, buf, key, sim_bytes](IoChannel&) -> u64 {
           store.read(key, *buf, sim_bytes);
           return sim_bytes;

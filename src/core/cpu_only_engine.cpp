@@ -24,9 +24,9 @@ void CpuOnlyEngine::Options::validate() const {
 CpuOnlyEngine::CpuOnlyEngine(const SimClock& clock, const GradSource& grads,
                              const ShardLayout& layout, const Options& opts,
                              ThreadPool* cpu_pool, RateLimiter* d2h,
-                             IoScheduler* io)
+                             IoScheduler* io, u32 tenant)
     : clock_(&clock), grads_(&grads), layout_(layout), opts_(opts),
-      cpu_pool_(cpu_pool), d2h_(d2h), io_(io) {
+      cpu_pool_(cpu_pool), d2h_(d2h), io_(io), tenant_(tenant) {
   opts_.validate();
   std::vector<u64> accum_elems;
   for (std::size_t i = 0; i < layout_.subgroup_sizes.size(); ++i) {
@@ -69,10 +69,11 @@ void CpuOnlyEngine::deposit_gradients_async(u64 sample_index, u32 subgroup_id,
   if (d2h_ != nullptr) {
     d2h_->acquire(sg.sim_params() * kFp16Bytes);
   } else if (io_ != nullptr) {
-    io_->submit(IoRequest::link_transfer(
-                    IoTarget::kD2HLink, Subgroup::key(layout_.rank, sg.id()),
-                    sg.sim_params() * kFp16Bytes, IoPriority::kGradDeposit))
-        .get();
+    IoRequest req = IoRequest::link_transfer(
+        IoTarget::kD2HLink, Subgroup::key(layout_.rank, sg.id()),
+        sg.sim_params() * kFp16Bytes, IoPriority::kGradDeposit);
+    req.tenant = tenant_;
+    io_->submit(std::move(req)).get();
   }
   // Deposits are synchronous on the caller thread, so the reserved-once
   // member scratch is race-free (and allocation-free after the first use).

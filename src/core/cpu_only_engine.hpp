@@ -35,10 +35,12 @@ class CpuOnlyEngine final : public Engine {
   ///        the worker's), gradient deposits charge its D2H link channel
   ///        and checkpoints ride its queues — same accounting as the
   ///        offloading engines. At most one of d2h/io should be given.
+  /// @param tenant id stamped on the engine's scheduler traffic (shared
+  ///        multi-job schedulers; 0 for an owned single-job scheduler)
   CpuOnlyEngine(const SimClock& clock, const GradSource& grads,
                 const ShardLayout& layout, const Options& opts,
                 ThreadPool* cpu_pool = nullptr, RateLimiter* d2h = nullptr,
-                IoScheduler* io = nullptr);
+                IoScheduler* io = nullptr, u32 tenant = 0);
 
   void initialize() override;
 
@@ -75,6 +77,7 @@ class CpuOnlyEngine final : public Engine {
   const SimClock& clock() const override { return *clock_; }
   int rank() const override { return layout_.rank; }
   IoScheduler* io() const override { return io_; }
+  u32 tenant() const override { return tenant_; }
 
  private:
   const SimClock* clock_;
@@ -84,6 +87,7 @@ class CpuOnlyEngine final : public Engine {
   ThreadPool* cpu_pool_;
   RateLimiter* d2h_;
   IoScheduler* io_;
+  u32 tenant_ = 0;
   std::vector<std::unique_ptr<Subgroup>> subgroups_;
   std::unique_ptr<GradAccumulator> accum_;
   /// Reserved-once scratch: deposits and updates are serial per engine, so

@@ -12,6 +12,7 @@ std::future<void> DiskOffloader::async_write(const std::string& key,
                                          IoPriority::kLazyFlush);
   req.src = std::span<const u8>(reinterpret_cast<const u8*>(data.data()),
                                 data.size() * sizeof(f32));
+  req.tenant = tenant_;
   // Keep a copy in the drain set; share completion with the caller.
   auto shared = io_->submit(std::move(req)).share();
   pending_.add(std::async(std::launch::deferred, [shared] { shared.get(); }));
@@ -25,6 +26,7 @@ std::future<void> DiskOffloader::async_read(const std::string& key,
                                          IoPriority::kDemandPrefetch);
   req.dst = std::span<u8>(reinterpret_cast<u8*>(data.data()),
                           data.size() * sizeof(f32));
+  req.tenant = tenant_;
   auto shared = io_->submit(std::move(req)).share();
   pending_.add(std::async(std::launch::deferred, [shared] { shared.get(); }));
   return std::async(std::launch::deferred, [shared] { shared.get(); });

@@ -28,7 +28,10 @@ class DiskOffloader {
   /// @param tier the backing storage (one path of the virtual tier)
   /// @param io shared I/O scheduler; traffic rides its external channel
   ///        (reads at demand priority, writes as lazy flushes)
-  DiskOffloader(StorageTier& tier, IoScheduler& io) : tier_(&tier), io_(&io) {}
+  /// @param tenant id stamped on this offloader's requests (0 when the
+  ///        scheduler is single-job)
+  DiskOffloader(StorageTier& tier, IoScheduler& io, u32 tenant = 0)
+      : tier_(&tier), io_(&io), tenant_(tenant) {}
 
   /// Asynchronously persist `data` under `key`. The span must stay alive
   /// until synchronize() (TensorNVMe's contract).
@@ -53,6 +56,7 @@ class DiskOffloader {
  private:
   StorageTier* tier_;
   IoScheduler* io_;
+  u32 tenant_ = 0;
   IoBatch pending_;
 };
 

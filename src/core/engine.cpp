@@ -148,7 +148,8 @@ std::unique_ptr<Engine> make_engine(const EngineContext& ctx,
     cpu.elem_scale = opts.elem_scale;
     return std::make_unique<CpuOnlyEngine>(*ctx.clock, *ctx.grads, layout,
                                            cpu, ctx.cpu_pool,
-                                           /*d2h=*/nullptr, ctx.io);
+                                           /*d2h=*/nullptr, ctx.io,
+                                           ctx.tenant);
   }
   if (opts.engine == "tensor_nvme") {
     return std::make_unique<TensorNvmeEngine>(ctx, opts, layout);

@@ -152,6 +152,11 @@ struct EngineContext {
   const GradSource* grads = nullptr;
   int worker_id = 0;  ///< node-local id (informational; locking lives in io)
   int rank = 0;       ///< global rank, used for storage keys
+  /// Tenant (job) id every IoRequest this engine submits is stamped with.
+  /// On an owned, single-job scheduler this stays 0; a JobManager-borrowed
+  /// engine carries its job's id so the shared scheduler's fair-share,
+  /// cancellation, and fail-stop layers can tell the jobs apart.
+  u32 tenant = 0;
 };
 
 class Engine {
@@ -216,6 +221,11 @@ class Engine {
   /// engines with no third-level I/O (checkpoint helpers then write the
   /// store directly).
   virtual IoScheduler* io() const = 0;
+
+  /// Tenant id the engine stamps on its IoRequests (EngineContext::tenant).
+  /// Checkpoint helpers use this so their store traffic rides the same
+  /// fair-share bucket as the engine that owns the state.
+  virtual u32 tenant() const { return 0; }
 
  protected:
   Engine() = default;

@@ -130,11 +130,18 @@ OffloadEngine::~OffloadEngine() {
 }
 
 std::string OffloadEngine::state_key(u32 id) const {
-  return Subgroup::key(ctx_.rank, id);
+  // Tenant 0 keeps the historical unprefixed keys so single-job runs stay
+  // bit-identical; co-tenants on a shared VirtualTier get their own key
+  // namespace (two jobs reuse the same ranks).
+  if (ctx_.tenant == 0) return Subgroup::key(ctx_.rank, id);
+  return "t" + std::to_string(ctx_.tenant) + "/" + Subgroup::key(ctx_.rank, id);
 }
 
 std::string OffloadEngine::grad_key(u32 id) const {
-  return "grad/" + std::to_string(ctx_.rank) + "/" + std::to_string(id);
+  std::string key =
+      "grad/" + std::to_string(ctx_.rank) + "/" + std::to_string(id);
+  if (ctx_.tenant == 0) return key;
+  return "t" + std::to_string(ctx_.tenant) + "/" + key;
 }
 
 void OffloadEngine::reset_slots(u32 n) {
@@ -148,6 +155,11 @@ void OffloadEngine::reset_slots(u32 n) {
     s.fetch_sim_bytes = 0;
     // grads_fp32 keeps its reserved capacity — the reuse is the point.
   }
+}
+
+std::future<void> OffloadEngine::submit_io(IoRequest req) {
+  req.tenant = ctx_.tenant;
+  return ctx_.io->submit(std::move(req));
 }
 
 void OffloadEngine::poison_host_state(Subgroup& sg) {
@@ -185,7 +197,7 @@ void OffloadEngine::initialize() {
       chan.write(key, buf->bytes(), sim);
       return sim;
     };
-    batch.add(ctx_.io->submit(std::move(req)));
+    batch.add(submit_io(std::move(req)));
   }
   batch.wait_all();
   initialized_ = true;
@@ -242,11 +254,11 @@ void OffloadEngine::deposit_gradients_async(u64 sample_index, u32 subgroup_id,
         chan.write(key, fp32->bytes(), grad_sim);
         return grad_sim;
       };
-      ctx_.io->submit(std::move(flush)).get();
+      submit_io(std::move(flush)).get();
     }
     return sim_params * kFp16Bytes;
   };
-  gradient_io_.add(ctx_.io->submit(std::move(req)));
+  gradient_io_.add(submit_io(std::move(req)));
 }
 
 void OffloadEngine::wait_gradient_io() { gradient_io_.wait_all(); }
@@ -272,7 +284,7 @@ std::future<void> OffloadEngine::submit_fetch(UpdateSlot& slot) {
     placement_->observe(loc == VirtualTier::npos ? 0 : loc, r.sim_bytes,
                         r.service_seconds, r.queue_wait_seconds);
   };
-  return ctx_.io->submit(std::move(req));
+  return submit_io(std::move(req));
 }
 
 u64 OffloadEngine::fetch_subgroup(UpdateSlot& slot, IoChannel& chan) {
@@ -328,7 +340,7 @@ std::future<void> OffloadEngine::flush_subgroup_async(
       (*traces)[id].sim_bytes_written += sim;
     }
   };
-  return ctx_.io->submit(std::move(req));
+  return submit_io(std::move(req));
 }
 
 f64 OffloadEngine::charge_update_compute(u64 sim_params,
@@ -353,7 +365,7 @@ IterationReport OffloadEngine::run_update(u64 iteration) {
 
 IterationReport OffloadEngine::run_update_linear(u64 iteration) {
   const f64 phase_start = ctx_.clock->now();
-  const IoScheduler::Stats io_stats_start = ctx_.io->stats();
+  const IoScheduler::Stats io_stats_start = ctx_.io->tenant_stats(ctx_.tenant);
   const u32 n = num_subgroups();
 
   placement_->rebalance();
@@ -476,7 +488,7 @@ IterationReport OffloadEngine::run_update_linear(u64 iteration) {
           trace.read_seconds = r.service_seconds;
           trace.sim_bytes_read = r.sim_bytes;
         };
-        ctx_.io->submit(std::move(req)).get();
+        submit_io(std::move(req)).get();
       }
     } else {
       slot.fetch_done.get();  // f2h_prefetch_wait_subgrp (Alg. 1 l.5)
@@ -510,7 +522,7 @@ IterationReport OffloadEngine::run_update_linear(u64 iteration) {
       IoRequest h2d = IoRequest::link_transfer(
           IoTarget::kH2DLink, state_key(slot.id), sg.sim_fp16_param_bytes(),
           IoPriority::kDemandPrefetch);
-      h2d_batch.add(ctx_.io->submit(std::move(h2d)));
+      h2d_batch.add(submit_io(std::move(h2d)));
     }
 
     // Lazy flush through the host cache (Alg. 1 l.9-10) or eager flush for
@@ -542,8 +554,10 @@ IterationReport OffloadEngine::run_update_linear(u64 iteration) {
     // Queued demand reads are abandoned before draining: they are safe to
     // cancel (re-fetchable on retry or restore) and on a fail-stopped tier
     // each would otherwise dispatch serially just to fail. Queued writes
-    // stay — a flush may carry the only copy of an updated subgroup.
-    ctx_.io->cancel_queued(IoPriority::kDemandPrefetch);
+    // stay — a flush may carry the only copy of an updated subgroup. The
+    // sweep is tenant-scoped: on a shared scheduler a neighbour job's
+    // queued prefetches are not ours to abandon.
+    ctx_.io->cancel_queued(IoPriority::kDemandPrefetch, ctx_.tenant);
     drain_outstanding();
     throw;
   }
@@ -561,7 +575,7 @@ IterationReport OffloadEngine::run_update_linear(u64 iteration) {
     report.update_compute_seconds += t.compute_seconds;
   }
   report.update_seconds = ctx_.clock->now() - phase_start;
-  fold_io_stats(report, io_stats_start, ctx_.io->stats());
+  fold_io_stats(report, io_stats_start, ctx_.io->tenant_stats(ctx_.tenant));
   // Delta since the previous update epilogue, so backward-phase deposit
   // churn lands in this iteration's report too.
   const BufferPool::Stats pool_now = scratch_->stats();
@@ -621,7 +635,7 @@ void OffloadEngine::submit_graph_fetch(
   req.on_settle = [done = std::move(done)](std::exception_ptr e) {
     done(std::move(e));
   };
-  ctx_.io->submit(std::move(req));
+  submit_io(std::move(req));
 }
 
 void OffloadEngine::graph_fetch(TaskContext& tc, UpdateSlot& slot) {
@@ -653,7 +667,7 @@ void OffloadEngine::graph_fetch(TaskContext& tc, UpdateSlot& slot) {
       slot.fetch_sim_bytes = r.sim_bytes;
     };
     req.on_settle = [done](std::exception_ptr e) { done(std::move(e)); };
-    ctx_.io->submit(std::move(req));
+    submit_io(std::move(req));
     return;
   }
 
@@ -723,7 +737,7 @@ void OffloadEngine::graph_h2d(TaskContext& tc, UpdateSlot& slot) {
       IoTarget::kH2DLink, state_key(slot.id), sg.sim_fp16_param_bytes(),
       IoPriority::kDemandPrefetch);
   h2d.on_settle = [done](std::exception_ptr e) { done(std::move(e)); };
-  ctx_.io->submit(std::move(h2d));
+  submit_io(std::move(h2d));
 }
 
 void OffloadEngine::graph_flush(TaskContext& tc, UpdateSlot& slot,
@@ -795,7 +809,7 @@ void OffloadEngine::graph_flush(TaskContext& tc, UpdateSlot& slot,
       drain();
       done(std::move(e));
     };
-    ctx_.io->submit(std::move(req));
+    submit_io(std::move(req));
   } catch (...) {
     drain();
     done(std::current_exception());
@@ -804,7 +818,7 @@ void OffloadEngine::graph_flush(TaskContext& tc, UpdateSlot& slot,
 
 IterationReport OffloadEngine::run_update_graph(u64 iteration) {
   const f64 phase_start = ctx_.clock->now();
-  const IoScheduler::Stats io_stats_start = ctx_.io->stats();
+  const IoScheduler::Stats io_stats_start = ctx_.io->tenant_stats(ctx_.tenant);
   const u32 n = num_subgroups();
 
   placement_->rebalance();
@@ -861,8 +875,9 @@ IterationReport OffloadEngine::run_update_graph(u64 iteration) {
     // First failure: abandon queued demand reads (same rationale as the
     // linear pipeline's catch path — each would otherwise dispatch
     // serially on a fail-stopped tier just to fail). Queued writes stay;
-    // a flush may carry the only copy of an updated subgroup.
-    ctx_.io->cancel_queued(IoPriority::kDemandPrefetch);
+    // a flush may carry the only copy of an updated subgroup. Scoped to
+    // this engine's tenant — neighbours' queued reads are untouched.
+    ctx_.io->cancel_queued(IoPriority::kDemandPrefetch, ctx_.tenant);
   });
 
   IterationReport report;
@@ -881,7 +896,7 @@ IterationReport OffloadEngine::run_update_graph(u64 iteration) {
     report.update_compute_seconds += t.compute_seconds;
   }
   report.update_seconds = ctx_.clock->now() - phase_start;
-  fold_io_stats(report, io_stats_start, ctx_.io->stats());
+  fold_io_stats(report, io_stats_start, ctx_.io->tenant_stats(ctx_.tenant));
   const BufferPool::Stats pool_now = scratch_->stats();
   report.pool_acquires = pool_now.acquires - pool_mark_.acquires;
   report.pool_heap_fallbacks =
@@ -898,7 +913,7 @@ Subgroup OffloadEngine::snapshot_subgroup(u32 id) const {
   if (host_valid_[id]) return sg;
   Subgroup copy(sg.id(), sg.sim_params(), sg.elem_scale());
   std::vector<u8> staging(copy.serialized_bytes());
-  const std::string key = Subgroup::key(ctx_.rank, id);
+  const std::string key = state_key(id);
   const std::size_t loc = ctx_.vtier->locate(key);
   if (loc == VirtualTier::npos) {
     throw std::runtime_error("snapshot_subgroup: " + key + " not on any tier");
@@ -940,7 +955,7 @@ std::vector<u32> OffloadEngine::host_resident() const {
 
 bool OffloadEngine::on_persistent_path(u32 id) const {
   if (host_valid_[id]) return false;
-  const std::size_t loc = ctx_.vtier->locate(Subgroup::key(ctx_.rank, id));
+  const std::size_t loc = ctx_.vtier->locate(state_key(id));
   return loc != VirtualTier::npos && ctx_.vtier->path(loc).persistent();
 }
 
@@ -958,7 +973,7 @@ void OffloadEngine::restore_state(u32 id, std::span<const u8> serialized) {
     chan.write(key, serialized, sim);
     return sim;
   };
-  ctx_.io->submit(std::move(req)).get();  // span only lives until return
+  submit_io(std::move(req)).get();  // span only lives until return
   poison_host_state(sg);
   host_valid_[id] = 0;
   cache_.erase(id);

@@ -84,6 +84,7 @@ class OffloadEngine final : public Engine {
   /// The scheduler all of this engine's traffic flows through (checkpoint
   /// helpers ride the same queues at IoPriority::kCheckpoint).
   IoScheduler* io() const override { return ctx_.io; }
+  u32 tenant() const override { return ctx_.tenant; }
 
   /// Cumulative staging-pool counters — the ground truth behind the
   /// alloc-churn metric (heap_fallbacks must stay zero in steady state).
@@ -94,6 +95,10 @@ class OffloadEngine final : public Engine {
 
   std::string state_key(u32 id) const;
   std::string grad_key(u32 id) const;
+  /// All scheduler traffic funnels through here so every request carries
+  /// the engine's tenant id (shared-scheduler fair-share / fail-stop
+  /// scoping; 0 on an owned scheduler).
+  std::future<void> submit_io(IoRequest req);
   void poison_host_state(Subgroup& sg);
   /// Reset the persistent update slots for a fresh iteration without
   /// surrendering the grads_fp32 capacity they reserved at construction.

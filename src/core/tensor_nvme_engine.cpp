@@ -34,7 +34,8 @@ TensorNvmeEngine::TensorNvmeEngine(const EngineContext& ctx,
   std::vector<f64> bandwidths;
   for (std::size_t p = 0; p < usable; ++p) {
     StorageTier& tier = ctx_.vtier->path(p);
-    offloaders_.push_back(std::make_unique<DiskOffloader>(tier, *ctx_.io));
+    offloaders_.push_back(
+        std::make_unique<DiskOffloader>(tier, *ctx_.io, ctx_.tenant));
     bandwidths.push_back(
         std::min(tier.read_bandwidth(), tier.write_bandwidth()));
   }
@@ -78,7 +79,12 @@ TensorNvmeEngine::TensorNvmeEngine(const EngineContext& ctx,
 }
 
 std::string TensorNvmeEngine::state_key(u32 id) const {
-  return "tnvme/" + std::to_string(ctx_.rank) + "/" + std::to_string(id);
+  // Co-tenants on a shared VirtualTier get their own key namespace (two
+  // jobs reuse the same ranks); tenant 0 keeps the historical keys.
+  std::string key =
+      "tnvme/" + std::to_string(ctx_.rank) + "/" + std::to_string(id);
+  if (ctx_.tenant == 0) return key;
+  return "t" + std::to_string(ctx_.tenant) + "/" + key;
 }
 
 std::span<f32> TensorNvmeEngine::pack_staging(u32 id) {
@@ -98,6 +104,11 @@ void TensorNvmeEngine::unpack_staging(u32 id) {
   std::copy(buf.begin(), buf.begin() + n, sg.params().begin());
   std::copy(buf.begin() + n, buf.begin() + 2 * n, sg.momentum().begin());
   std::copy(buf.begin() + 2 * n, buf.end(), sg.variance().begin());
+}
+
+std::future<void> TensorNvmeEngine::submit_io(IoRequest req) {
+  req.tenant = ctx_.tenant;
+  return ctx_.io->submit(std::move(req));
 }
 
 void TensorNvmeEngine::write_through(u32 id) {
@@ -149,7 +160,7 @@ void TensorNvmeEngine::deposit_gradients_async(u64 sample_index,
     }
     return sim_params * kFp16Bytes;
   };
-  gradient_io_.add(ctx_.io->submit(std::move(req)));
+  gradient_io_.add(submit_io(std::move(req)));
 }
 
 void TensorNvmeEngine::wait_gradient_io() { gradient_io_.wait_all(); }
@@ -213,7 +224,7 @@ IterationReport TensorNvmeEngine::run_update_linear(u64 iteration) {
       IoRequest h2d = IoRequest::link_transfer(
           IoTarget::kH2DLink, state_key(id), sg.sim_fp16_param_bytes(),
           IoPriority::kDemandPrefetch);
-      ctx_.io->submit(std::move(h2d)).get();
+      submit_io(std::move(h2d)).get();
     }
     write_through(id);
     trace.sim_bytes_written = sg.sim_state_bytes();
@@ -305,7 +316,7 @@ IterationReport TensorNvmeEngine::run_update_graph(u64 iteration) {
           h2d_req.on_settle = [done](std::exception_ptr e) {
             done(std::move(e));
           };
-          ctx_.io->submit(std::move(h2d_req));
+          submit_io(std::move(h2d_req));
         });
     graph.add_edge(compute, h2d);
     const u32 flush = graph.add_node(
@@ -321,7 +332,8 @@ IterationReport TensorNvmeEngine::run_update_graph(u64 iteration) {
   const GraphExecutor::Stats stats = graph_exec_->run(graph, [this] {
     // First failure: abandon queued demand reads so the unwind is not
     // serialized behind reads that would each dispatch just to fail.
-    ctx_.io->cancel_queued(IoPriority::kDemandPrefetch);
+    // Tenant-scoped — neighbours on a shared scheduler are untouched.
+    ctx_.io->cancel_queued(IoPriority::kDemandPrefetch, ctx_.tenant);
   });
 
   IterationReport report;

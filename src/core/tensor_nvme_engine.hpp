@@ -66,9 +66,14 @@ class TensorNvmeEngine final : public Engine {
   const SimClock& clock() const override { return *ctx_.clock; }
   int rank() const override { return ctx_.rank; }
   IoScheduler* io() const override { return ctx_.io; }
+  u32 tenant() const override { return ctx_.tenant; }
 
  private:
   std::string state_key(u32 id) const;
+  /// Scheduler traffic funnel — stamps the engine's tenant id on every
+  /// request (the offloaders stamp their own; they get the id at
+  /// construction).
+  std::future<void> submit_io(IoRequest req);
   /// Pack host P/M/V into the subgroup's staging buffer (the tensor the
   /// offloader sees) / unpack it back.
   std::span<f32> pack_staging(u32 id);

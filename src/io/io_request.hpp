@@ -106,6 +106,12 @@ struct IoRequest {
 
   IoPriority priority = IoPriority::kLazyFlush;
 
+  /// Owning tenant (job) of this request. On a shared scheduler the
+  /// per-tenant weighted fair-share layer arbitrates *between* tenant ids
+  /// before the priority classes order traffic *within* one; cancellation
+  /// and fail-stop scoping key on it too. Single-job schedulers leave it 0.
+  u32 tenant = 0;
+
   /// Tier-path requests: VirtualTier path index, or kAutoPath to route by
   /// `key` location (demand reads).
   std::size_t path = kAutoPath;

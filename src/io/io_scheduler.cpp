@@ -4,6 +4,7 @@
 #include <optional>
 #include <stdexcept>
 
+#include "tiers/failstop_tier.hpp"
 #include "tiers/storage_tier.hpp"
 
 namespace mlpo {
@@ -20,9 +21,24 @@ const char* io_priority_name(IoPriority priority) {
 
 IoScheduler::IoScheduler(const SimClock& clock, VirtualTier* vtier,
                          RateLimiter* d2h, RateLimiter* h2d, Config cfg)
-    : clock_(&clock), vtier_(vtier), cfg_(cfg) {
+    : clock_(&clock), vtier_(vtier), cfg_(std::move(cfg)) {
   if (cfg_.queue_depth == 0) {
     throw std::invalid_argument("IoScheduler: queue_depth must be > 0");
+  }
+  if (cfg_.fair_share_quantum_bytes == 0) {
+    throw std::invalid_argument(
+        "IoScheduler: fair_share_quantum_bytes must be > 0");
+  }
+  if (cfg_.d2h_bandwidth > 0) {
+    if (d2h != nullptr || h2d != nullptr) {
+      throw std::invalid_argument(
+          "IoScheduler: Config::d2h_bandwidth asks for owned link limiters "
+          "but caller limiters were also provided");
+    }
+    owned_d2h_ = std::make_unique<RateLimiter>(clock, cfg_.d2h_bandwidth);
+    owned_h2d_ = std::make_unique<RateLimiter>(clock, cfg_.d2h_bandwidth);
+    d2h = owned_d2h_.get();
+    h2d = owned_h2d_.get();
   }
   tier_paths_ = vtier_ != nullptr ? vtier_->path_count() : 0;
   queues_.reserve(2 * tier_paths_ + 3);
@@ -47,7 +63,7 @@ IoScheduler::IoScheduler(const SimClock& clock, VirtualTier* vtier,
     : IoScheduler(clock, vtier, d2h, h2d, Config{}) {}
 
 IoScheduler::IoScheduler(const SimClock& clock, Config cfg)
-    : IoScheduler(clock, nullptr, nullptr, nullptr, cfg) {}
+    : IoScheduler(clock, nullptr, nullptr, nullptr, std::move(cfg)) {}
 
 IoScheduler::IoScheduler(const SimClock& clock)
     : IoScheduler(clock, nullptr, nullptr, nullptr, Config{}) {}
@@ -143,6 +159,11 @@ std::size_t IoScheduler::class_of(const IoRequest& req) const {
   return cfg_.strict_fifo ? 0 : static_cast<std::size_t>(req.priority);
 }
 
+u32 IoScheduler::weight_of(u32 tenant) const {
+  const auto it = cfg_.tenant_weights.find(tenant);
+  return it == cfg_.tenant_weights.end() ? 1u : std::max<u32>(1, it->second);
+}
+
 u64 IoScheduler::effective_bytes(const IoRequest& req) {
   if (req.sim_bytes != 0) return req.sim_bytes;
   return std::max<u64>(req.src.size(), req.dst.size());
@@ -151,30 +172,60 @@ u64 IoScheduler::effective_bytes(const IoRequest& req) {
 std::future<void> IoScheduler::submit(IoRequest req) {
   ChannelQueue& q = route(req);
   const auto pri = static_cast<std::size_t>(req.priority);
+  const u32 tenant = req.tenant;
 
   auto pending = std::make_unique<Pending>();
   pending->req = std::move(req);
   pending->enqueue_vtime = clock_->now();
   auto fut = pending->done.get_future();
 
+  // A fail-stopped tenant's submission fails like an op against a dead
+  // device: immediately, without ever occupying queue space another tenant
+  // could use. The common single-job case pays one empty-map lookup.
+  if (tenant_failed(tenant)) {
+    settle(*pending,
+           std::make_exception_ptr(FailStopError(
+               "IoScheduler: tenant " + std::to_string(tenant) +
+               " is fail-stopped (request \"" + pending->req.key + "\")")));
+    return fut;
+  }
+
   std::size_t depth_after = 0;
+  std::size_t tenant_depth_after = 0;
   bool rejected = false;
   {
     MutexLock lk(q.mutex);
+    // Backpressure is per tenant: this tenant blocks on its own backlog
+    // but never on a neighbour's (whose deep queue must not block a light
+    // tenant's submit). With one tenant the bound degenerates to the old
+    // per-channel depth.
+    const auto tenant_backlog = [&]() -> std::size_t {
+      const auto it = q.tenants.find(tenant);
+      return it == q.tenants.end() ? 0 : it->second.size;
+    };
     while (!closed_.load(std::memory_order_acquire) &&
-           q.size >= cfg_.queue_depth) {
+           tenant_backlog() >= cfg_.queue_depth) {
       q.not_full.wait(lk);
     }
     if (closed_.load(std::memory_order_acquire)) {
       rejected = true;
     } else {
-      q.classes[class_of(pending->req)].push_back(std::move(pending));
+      TenantQueues& tq = q.tenants[tenant];
+      tq.classes[class_of(pending->req)].push_back(std::move(pending));
+      ++tq.size;
       ++q.size;
       depth_after = q.size;
+      tenant_depth_after = tq.size;
       // Count before the dispatcher can possibly settle this request (we
       // still hold q.mutex), so drain() never sees settled_ overtake a
-      // stale submitted_ and return with work in flight.
+      // stale submitted_ and return with work in flight. The per-tenant
+      // ledgers live under drain_mutex_ (q.mutex -> drain_mutex_ nests;
+      // nothing acquires a channel lock under drain_mutex_).
       submitted_.fetch_add(1, std::memory_order_acq_rel);
+      {
+        MutexLock dlk(drain_mutex_);
+        ++tenant_submitted_[tenant];
+      }
     }
   }
   if (rejected) {
@@ -192,32 +243,48 @@ std::future<void> IoScheduler::submit(IoRequest req) {
     MutexLock slk(stats_mutex_);
     ++stats_.priority[pri].submitted;
     stats_.max_queue_depth = std::max<u64>(stats_.max_queue_depth, depth_after);
+    Stats& ts = tenant_stats_[tenant];
+    ++ts.priority[pri].submitted;
+    ts.max_queue_depth =
+        std::max<u64>(ts.max_queue_depth, tenant_depth_after);
   }
   q.not_empty.notify_one();
   return fut;
 }
 
 std::size_t IoScheduler::cancel_all_queued() {
-  return cancel_queued_matching(nullptr);
+  return cancel_queued_matching(nullptr, nullptr);
 }
 
 std::size_t IoScheduler::cancel_queued(IoPriority priority) {
-  return cancel_queued_matching(&priority);
+  return cancel_queued_matching(&priority, nullptr);
 }
 
-std::size_t IoScheduler::cancel_queued_matching(const IoPriority* priority) {
+std::size_t IoScheduler::cancel_tenant_queued(u32 tenant) {
+  return cancel_queued_matching(nullptr, &tenant);
+}
+
+std::size_t IoScheduler::cancel_queued(IoPriority priority, u32 tenant) {
+  return cancel_queued_matching(&priority, &tenant);
+}
+
+std::size_t IoScheduler::cancel_queued_matching(const IoPriority* priority,
+                                                const u32* tenant) {
   std::size_t flagged = 0;
   const auto sweep = [&](ChannelQueue& q) {
     MutexLock lk(q.mutex);
-    // All classes are swept (not just the matching class index): under
-    // strict_fifo every priority shares class 0, so the filter must look
-    // at the request itself.
-    for (auto& cls : q.classes) {
-      for (auto& p : cls) {
-        if (priority != nullptr && p->req.priority != *priority) continue;
-        if (p->req.token.cancelled()) continue;
-        p->req.token.cancel();
-        ++flagged;
+    for (auto& [tid, tq] : q.tenants) {
+      if (tenant != nullptr && tid != *tenant) continue;
+      // All classes are swept (not just the matching class index): under
+      // strict_fifo every priority shares class 0, so the filter must look
+      // at the request itself.
+      for (auto& cls : tq.classes) {
+        for (auto& p : cls) {
+          if (priority != nullptr && p->req.priority != *priority) continue;
+          if (p->req.token.cancelled()) continue;
+          p->req.token.cancel();
+          ++flagged;
+        }
       }
     }
   };
@@ -227,6 +294,89 @@ std::size_t IoScheduler::cancel_queued_matching(const IoPriority* priority) {
     for (auto& [tier, q] : tier_queues_) sweep(*q);
   }
   return flagged;
+}
+
+void IoScheduler::fail_tenant(u32 tenant) {
+  MutexLock lk(tenant_fail_mutex_);
+  tenant_fail_[tenant].failed = true;
+}
+
+void IoScheduler::arm_tenant_fail(u32 tenant, f64 at_vtime) {
+  MutexLock lk(tenant_fail_mutex_);
+  tenant_fail_[tenant].fail_at_vtime = at_vtime;
+}
+
+bool IoScheduler::tenant_failed(u32 tenant) {
+  MutexLock lk(tenant_fail_mutex_);
+  return tenant_failed_locked(tenant);
+}
+
+bool IoScheduler::tenant_failed_locked(u32 tenant) {
+  const auto it = tenant_fail_.find(tenant);
+  if (it == tenant_fail_.end()) return false;
+  TenantFailState& st = it->second;
+  if (!st.failed && st.fail_at_vtime >= 0 &&
+      clock_->now() >= st.fail_at_vtime) {
+    st.failed = true;  // deadline latches on first traffic past it
+  }
+  return st.failed;
+}
+
+void IoScheduler::revive_tenant(u32 tenant) {
+  MutexLock lk(tenant_fail_mutex_);
+  tenant_fail_.erase(tenant);
+}
+
+IoScheduler::TenantMap::iterator IoScheduler::pick_tenant(ChannelQueue& q) {
+  // Entries only exist while backlogged (erased when drained), so every
+  // element of q.tenants is a candidate. One tenant = no arbitration: the
+  // single-job scheduler takes exactly the pre-tenancy dispatch path.
+  if (q.tenants.size() == 1) return q.tenants.begin();
+
+  const auto head_cost = [](const TenantQueues& tq) -> i64 {
+    for (const auto& cls : tq.classes) {
+      if (!cls.empty()) {
+        return static_cast<i64>(effective_bytes(cls.front()->req));
+      }
+    }
+    return 0;  // unreachable while the entry is backlogged
+  };
+
+  // Deficit round-robin, weighted. The tenant under the cursor keeps the
+  // channel while it can pay for its head request out of existing credit —
+  // a weight-w tenant's quantum buys it a run of ~w quanta of bytes per
+  // visit, which is where the weighting bites; rotating after every batch
+  // would degenerate into unweighted alternation.
+  {
+    const auto cur = q.tenants.find(q.drr_cursor);
+    if (cur != q.tenants.end() &&
+        cur->second.deficit_bytes >= head_cost(cur->second)) {
+      return cur;
+    }
+  }
+  // Otherwise visit tenants cyclically from just past the cursor; a visit
+  // tops the tenant's byte credit up by weight * quantum when it cannot
+  // afford its head request, and the first tenant that can afford its
+  // head takes the channel. Credit grows every round, so the scan
+  // terminates; over a saturated channel each tenant's served bytes
+  // converge to its weight share.
+  for (;;) {
+    auto it = q.tenants.upper_bound(q.drr_cursor);
+    for (std::size_t visited = 0; visited < q.tenants.size(); ++visited) {
+      if (it == q.tenants.end()) it = q.tenants.begin();
+      TenantQueues& tq = it->second;
+      const i64 cost = head_cost(tq);
+      if (tq.deficit_bytes < cost) {
+        tq.deficit_bytes += static_cast<i64>(cfg_.fair_share_quantum_bytes) *
+                            static_cast<i64>(weight_of(it->first));
+      }
+      if (tq.deficit_bytes >= cost) {
+        q.drr_cursor = it->first;
+        return it;
+      }
+      ++it;
+    }
+  }
 }
 
 void IoScheduler::dispatch_loop(ChannelQueue& q) {
@@ -241,30 +391,42 @@ void IoScheduler::dispatch_loop(ChannelQueue& q) {
         if (closed_.load(std::memory_order_acquire)) return;
         continue;
       }
-      // Strongest non-empty class dispatches first.
-      auto* cls = &q.classes[0];
-      for (auto& c : q.classes) {
+      const auto tenant_it = pick_tenant(q);
+      TenantQueues& tq = tenant_it->second;
+      // Strongest non-empty class of the chosen tenant dispatches first.
+      auto* cls = &tq.classes[0];
+      for (auto& c : tq.classes) {
         if (!c.empty()) {
           cls = &c;
           break;
         }
       }
-      batch.push_back(std::move(cls->front()));
-      cls->pop_front();
-      --q.size;
-      // Small-transfer coalescing: same class, same direction by
-      // construction (one queue per direction); one lock lease for all.
+      const auto pop_into_batch = [&] {
+        // Served bytes draw the tenant's DRR credit down, whatever mode
+        // picked it (the solo fast path leaves credit negative, which the
+        // quantum top-up amortises if contention appears later).
+        tq.deficit_bytes -=
+            static_cast<i64>(effective_bytes(cls->front()->req));
+        batch.push_back(std::move(cls->front()));
+        cls->pop_front();
+        --tq.size;
+        --q.size;
+      };
+      pop_into_batch();
+      // Small-transfer coalescing: same tenant, same class, same direction
+      // by construction (one queue per direction); one lock lease for all.
       const IoRequest& head = batch.front()->req;
       if (cfg_.coalesce_max_sim_bytes > 0 && cfg_.coalesce_batch > 1 &&
           effective_bytes(head) <= cfg_.coalesce_max_sim_bytes) {
         while (batch.size() < cfg_.coalesce_batch && !cls->empty() &&
                effective_bytes(cls->front()->req) <=
                    cfg_.coalesce_max_sim_bytes) {
-          batch.push_back(std::move(cls->front()));
-          cls->pop_front();
-          --q.size;
+          pop_into_batch();
         }
       }
+      // A drained tenant forfeits its remaining credit (standard DRR) and
+      // its entry, keeping the map's size == live backlogged tenants.
+      if (tq.size == 0) q.tenants.erase(tenant_it);
     }
     q.not_full.notify_all();
     run_batch(q, batch);
@@ -278,6 +440,9 @@ void IoScheduler::run_batch(ChannelQueue& q,
     MutexLock slk(stats_mutex_);
     ++stats_.coalesced_batches;
     stats_.coalesced_requests += batch.size();
+    Stats& ts = tenant_stats_[batch.front()->req.tenant];
+    ++ts.coalesced_batches;
+    ts.coalesced_requests += batch.size();
   }
 
   // The lease is taken lazily so an all-cancelled batch never touches the
@@ -291,15 +456,37 @@ void IoScheduler::run_batch(ChannelQueue& q,
   f64 item_start = dispatch_start;
   for (auto& p : batch) {
     const auto pri = static_cast<std::size_t>(p->req.priority);
+    const u32 tenant = p->req.tenant;
     if (p->req.token.cancelled()) {
       {
         MutexLock slk(stats_mutex_);
         ++stats_.priority[pri].cancelled;
+        ++tenant_stats_[tenant].priority[pri].cancelled;
       }
       settle(*p, std::make_exception_ptr(IoCancelled(
                      "IoScheduler: request cancelled while queued: " +
                      p->req.key)));
-      finish_one();
+      finish_one(tenant);
+      continue;
+    }
+    if (tenant_failed(tenant)) {
+      // A dead tenant's queued traffic fails at dispatch exactly as it
+      // would against a fail-stopped device — without occupying the
+      // channel, so the surviving tenants' requests behind it never stall.
+      const f64 queue_wait = std::max(0.0, item_start - p->enqueue_vtime);
+      {
+        MutexLock slk(stats_mutex_);
+        auto& s = stats_.priority[pri];
+        s.queue_wait_seconds += queue_wait;
+        ++s.failed;
+        auto& ts = tenant_stats_[tenant].priority[pri];
+        ts.queue_wait_seconds += queue_wait;
+        ++ts.failed;
+      }
+      settle(*p, std::make_exception_ptr(FailStopError(
+                     "IoScheduler: tenant " + std::to_string(tenant) +
+                     " fail-stopped while \"" + p->req.key + "\" queued")));
+      finish_one(tenant);
       continue;
     }
     if (!lease) lease = std::make_shared<IoChannel::Lease>(q.channel.lease());
@@ -321,21 +508,25 @@ void IoScheduler::run_batch(ChannelQueue& q,
           std::max(0.0, item_start - p->enqueue_vtime);
       const f64 start = item_start;
       std::shared_ptr<Pending> pending(p.release());
-      auto on_done = [this, pending, lease, pri, queue_wait_async,
+      auto on_done = [this, pending, lease, pri, tenant, queue_wait_async,
                       start](std::exception_ptr error) {
         const f64 service = std::max(0.0, clock_->now() - start);
         const u64 moved = effective_bytes(pending->req);
         {
           MutexLock slk(stats_mutex_);
-          auto& s = stats_.priority[pri];
-          s.queue_wait_seconds += queue_wait_async;
-          s.service_seconds += service;
-          if (error) {
-            ++s.failed;
-          } else {
-            ++s.completed;
-            s.sim_bytes += moved;
-          }
+          const auto fold = [&](Stats& stats) {
+            auto& s = stats.priority[pri];
+            s.queue_wait_seconds += queue_wait_async;
+            s.service_seconds += service;
+            if (error) {
+              ++s.failed;
+            } else {
+              ++s.completed;
+              s.sim_bytes += moved;
+            }
+          };
+          fold(stats_);
+          fold(tenant_stats_[tenant]);
         }
         if (!error && pending->req.on_complete) {
           IoResult result;
@@ -350,7 +541,7 @@ void IoScheduler::run_batch(ChannelQueue& q,
           }
         }
         settle(*pending, std::move(error));
-        finish_one();
+        finish_one(tenant);
       };
       IoRequest& req = pending->req;
       if (tier_async) {
@@ -385,15 +576,19 @@ void IoScheduler::run_batch(ChannelQueue& q,
       // Failed requests still waited and occupied the channel; fold their
       // times in so mean waits are not skewed low by error storms.
       MutexLock slk(stats_mutex_);
-      auto& s = stats_.priority[pri];
-      s.queue_wait_seconds += queue_wait;
-      s.service_seconds += service;
-      if (error) {
-        ++s.failed;
-      } else {
-        ++s.completed;
-        s.sim_bytes += moved;
-      }
+      const auto fold = [&](Stats& stats) {
+        auto& s = stats.priority[pri];
+        s.queue_wait_seconds += queue_wait;
+        s.service_seconds += service;
+        if (error) {
+          ++s.failed;
+        } else {
+          ++s.completed;
+          s.sim_bytes += moved;
+        }
+      };
+      fold(stats_);
+      fold(tenant_stats_[tenant]);
     }
     if (!error && p->req.on_complete) {
       IoResult result;
@@ -411,7 +606,7 @@ void IoScheduler::run_batch(ChannelQueue& q,
     }
     settle(*p, std::move(error));
     item_start = clock_->now();
-    finish_one();
+    finish_one(tenant);
   }
 }
 
@@ -487,10 +682,11 @@ void IoScheduler::settle_error(Pending& pending, std::exception_ptr error) {
   pending.done.set_exception(std::move(error));
 }
 
-void IoScheduler::finish_one() {
+void IoScheduler::finish_one(u32 tenant) {
   {
     MutexLock lk(drain_mutex_);
     settled_.fetch_add(1, std::memory_order_release);
+    ++tenant_settled_[tenant];
   }
   drain_cv_.notify_all();
 }
@@ -503,9 +699,22 @@ void IoScheduler::drain() {
   }
 }
 
+void IoScheduler::drain_tenant(u32 tenant) {
+  MutexLock lk(drain_mutex_);
+  while (tenant_settled_[tenant] < tenant_submitted_[tenant]) {
+    drain_cv_.wait(lk);
+  }
+}
+
 IoScheduler::Stats IoScheduler::stats() const {
   MutexLock slk(stats_mutex_);
   return stats_;
+}
+
+IoScheduler::Stats IoScheduler::tenant_stats(u32 tenant) const {
+  MutexLock slk(stats_mutex_);
+  const auto it = tenant_stats_.find(tenant);
+  return it == tenant_stats_.end() ? Stats{} : it->second;
 }
 
 std::size_t IoScheduler::queued(std::size_t queue_idx) const {

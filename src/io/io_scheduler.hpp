@@ -11,29 +11,49 @@
 // the previous per-worker thread pool — but within one direction, requests
 // now dispatch by priority class instead of arrival order.
 //
-// Scheduling, per channel:
-//   * four priority classes, kDemandPrefetch > kGradDeposit > kLazyFlush >
-//     kCheckpoint; the strongest non-empty class dispatches first, FIFO
-//     within a class (set Config::strict_fifo to collapse everything into
-//     arrival order — the flat-FIFO baseline the bench compares against);
-//   * bounded queue depth: submit() blocks while the target channel's
-//     queue is full, which is the backpressure that couples producers to
-//     slow devices (io_setup-style);
+// Scheduling, per channel — two nested disciplines:
+//   * tenants first (multi-job sharing): requests carry a tenant id and
+//     queue per tenant; when more than one tenant is backlogged, a deficit
+//     round-robin over the tenants' byte costs, weighted by
+//     Config::tenant_weights, picks whose turn it is. A single backlogged
+//     tenant bypasses the DRR entirely, so single-job schedulers behave
+//     exactly as before tenancy existed;
+//   * priority classes within the chosen tenant, kDemandPrefetch >
+//     kGradDeposit > kLazyFlush > kCheckpoint; the strongest non-empty
+//     class dispatches first, FIFO within a class (set Config::strict_fifo
+//     to collapse everything into arrival order — the flat-FIFO baseline
+//     the bench compares against). A light tenant's demand prefetch thus
+//     still beats a heavy tenant's lazy flush *within the light tenant's
+//     share* — fairness is between tenants, urgency within one;
+//   * bounded queue depth per tenant: submit() blocks while the submitting
+//     tenant already has Config::queue_depth requests queued on the target
+//     channel, so one tenant's backlog can neither starve another tenant's
+//     submissions nor evade its own backpressure;
 //   * cancellation: a request whose token is cancelled while still queued
 //     is dropped at dispatch, its future failing with IoCancelled;
-//   * small-transfer coalescing: consecutive same-class, same-direction
+//     cancel_tenant_queued() scopes the sweep to one tenant (the
+//     RecoveryDriver's path when tenants share a scheduler);
+//   * tenant fail-stop: fail_tenant() (or an armed virtual-time deadline)
+//     latches a tenant dead — its queued requests and later submissions
+//     settle with FailStopError, mirroring a fail-stopped device, while
+//     every other tenant's channels keep flowing; revive_tenant() models
+//     replacement hardware;
+//   * small-transfer coalescing: consecutive same-tenant, same-class
 //     requests at or below Config::coalesce_max_sim_bytes execute as one
 //     dispatch batch under a single TierLock lease;
 //   * completion callbacks run on the dispatch thread before the future
 //     resolves, carrying observed queue-wait/service times — the hook that
 //     feeds PerfModel's bandwidth EMA and the per-priority telemetry in
-//     IterationReport.
+//     IterationReport. Stats are kept both globally and per tenant
+//     (tenant_stats()), symmetrically, so a single-tenant scheduler's
+//     tenant-0 stats equal its global stats.
 #pragma once
 
 #include <array>
 #include <deque>
 #include <exception>
 #include <future>
+#include <map>
 #include <memory>
 #include <thread>
 #include <unordered_map>
@@ -49,7 +69,8 @@ namespace mlpo {
 class IoScheduler {
  public:
   struct Config {
-    /// Max queued requests per channel before submit() blocks.
+    /// Max queued requests per tenant per channel before submit() blocks.
+    /// (With one tenant this is exactly the old per-channel bound.)
     std::size_t queue_depth = 64;
     /// Hold the path's per-direction TierLock across each dispatch batch
     /// (paper §3.2 process-exclusive concurrency control).
@@ -64,6 +85,18 @@ class IoScheduler {
     /// Ignore priority classes and dispatch in arrival order (the flat
     /// FIFO baseline, for ablations and the scheduler bench).
     bool strict_fifo = false;
+    /// Fair-share weights by tenant id; absent tenants weigh 1. A tenant
+    /// of weight w earns w quanta of byte credit per DRR visit, so its
+    /// long-run share of a saturated channel approaches w / sum(weights).
+    std::map<u32, u32> tenant_weights;
+    /// Bytes of DRR credit per visit per unit weight. Larger quanta lower
+    /// switching overhead; smaller quanta tighten short-term fairness.
+    u64 fair_share_quantum_bytes = 1 << 20;
+    /// When > 0, the scheduler creates and owns its D2H/H2D link rate
+    /// limiters at this bandwidth (bytes per virtual second) and the
+    /// caller-provided limiter pointers must be null. 0 keeps the legacy
+    /// borrow-the-caller's-limiters wiring.
+    f64 d2h_bandwidth = 0;
   };
 
   /// Cumulative counters; snapshot via stats(). Virtual-time seconds.
@@ -85,10 +118,11 @@ class IoScheduler {
 
   /// Full wiring: read+write channels per `vtier` path (vtier may be null
   /// for link/external-only use), D2H/H2D link channels over the given
-  /// rate limiters (nullable = instantaneous), plus external channels —
-  /// one per distinct foreign StorageTier (created on first use, so two
-  /// DiskOffloaders over different devices keep overlapping) and a default
-  /// channel for tier-less external work.
+  /// rate limiters (nullable = instantaneous; must be null when
+  /// Config::d2h_bandwidth asks for scheduler-owned limiters), plus
+  /// external channels — one per distinct foreign StorageTier (created on
+  /// first use, so two DiskOffloaders over different devices keep
+  /// overlapping) and a default channel for tier-less external work.
   IoScheduler(const SimClock& clock, VirtualTier* vtier, RateLimiter* d2h,
               RateLimiter* h2d, Config cfg);
   IoScheduler(const SimClock& clock, VirtualTier* vtier, RateLimiter* d2h,
@@ -104,12 +138,18 @@ class IoScheduler {
   IoScheduler& operator=(const IoScheduler&) = delete;
 
   /// Route `req` to its channel queue and return the completion future.
-  /// Blocks while that queue is at Config::queue_depth. Failures (and
-  /// cancellation, as IoCancelled) travel through the future.
+  /// Blocks while the request's tenant is at Config::queue_depth on that
+  /// channel. Failures (and cancellation, as IoCancelled) travel through
+  /// the future; a failed tenant's submission settles with FailStopError.
   std::future<void> submit(IoRequest req);
 
   /// Block until every submitted request has settled.
   void drain();
+
+  /// Block until every request submitted by `tenant` has settled. Unlike
+  /// drain(), convergence does not depend on other tenants going quiet, so
+  /// one job's teardown cannot livelock behind its neighbours' traffic.
+  void drain_tenant(u32 tenant);
 
   /// Cancel every request still queued (not yet dispatched) on every
   /// channel by cancelling its token; each drops at dispatch, failing its
@@ -127,7 +167,39 @@ class IoScheduler {
   /// not-yet-persisted state.
   std::size_t cancel_queued(IoPriority priority);
 
+  /// Same, restricted to one tenant — the fail-stop path on a shared
+  /// scheduler: the dead job's queued traffic is abandoned while every
+  /// other tenant's queues are untouched.
+  std::size_t cancel_tenant_queued(u32 tenant);
+
+  /// One tenant, one priority class (e.g. a borrowed engine abandoning its
+  /// own queued demand reads without touching its neighbours').
+  std::size_t cancel_queued(IoPriority priority, u32 tenant);
+
+  // --- Tenant fail-stop (resilience scoping on a shared scheduler) ------
+
+  /// Latch `tenant` dead immediately: queued requests and later
+  /// submissions from it settle with FailStopError. Other tenants are
+  /// unaffected. Idempotent.
+  void fail_tenant(u32 tenant);
+
+  /// Arm a virtual-time deadline after which the tenant latches dead on
+  /// its next submission or dispatch (the shared-substrate analogue of
+  /// FailStopTier::arm).
+  void arm_tenant_fail(u32 tenant, f64 at_vtime);
+
+  /// Has the tenant latched dead (directly or via an expired deadline)?
+  /// Non-const: an expired deadline latches here, like FailStopTier's
+  /// next-operation latch.
+  bool tenant_failed(u32 tenant);
+
+  /// Clear the tenant's fail-stop state — replacement hardware came up.
+  void revive_tenant(u32 tenant);
+
   Stats stats() const;
+  /// Per-tenant slice of stats(); zeroes for an unseen tenant.
+  /// max_queue_depth is the tenant's own queue high-water mark.
+  Stats tenant_stats(u32 tenant) const;
   const Config& config() const { return cfg_; }
 
   // Channel-queue addressing (mainly for tests and diagnostics).
@@ -151,15 +223,30 @@ class IoScheduler {
     f64 enqueue_vtime = 0;
   };
 
+  /// One tenant's backlog on one channel: the per-priority deques plus the
+  /// tenant's DRR byte credit. Entries are created on first use and erased
+  /// when the tenant's backlog on the channel drains (so the common
+  /// single-tenant case never iterates ghosts).
+  struct TenantQueues {
+    std::array<std::deque<std::unique_ptr<Pending>>, kIoPriorityCount>
+        classes;
+    std::size_t size = 0;
+    i64 deficit_bytes = 0;
+  };
+
+  using TenantMap = std::map<u32, TenantQueues>;
+
   struct ChannelQueue {
     explicit ChannelQueue(IoChannel chan) : channel(std::move(chan)) {}
     IoChannel channel;
     mutable Mutex mutex;
     CondVar not_empty;
     CondVar not_full;
-    std::array<std::deque<std::unique_ptr<Pending>>, kIoPriorityCount> classes
-        MLPO_GUARDED_BY(mutex);
+    TenantMap tenants MLPO_GUARDED_BY(mutex);
     std::size_t size MLPO_GUARDED_BY(mutex) = 0;
+    /// Tenant id served by the last DRR decision; the next round starts
+    /// strictly after it (cyclically), so service rotates.
+    u32 drr_cursor MLPO_GUARDED_BY(mutex) = 0;
     std::thread worker;
   };
 
@@ -167,18 +254,28 @@ class IoScheduler {
   ChannelQueue& external_channel_for(StorageTier* tier);
   void settle(Pending& pending, std::exception_ptr error);
   void settle_error(Pending& pending, std::exception_ptr error);
-  std::size_t cancel_queued_matching(const IoPriority* priority);
+  std::size_t cancel_queued_matching(const IoPriority* priority,
+                                     const u32* tenant);
   std::size_t class_of(const IoRequest& req) const;
+  u32 weight_of(u32 tenant) const;
   static u64 effective_bytes(const IoRequest& req);
   u64 execute(IoRequest& req, IoChannel& channel);
   void dispatch_loop(ChannelQueue& q);
+  /// Pick the tenant the next batch dispatches from (backlogged entry of
+  /// q.tenants). Requires q.mutex; q.size must be > 0.
+  TenantMap::iterator pick_tenant(ChannelQueue& q) MLPO_REQUIRES(q.mutex);
   void run_batch(ChannelQueue& q,
                  std::vector<std::unique_ptr<Pending>>& batch);
-  void finish_one();
+  void finish_one(u32 tenant);
+  bool tenant_failed_locked(u32 tenant) MLPO_REQUIRES(tenant_fail_mutex_);
 
   const SimClock* clock_;
   VirtualTier* vtier_;
   Config cfg_;
+  /// Scheduler-owned link limiters (Config::d2h_bandwidth > 0); otherwise
+  /// the caller's pointers are borrowed as before.
+  std::unique_ptr<RateLimiter> owned_d2h_;
+  std::unique_ptr<RateLimiter> owned_h2d_;
   std::size_t tier_paths_ = 0;
   std::vector<std::unique_ptr<ChannelQueue>> queues_;
   /// Lazily-created channels for foreign tiers, keyed by tier identity.
@@ -189,11 +286,24 @@ class IoScheduler {
 
   mutable Mutex stats_mutex_;
   Stats stats_ MLPO_GUARDED_BY(stats_mutex_);
+  std::map<u32, Stats> tenant_stats_ MLPO_GUARDED_BY(stats_mutex_);
+
+  /// Fail-stop latches per tenant. A deadline >= 0 fires lazily: the next
+  /// submit or dispatch past it latches `failed`.
+  struct TenantFailState {
+    bool failed = false;
+    f64 fail_at_vtime = -1;
+  };
+  mutable Mutex tenant_fail_mutex_;
+  std::map<u32, TenantFailState> tenant_fail_
+      MLPO_GUARDED_BY(tenant_fail_mutex_);
 
   std::atomic<u64> submitted_{0};
   std::atomic<u64> settled_{0};
   Mutex drain_mutex_;
   CondVar drain_cv_;
+  std::map<u32, u64> tenant_submitted_ MLPO_GUARDED_BY(drain_mutex_);
+  std::map<u32, u64> tenant_settled_ MLPO_GUARDED_BY(drain_mutex_);
 
   // Every exception_ptr settled into a future is also pinned here until
   // the scheduler is destroyed (see settle_error for why). One pointer

@@ -128,19 +128,14 @@ void FailureInjector::observe_latches(ClusterSim& cluster, f64 now) {
     if (event.node >= cluster.node_count()) continue;
     NodeSim& node = cluster.node(event.node);
     if (event.kind == FailureEvent::Kind::kPath) {
-      FailStopTier* tier = node.failstop(event.path);
-      if (tier != nullptr && tier->dead()) fired_[i] = 1;
+      if (node.failstop_dead(event.path)) fired_[i] = 1;
       continue;
     }
-    // Node events armed every path; with the deadline behind us, dead()
-    // latches from the deadline alone, so any dead wrapper means the
-    // deadline was honoured while this hardware existed.
-    for (std::size_t p = 0; node.failstop(p) != nullptr; ++p) {
-      if (node.failstop(p)->dead()) {
-        fired_[i] = 1;
-        break;
-      }
-    }
+    // Node events armed every path (or, on a shared substrate, the node's
+    // tenant latch); with the deadline behind us, dead() latches from the
+    // deadline alone, so a dead latch means the deadline was honoured
+    // while this hardware existed.
+    if (node.any_failstop_dead()) fired_[i] = 1;
   }
 }
 

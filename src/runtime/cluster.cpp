@@ -6,6 +6,7 @@
 #include <thread>
 #include <utility>
 
+#include "runtime/cluster_substrate.hpp"
 #include "util/logging.hpp"
 #include "util/mutex.hpp"
 
@@ -21,12 +22,16 @@ NodeFailure::NodeFailure(std::vector<u32> nodes)
 
 ClusterSim::ClusterSim(const SimClock& clock, const ClusterConfig& cfg)
     : clock_(&clock), cfg_(cfg) {
-  if (cfg_.node.attach_pfs) {
+  if (cfg_.node.attach_pfs && cfg_.node.substrate == nullptr) {
     // One PFS fabric serves the whole cluster; every node funnels its
     // client channel into it. Its aggregate capacity bounds total PFS
     // traffic — the shared-tier contention the paper flags for future
-    // study emerges when pfs_aggregate_factor < node count.
-    pfs_ = cfg_.node.testbed.make_pfs_fabric(clock, "pfs-fabric");
+    // study emerges when pfs_aggregate_factor < node count. A substrate
+    // (owned or shared) caches the fabric so rebuilt clusters and
+    // co-tenant jobs keep drawing from the same aggregate capacity.
+    pfs_ = cfg_.substrate != nullptr
+        ? cfg_.substrate->acquire_pfs_fabric(cfg_.node.testbed)
+        : cfg_.node.testbed.make_pfs_fabric(clock, "pfs-fabric");
   }
   for (u32 n = 0; n < cfg_.nodes; ++n) {
     nodes_.push_back(std::make_unique<NodeSim>(clock, node_config(n), pfs_));

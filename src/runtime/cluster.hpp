@@ -15,6 +15,13 @@ namespace mlpo {
 struct ClusterConfig {
   NodeConfig node;      ///< per-node template (dp/world/rank fields filled in)
   u32 nodes = 1;
+  /// When set, the cluster draws its PFS fabric from the substrate's
+  /// lazily-built cached one instead of creating a private fabric — so a
+  /// Trainer that owns a substrate and a JobManager that shares one both
+  /// route all PFS traffic through a single aggregate-capacity object.
+  /// (Borrowed nodes — node.substrate set — need no fabric here at all:
+  /// their PFS channel lives inside the substrate's virtual tier.)
+  ClusterSubstrate* substrate = nullptr;
 };
 
 /// Thrown by ClusterSim::run_iteration when one or more nodes fail-stopped

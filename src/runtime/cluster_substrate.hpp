@@ -1,0 +1,121 @@
+// The shareable bottom half of a training world: the SimClock, storage
+// tiers, I/O scheduler, and CPU pool that iterations run against. A
+// single-job Trainer *owns* one (and behaves exactly as before — the
+// substrate is then just the clock plus the lazily-built PFS fabric the
+// cluster always had); a JobManager builds one in *shared* mode and lends
+// it to several Trainer-shaped jobs, which then contend for the same NVMe,
+// PFS and link bandwidth under the IoScheduler's per-tenant fair sharing.
+//
+// Host memory is the one resource the substrate meters up front: jobs
+// reserve their host-cache + gradient-buffer bytes at admission, and a job
+// whose demand does not fit is rejected loudly (AdmissionError) before it
+// starts, instead of OOM-ing the node mid-run.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "io/io_scheduler.hpp"
+#include "runtime/storage_config.hpp"
+#include "runtime/testbed.hpp"
+#include "tiers/virtual_tier.hpp"
+#include "util/mutex.hpp"
+#include "util/sim_clock.hpp"
+#include "util/thread_pool.hpp"
+
+namespace mlpo {
+
+/// Thrown by ClusterSubstrate::reserve_host when a job's host-memory demand
+/// exceeds what the substrate has left. The message names the job and the
+/// exact budget arithmetic so a rejected submission is diagnosable from the
+/// error alone.
+class AdmissionError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class ClusterSubstrate {
+ public:
+  /// Configuration for shared (multi-tenant) mode.
+  struct SharedConfig {
+    TestbedSpec testbed = TestbedSpec::testbed1();
+    StorageConfig storage;
+    /// Attach the per-client PFS channel (over the shared fabric) to the
+    /// virtual tier.
+    bool attach_pfs = true;
+    /// Fair-share weights by tenant (= job) id; absent tenants weigh 1.
+    std::map<u32, u32> tenant_weights;
+    /// DRR byte quantum per visit per unit weight.
+    u64 fair_share_quantum_bytes = 1 << 20;
+    /// Per-tenant per-channel queue bound on the shared scheduler.
+    std::size_t io_queue_depth = 256;
+    bool tier_exclusive_locking = true;
+  };
+
+  /// Owned mode (single job): the substrate is the clock plus the lazily
+  /// created PFS fabric; the Trainer/NodeSim stack builds its tiers and
+  /// schedulers exactly as it always has.
+  explicit ClusterSubstrate(f64 time_scale);
+
+  /// Shared mode (JobManager): additionally builds the common NVMe backend,
+  /// virtual tier, one tenant-fair IoScheduler, and the CPU pool that every
+  /// borrowed job runs on.
+  ClusterSubstrate(f64 time_scale, const SharedConfig& shared);
+
+  ClusterSubstrate(const ClusterSubstrate&) = delete;
+  ClusterSubstrate& operator=(const ClusterSubstrate&) = delete;
+  ~ClusterSubstrate();
+
+  const SimClock& clock() const { return *clock_; }
+  bool shared() const { return io_ != nullptr; }
+
+  /// The cluster-wide PFS fabric, built on first request and cached, so
+  /// every consumer (cluster pfs channels, benches) draws from the same
+  /// aggregate capacity. Returns nullptr when the testbed has no PFS
+  /// configured — callers gate on attach_pfs themselves.
+  std::shared_ptr<StorageTier> acquire_pfs_fabric(const TestbedSpec& testbed);
+
+  // Shared-mode resources; throw std::logic_error in owned mode.
+  VirtualTier& vtier();
+  IoScheduler& io();
+  ThreadPool* cpu_pool();
+  const SharedConfig& shared_config() const;
+
+  /// Host bytes available for jobs' caches and gradient buffers after the
+  /// runtime base carve-out (same model as host_cache_budget_bytes, minus
+  /// the per-model gradient reserve, which is per-job and metered through
+  /// reserve_host instead).
+  u64 host_budget_bytes() const;
+  u64 host_reserved_bytes() const;
+
+  /// Admission control: reserve `bytes` of host memory for `job_name`.
+  /// Throws AdmissionError — listing budget, already-reserved, and
+  /// requested bytes — when the reservation does not fit. A rejected job
+  /// reserves nothing.
+  void reserve_host(const std::string& job_name, u64 bytes);
+
+  /// Release a job's reservation (job teardown / failed construction).
+  void release_host(const std::string& job_name);
+
+ private:
+  std::unique_ptr<SimClock> clock_;
+  SharedConfig shared_cfg_;
+
+  mutable Mutex mutex_;
+  std::shared_ptr<StorageTier> pfs_fabric_ MLPO_GUARDED_BY(mutex_);
+  u64 host_budget_ MLPO_GUARDED_BY(mutex_) = 0;
+  u64 host_reserved_ MLPO_GUARDED_BY(mutex_) = 0;
+  std::map<std::string, u64> host_reservations_ MLPO_GUARDED_BY(mutex_);
+
+  // Shared mode only (null in owned mode).
+  std::shared_ptr<StorageTier> nvme_;
+  std::shared_ptr<StorageTier> pfs_client_;
+  std::unique_ptr<VirtualTier> vtier_;
+  std::unique_ptr<ThreadPool> cpu_pool_;
+  std::unique_ptr<IoScheduler> io_;
+};
+
+}  // namespace mlpo

@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "policy/policy_registry.hpp"
+#include "runtime/cluster_substrate.hpp"
 #include "train/sharding.hpp"
 #include "util/logging.hpp"
 
@@ -56,35 +57,53 @@ NodeSim::NodeSim(const SimClock& clock, const NodeConfig& cfg,
     throw std::invalid_argument("NodeSim: total_world not a multiple of node size");
   }
 
-  // With wrap_failstop each path goes behind a FailStopTier so the
-  // FailureInjector can take down the node (or one device) mid-run.
-  const auto wrap = [&](std::shared_ptr<StorageTier> tier)
-      -> std::shared_ptr<StorageTier> {
-    if (!cfg_.wrap_failstop) return tier;
-    auto failstop = std::make_shared<FailStopTier>(
-        tier->name() + "+failstop", std::move(tier), clock);
-    failstops_.push_back(failstop);
-    return failstop;
-  };
-  // Each node keeps its file-backed objects apart under a node-indexed
-  // directory (the emulated backend is private per node by construction).
-  const std::string node_tag =
-      "node" + std::to_string(cfg_.first_rank / static_cast<int>(gpus));
-  nvme_ = wrap(
-      make_nvme_backend(cfg_.storage, cfg_.testbed, clock, "nvme", node_tag));
-  vtier_ = std::make_unique<VirtualTier>();
-  vtier_->add_path(nvme_);
-  if (cfg_.attach_pfs) {
-    // `pfs` is the cluster-shared fabric (aggregate capacity); each node
-    // accesses it through its own NIC-limited client channel. Only the
-    // client channel is fail-stop-wrapped: a node loss severs the node's
-    // access, the shared fabric itself survives.
-    pfs_ = wrap(cfg_.testbed.make_pfs_tier(clock, "pfs", std::move(pfs)));
-    vtier_->add_path(pfs_);
+  ThreadPool* cpu_pool = nullptr;
+  if (cfg_.substrate != nullptr) {
+    // Borrowed mode: the substrate's tiers, scheduler and CPU pool are the
+    // node's world. Constructing the node revives its tenant on the shared
+    // scheduler — a rebuilt node is replacement hardware, exactly like a
+    // fresh set of FailStopTiers in owned mode (the injector re-arms any
+    // still-future deadlines afterwards).
+    if (!cfg_.substrate->shared()) {
+      throw std::invalid_argument(
+          "NodeSim: NodeConfig::substrate points at an owned-mode substrate; "
+          "only shared substrates can be borrowed");
+    }
+    vtier_active_ = &cfg_.substrate->vtier();
+    cpu_pool = cfg_.substrate->cpu_pool();
+    cfg_.substrate->io().revive_tenant(cfg_.tenant);
+  } else {
+    // With wrap_failstop each path goes behind a FailStopTier so the
+    // FailureInjector can take down the node (or one device) mid-run.
+    const auto wrap = [&](std::shared_ptr<StorageTier> tier)
+        -> std::shared_ptr<StorageTier> {
+      if (!cfg_.wrap_failstop) return tier;
+      auto failstop = std::make_shared<FailStopTier>(
+          tier->name() + "+failstop", std::move(tier), clock);
+      failstops_.push_back(failstop);
+      return failstop;
+    };
+    // Each node keeps its file-backed objects apart under a node-indexed
+    // directory (the emulated backend is private per node by construction).
+    const std::string node_tag =
+        "node" + std::to_string(cfg_.first_rank / static_cast<int>(gpus));
+    nvme_ = wrap(make_nvme_backend(cfg_.storage, cfg_.testbed, clock, "nvme",
+                                   node_tag));
+    vtier_ = std::make_unique<VirtualTier>();
+    vtier_->add_path(nvme_);
+    if (cfg_.attach_pfs) {
+      // `pfs` is the cluster-shared fabric (aggregate capacity); each node
+      // accesses it through its own NIC-limited client channel. Only the
+      // client channel is fail-stop-wrapped: a node loss severs the node's
+      // access, the shared fabric itself survives.
+      pfs_ = wrap(cfg_.testbed.make_pfs_tier(clock, "pfs", std::move(pfs)));
+      vtier_->add_path(pfs_);
+    }
+    vtier_active_ = vtier_.get();
+    cpu_pool_ = std::make_unique<ThreadPool>(
+        std::min<u32>(cfg_.testbed.cpu_cores, 8));
+    cpu_pool = cpu_pool_.get();
   }
-
-  cpu_pool_ = std::make_unique<ThreadPool>(
-      std::min<u32>(cfg_.testbed.cpu_cores, 8));
   grads_ = std::make_unique<GradSource>();
 
   // Per-worker engine options: CPU rate and cache budget are node resources
@@ -95,8 +114,13 @@ NodeSim::NodeSim(const SimClock& clock, const NodeConfig& cfg,
   if (cfg_.host_cache_override > 0) {
     opts.host_cache_subgroups = cfg_.host_cache_override;
   } else {
-    const u64 budget = host_cache_budget_bytes(cfg_.testbed,
-                                               cfg_.model.parameters());
+    // On a shared substrate the host is not this node's to size against:
+    // cache capacity arrives only as an explicit admission-time override
+    // (JobManager). With none granted, the budget is zero and the
+    // eager-flush fallback below engages.
+    const u64 budget = cfg_.substrate != nullptr
+        ? 0
+        : host_cache_budget_bytes(cfg_.testbed, cfg_.model.parameters());
     const u64 per_worker = budget / gpus;
     const u64 subgroup_bytes =
         cfg_.subgroup_params * kOptimStateBytesPerParam;
@@ -130,9 +154,15 @@ NodeSim::NodeSim(const SimClock& clock, const NodeConfig& cfg,
                                     cfg_.subgroup_params)
         : make_shard_layout(cfg_.model.parameters(), world, rank,
                             cfg_.subgroup_params);
-    workers_.push_back(std::make_unique<Worker>(
-        clock, *vtier_, cpu_pool_.get(), *grads_, cfg_.testbed,
-        static_cast<int>(w), rank, opts, layout));
+    if (cfg_.substrate != nullptr) {
+      workers_.push_back(std::make_unique<Worker>(
+          clock, *vtier_active_, cpu_pool, *grads_, cfg_.substrate->io(),
+          cfg_.tenant, static_cast<int>(w), rank, opts, layout));
+    } else {
+      workers_.push_back(std::make_unique<Worker>(
+          clock, *vtier_active_, cpu_pool, *grads_, cfg_.testbed,
+          static_cast<int>(w), rank, opts, layout));
+    }
   }
 
   // Phase cost constants. With tensor parallelism the node is one model
@@ -256,6 +286,10 @@ std::vector<IterationReport> NodeSim::run(u32 iterations, u32 warmup) {
 }
 
 void NodeSim::fail_stop() {
+  if (cfg_.substrate != nullptr) {
+    cfg_.substrate->io().fail_tenant(cfg_.tenant);
+    return;
+  }
   if (failstops_.empty()) {
     throw std::logic_error(
         "NodeSim::fail_stop: node built without wrap_failstop; enable it in "
@@ -265,6 +299,16 @@ void NodeSim::fail_stop() {
 }
 
 void NodeSim::arm_fail_stop(std::size_t path, f64 kill_at_vtime) {
+  if (cfg_.substrate != nullptr) {
+    if (path != npos) {
+      throw std::logic_error(
+          "NodeSim::arm_fail_stop: path-scoped failures are unsupported on a "
+          "shared substrate (the tiers belong to every tenant); inject a "
+          "whole-node (kind \"node\") failure instead");
+    }
+    cfg_.substrate->io().arm_tenant_fail(cfg_.tenant, kill_at_vtime);
+    return;
+  }
   if (failstops_.empty()) {
     throw std::logic_error(
         "NodeSim::arm_fail_stop: node built without wrap_failstop; enable "
@@ -286,7 +330,28 @@ FailStopTier* NodeSim::failstop(std::size_t idx) {
   return idx < failstops_.size() ? failstops_[idx].get() : nullptr;
 }
 
+bool NodeSim::failstop_dead(std::size_t path) {
+  if (cfg_.substrate != nullptr) {
+    // Every "path" of a borrowed node shares the tenant latch's fate.
+    return cfg_.substrate->io().tenant_failed(cfg_.tenant);
+  }
+  return path < failstops_.size() && failstops_[path]->dead();
+}
+
+bool NodeSim::any_failstop_dead() {
+  if (cfg_.substrate != nullptr) {
+    return cfg_.substrate->io().tenant_failed(cfg_.tenant);
+  }
+  for (auto& f : failstops_) {
+    if (f->dead()) return true;
+  }
+  return false;
+}
+
 u64 NodeSim::cancel_queued_io() {
+  if (cfg_.substrate != nullptr) {
+    return cfg_.substrate->io().cancel_tenant_queued(cfg_.tenant);
+  }
   u64 cancelled = 0;
   for (auto& w : workers_) cancelled += w->io().cancel_all_queued();
   return cancelled;
@@ -294,7 +359,7 @@ u64 NodeSim::cancel_queued_io() {
 
 Engine::Distribution NodeSim::node_distribution() const {
   Engine::Distribution total;
-  total.path_sim_bytes.assign(vtier_->path_count(), 0);
+  total.path_sim_bytes.assign(vtier_active_->path_count(), 0);
   for (const auto& w : workers_) {
     const auto d = w->engine().distribution();
     total.host_sim_bytes += d.host_sim_bytes;

@@ -19,6 +19,8 @@
 
 namespace mlpo {
 
+class ClusterSubstrate;
+
 struct NodeConfig {
   ModelConfig model;
   TestbedSpec testbed = TestbedSpec::testbed1();
@@ -60,6 +62,16 @@ struct NodeConfig {
   /// NVMe-path backend: emulated ThrottledTier by default, real file/
   /// io_uring tiers when selected (see runtime/storage_config.hpp).
   StorageConfig storage;
+
+  /// Borrowed mode (multi-tenant): build no tiers, scheduler, or CPU pool
+  /// of our own — run on `substrate`'s shared ones, stamping `tenant` on
+  /// every I/O request. The substrate must be in shared mode and must
+  /// outlive the node. `storage`, `attach_pfs` and `wrap_failstop` are then
+  /// the substrate's concern: fail-stop injection maps onto the scheduler's
+  /// per-tenant latch instead of FailStopTier wrappers.
+  ClusterSubstrate* substrate = nullptr;
+  /// Job id on the shared substrate (0 = the single-job/default tenant).
+  u32 tenant = 0;
 };
 
 /// Host-memory budget model: free bytes available for caching subgroups
@@ -89,24 +101,40 @@ class NodeSim {
 
   u32 worker_count() const { return static_cast<u32>(workers_.size()); }
   Worker& worker(u32 i) { return *workers_.at(i); }
-  VirtualTier& vtier() { return *vtier_; }
+  VirtualTier& vtier() { return *vtier_active_; }
   const NodeConfig& config() const { return cfg_; }
+  /// Running on a shared substrate (borrowed tiers/scheduler)?
+  bool borrowed() const { return cfg_.substrate != nullptr; }
 
-  /// Fail-stop this node: every wrapped storage path dies at once (the
-  /// whole-node loss the RecoveryDriver repairs). Requires
-  /// NodeConfig::wrap_failstop.
+  /// Fail-stop this node. Owned mode: every wrapped storage path dies at
+  /// once (requires NodeConfig::wrap_failstop). Borrowed mode: latches the
+  /// node's tenant dead on the shared scheduler — its queued and future
+  /// I/O settles with FailStopError while other tenants keep flowing.
   void fail_stop();
 
   /// Arm a deterministic SimClock-driven fail-stop of one path (or, with
   /// path == npos, of the whole node) at virtual time `kill_at_vtime`.
+  /// Borrowed mode supports only npos (whole-node): a shared substrate has
+  /// no per-node path to kill in isolation.
   static constexpr std::size_t npos = static_cast<std::size_t>(-1);
   void arm_fail_stop(std::size_t path, f64 kill_at_vtime);
 
-  /// The fail-stop wrapper of path `idx`, or nullptr when not wrapped.
+  /// The fail-stop wrapper of path `idx`, or nullptr when not wrapped
+  /// (including borrowed mode, which has no wrappers at all — use the
+  /// mode-agnostic queries below).
   FailStopTier* failstop(std::size_t idx);
 
+  /// Mode-agnostic fail-stop queries (the FailureInjector's interface for
+  /// retiring latched events). Owned mode consults the FailStopTier
+  /// wrappers; borrowed mode consults the scheduler's tenant latch — where
+  /// every "path" shares the tenant's fate.
+  bool failstop_dead(std::size_t path);
+  bool any_failstop_dead();
+
   /// Cancel every request still queued on this node's worker schedulers
-  /// (see IoScheduler::cancel_all_queued). Returns how many were flagged.
+  /// (see IoScheduler::cancel_all_queued) — scoped to this node's tenant
+  /// on a shared substrate, so the sweep never touches a neighbour job's
+  /// queue. Returns how many were flagged.
   u64 cancel_queued_io();
 
   /// Node-wide optimizer-state distribution (Fig. 10): host + per path.
@@ -119,12 +147,15 @@ class NodeSim {
  private:
   const SimClock* clock_;
   NodeConfig cfg_;
-  std::shared_ptr<StorageTier> nvme_;
-  std::shared_ptr<StorageTier> pfs_;
-  /// Parallel to the vtier paths; empty unless cfg_.wrap_failstop.
+  std::shared_ptr<StorageTier> nvme_;    ///< owned mode only
+  std::shared_ptr<StorageTier> pfs_;     ///< owned mode only
+  /// Parallel to the vtier paths; empty unless cfg_.wrap_failstop (and
+  /// always empty in borrowed mode).
   std::vector<std::shared_ptr<FailStopTier>> failstops_;
-  std::unique_ptr<VirtualTier> vtier_;
-  std::unique_ptr<ThreadPool> cpu_pool_;
+  std::unique_ptr<VirtualTier> vtier_;   ///< owned mode only
+  /// The tier the workers actually run on: vtier_ or the substrate's.
+  VirtualTier* vtier_active_ = nullptr;
+  std::unique_ptr<ThreadPool> cpu_pool_;  ///< owned mode only
   std::unique_ptr<GradSource> grads_;
   std::vector<std::unique_ptr<Worker>> workers_;
   f64 fwd_seconds_ = 0;  ///< per micro-step fwd compute+comm per worker

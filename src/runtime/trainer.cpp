@@ -6,8 +6,46 @@
 
 namespace mlpo {
 
-Trainer::Trainer(const TrainerConfig& cfg) : cfg_(cfg) {
-  clock_ = std::make_unique<SimClock>(cfg_.time_scale);
+Trainer::Trainer(const TrainerConfig& cfg)
+    : Trainer(cfg, /*borrowed=*/nullptr, /*tenant=*/0) {}
+
+Trainer::Trainer(const TrainerConfig& cfg, ClusterSubstrate& substrate,
+                 u32 tenant)
+    : Trainer(cfg, &substrate, tenant) {}
+
+Trainer::Trainer(const TrainerConfig& cfg, ClusterSubstrate* borrowed,
+                 u32 tenant)
+    : cfg_(cfg), tenant_(tenant) {
+  if (borrowed != nullptr) {
+    if (!borrowed->shared()) {
+      throw std::invalid_argument(
+          "Trainer: the borrowed ClusterSubstrate is in owned (single-job) "
+          "mode; JobManager builds shared-mode substrates");
+    }
+    if (cfg_.nodes != 1) {
+      throw std::invalid_argument(
+          "Trainer: a borrowed job runs on the substrate's one shared node; "
+          "nodes must be 1 (got " + std::to_string(cfg_.nodes) + ")");
+    }
+    for (const auto& event : cfg_.resilience.failures) {
+      if (event.kind == FailureEvent::Kind::kPath) {
+        throw std::invalid_argument(
+            "Trainer: path-scoped failure injection is unsupported on a "
+            "shared substrate (the tiers belong to every tenant); use kind "
+            "\"node\"");
+      }
+    }
+    if (cfg_.resilience.enabled && cfg_.resilience.restart_nodes > 1) {
+      throw std::invalid_argument(
+          "Trainer: a borrowed job cannot elastically restart onto " +
+          std::to_string(cfg_.resilience.restart_nodes) +
+          " nodes; the shared substrate has exactly one");
+    }
+    substrate_ = borrowed;
+  } else {
+    substrate_owned_ = std::make_unique<ClusterSubstrate>(cfg_.time_scale);
+    substrate_ = substrate_owned_.get();
+  }
 
   NodeConfig node;
   node.model = cfg_.model;
@@ -21,13 +59,21 @@ Trainer::Trainer(const TrainerConfig& cfg) : cfg_(cfg) {
   node.attach_pfs = cfg_.attach_pfs;
   node.host_cache_override = cfg_.host_cache_override;
   node.storage = cfg_.storage;
-  node.wrap_failstop = cfg_.resilience.enabled;
+  // Borrowed nodes have no per-node tiers to wrap: injected failures latch
+  // the tenant on the shared scheduler instead.
+  node.wrap_failstop = cfg_.resilience.enabled && borrowed == nullptr;
   node.elastic_sharding =
       cfg_.resilience.enabled && cfg_.resilience.elastic_sharding;
+  if (borrowed != nullptr) {
+    node.substrate = borrowed;
+    node.tenant = tenant;
+  }
 
   ClusterConfig cluster;
   cluster.node = node;
   cluster.nodes = cfg_.nodes;
+  cluster.substrate = substrate_;
+  const SimClock& clock = substrate_->clock();
   if (cfg_.resilience.enabled) {
     RecoveryOptions opts;
     opts.checkpoint_interval = cfg_.resilience.checkpoint_interval;
@@ -36,12 +82,13 @@ Trainer::Trainer(const TrainerConfig& cfg) : cfg_(cfg) {
     // The store stands in for a DataStates-style checkpoint service backed
     // by the PFS: transfers charge PFS-fabric virtual time, so checkpoint
     // and restore costs are accounted like any other tier traffic. The
-    // driver keeps it alive.
+    // driver keeps it alive. It stays per-job even on a shared substrate —
+    // checkpoints are a job's private state.
     driver_ = std::make_unique<RecoveryDriver>(
-        *clock_, cluster, cfg_.testbed.make_pfs_fabric(*clock_, "ckpt-store"),
+        clock, cluster, cfg_.testbed.make_pfs_fabric(clock, "ckpt-store"),
         opts, FailureInjector(cfg_.resilience.failures));
   } else {
-    cluster_ = std::make_unique<ClusterSim>(*clock_, cluster);
+    cluster_ = std::make_unique<ClusterSim>(clock, cluster);
   }
 }
 

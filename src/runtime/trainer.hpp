@@ -10,6 +10,7 @@
 
 #include "resilience/failure_injector.hpp"
 #include "runtime/cluster.hpp"
+#include "runtime/cluster_substrate.hpp"
 #include "util/json.hpp"
 
 namespace mlpo {
@@ -50,7 +51,17 @@ struct TrainerConfig {
 
 class Trainer {
  public:
+  /// Single-job mode: the trainer owns its whole world (clock, tiers,
+  /// schedulers) through a private ClusterSubstrate.
   explicit Trainer(const TrainerConfig& cfg);
+
+  /// Multi-tenant mode (JobManager): run on `substrate`'s shared clock,
+  /// tiers and scheduler as tenant `tenant`. The substrate must be in
+  /// shared mode and outlive the trainer; cfg.nodes must be 1 (a borrowed
+  /// job occupies the one shared node) and any injected failures must be
+  /// whole-node (path failures have no meaning on shared tiers).
+  Trainer(const TrainerConfig& cfg, ClusterSubstrate& substrate, u32 tenant);
+
   ~Trainer();
 
   /// Distribute the optimizer state; must precede run().
@@ -59,7 +70,8 @@ class Trainer {
   /// Run `iterations`, discard the first `warmup`, return the rest.
   std::vector<IterationReport> run(u32 iterations, u32 warmup = 0);
 
-  const SimClock& clock() const { return *clock_; }
+  const SimClock& clock() const { return substrate_->clock(); }
+  u32 tenant() const { return tenant_; }
   /// The current cluster. With resilience enabled, an elastic restart
   /// REPLACES the underlying object mid-run — re-fetch the reference after
   /// run() instead of holding it across one.
@@ -73,10 +85,15 @@ class Trainer {
   const RecoveryStats* recovery_stats() const;
 
  private:
+  Trainer(const TrainerConfig& cfg, ClusterSubstrate* borrowed, u32 tenant);
   ClusterSim& cluster_ref() const;
 
   TrainerConfig cfg_;
-  std::unique_ptr<SimClock> clock_;
+  /// Owned in single-job mode, null when borrowing from a JobManager.
+  std::unique_ptr<ClusterSubstrate> substrate_owned_;
+  /// The substrate this trainer runs on (owned or borrowed).
+  ClusterSubstrate* substrate_ = nullptr;
+  u32 tenant_ = 0;
   std::unique_ptr<ClusterSim> cluster_;     ///< happy-path runs
   std::unique_ptr<RecoveryDriver> driver_;  ///< resilience runs (owns store)
 };

@@ -7,27 +7,57 @@ Worker::Worker(const SimClock& clock, VirtualTier& vtier, ThreadPool* cpu_pool,
                int worker_id, int rank, const EngineOptions& opts,
                const ShardLayout& layout)
     : clock_(&clock), worker_id_(worker_id), rank_(rank) {
-  d2h_ = std::make_unique<RateLimiter>(clock, testbed.d2h_bandwidth);
-  h2d_ = std::make_unique<RateLimiter>(clock, testbed.d2h_bandwidth);
   // The scheduler spawns one dispatch thread per channel (read+write per
   // storage path, D2H, H2D, external), so independent channels stay
   // genuinely concurrent (the multi-path win) while each channel orders
-  // its own traffic by priority class.
+  // its own traffic by priority class. The D2H/H2D link limiters are
+  // scheduler-owned, sized from the testbed's link bandwidth.
   IoScheduler::Config io_cfg;
   io_cfg.queue_depth = 256;
   io_cfg.tier_exclusive_locking = opts.tier_exclusive_locking;
   io_cfg.worker_id = worker_id;
-  io_ = std::make_unique<IoScheduler>(clock, &vtier, d2h_.get(), h2d_.get(),
-                                      io_cfg);
+  io_cfg.d2h_bandwidth = testbed.d2h_bandwidth;
+  io_ = std::make_unique<IoScheduler>(clock, &vtier, nullptr, nullptr, io_cfg);
+  io_active_ = io_.get();
+  build_engine(clock, vtier, cpu_pool, grads, opts, layout);
+}
 
+Worker::Worker(const SimClock& clock, VirtualTier& vtier, ThreadPool* cpu_pool,
+               const GradSource& grads, IoScheduler& shared_io, u32 tenant,
+               int worker_id, int rank, const EngineOptions& opts,
+               const ShardLayout& layout)
+    : clock_(&clock),
+      worker_id_(worker_id),
+      rank_(rank),
+      tenant_(tenant),
+      io_active_(&shared_io) {
+  build_engine(clock, vtier, cpu_pool, grads, opts, layout);
+}
+
+Worker::~Worker() {
+  // Borrowed mode: the shared scheduler outlives this worker, so the
+  // engine's in-flight requests must settle before the engine (whose slabs
+  // they point into) is destroyed — but waiting on *everyone's* traffic
+  // would couple this job's teardown to its neighbours' progress, so the
+  // drain is tenant-scoped. Owned mode needs nothing: ~IoScheduler drains.
+  if (io_active_ != nullptr && io_ == nullptr) {
+    io_active_->drain_tenant(tenant_);
+  }
+}
+
+void Worker::build_engine(const SimClock& clock, VirtualTier& vtier,
+                          ThreadPool* cpu_pool, const GradSource& grads,
+                          const EngineOptions& opts,
+                          const ShardLayout& layout) {
   EngineContext ctx;
   ctx.clock = &clock;
   ctx.vtier = &vtier;
-  ctx.io = io_.get();
+  ctx.io = io_active_;
   ctx.cpu_pool = cpu_pool;
   ctx.grads = &grads;
-  ctx.worker_id = worker_id;
-  ctx.rank = rank;
+  ctx.worker_id = worker_id_;
+  ctx.rank = rank_;
+  ctx.tenant = tenant_;
   engine_ = make_engine(ctx, opts, layout);
 }
 

@@ -1,7 +1,9 @@
 // One worker process: the software stack attached to a single emulated GPU.
 // Owns the per-worker I/O scheduler (per-path priority queues + PCIe
 // D2H/H2D link channels) and the offloading engine for this rank's
-// optimizer-state shard. The engine implementation is selected by
+// optimizer-state shard — or, on a multi-tenant substrate, borrows a
+// JobManager-shared scheduler and stamps its job's tenant id on every
+// request instead. The engine implementation is selected by
 // EngineOptions::engine ("offload" / "cpu_only" / "tensor_nvme") and
 // consumed purely through the unified Engine interface.
 #pragma once
@@ -13,7 +15,6 @@
 #include "runtime/testbed.hpp"
 #include "tiers/virtual_tier.hpp"
 #include "train/grad_source.hpp"
-#include "util/rate_limiter.hpp"
 #include "util/sim_clock.hpp"
 #include "util/thread_pool.hpp"
 
@@ -21,15 +22,30 @@ namespace mlpo {
 
 class Worker {
  public:
+  /// Owned-scheduler mode (single job): the worker builds its own
+  /// IoScheduler over `vtier`, with scheduler-owned D2H/H2D link limiters
+  /// at the testbed's link bandwidth.
   /// @param vtier node-shared third-level virtual tier
   /// @param cpu_pool node-shared CPU threads for update kernels (nullable)
   Worker(const SimClock& clock, VirtualTier& vtier, ThreadPool* cpu_pool,
          const GradSource& grads, const TestbedSpec& testbed, int worker_id,
          int rank, const EngineOptions& opts, const ShardLayout& layout);
 
+  /// Borrowed-scheduler mode (multi-tenant substrate): the engine's traffic
+  /// flows through `shared_io` stamped with `tenant`; the worker owns no
+  /// I/O machinery of its own. Teardown drains only this tenant's requests,
+  /// so one job's exit never waits on its neighbours' traffic.
+  Worker(const SimClock& clock, VirtualTier& vtier, ThreadPool* cpu_pool,
+         const GradSource& grads, IoScheduler& shared_io, u32 tenant,
+         int worker_id, int rank, const EngineOptions& opts,
+         const ShardLayout& layout);
+
+  ~Worker();
+
   Engine& engine() { return *engine_; }
   const Engine& engine() const { return *engine_; }
-  IoScheduler& io() { return *io_; }
+  IoScheduler& io() { return *io_active_; }
+  u32 tenant() const { return tenant_; }
   int worker_id() const { return worker_id_; }
   int rank() const { return rank_; }
 
@@ -47,12 +63,16 @@ class Worker {
   }
 
  private:
+  void build_engine(const SimClock& clock, VirtualTier& vtier,
+                    ThreadPool* cpu_pool, const GradSource& grads,
+                    const EngineOptions& opts, const ShardLayout& layout);
+
   const SimClock* clock_;
   int worker_id_;
   int rank_;
-  std::unique_ptr<RateLimiter> d2h_;
-  std::unique_ptr<RateLimiter> h2d_;
-  std::unique_ptr<IoScheduler> io_;
+  u32 tenant_ = 0;
+  std::unique_ptr<IoScheduler> io_;  ///< owned mode only
+  IoScheduler* io_active_ = nullptr;
   std::unique_ptr<Engine> engine_;
 };
 

@@ -50,6 +50,34 @@ void IterationReport::accumulate_counters(const IterationReport& r) {
   io_cancelled_on_failure += r.io_cancelled_on_failure;
   // Traces concatenate: per-subgroup distributions remain inspectable.
   traces.insert(traces.end(), r.traces.begin(), r.traces.end());
+  // Tenant slices merge by id so fleet-level aggregation never blends two
+  // jobs' SLO accounting (ids are unique per slice by construction here).
+  for (const auto& slice : r.tenants) {
+    TenantSlice* mine = nullptr;
+    for (auto& s : tenants) {
+      if (s.tenant == slice.tenant) {
+        mine = &s;
+        break;
+      }
+    }
+    if (mine == nullptr) {
+      tenants.push_back(slice);
+      continue;
+    }
+    mine->iterations += slice.iterations;
+    mine->iteration_seconds += slice.iteration_seconds;
+    mine->max_iteration_seconds =
+        std::max(mine->max_iteration_seconds, slice.max_iteration_seconds);
+    mine->deadline_hits += slice.deadline_hits;
+    mine->deadline_misses += slice.deadline_misses;
+  }
+}
+
+const TenantSlice* IterationReport::tenant_slice(u32 tenant) const {
+  for (const auto& s : tenants) {
+    if (s.tenant == tenant) return &s;
+  }
+  return nullptr;
 }
 
 IterationReport average_reports(const std::vector<IterationReport>& reports) {
@@ -101,6 +129,9 @@ IterationReport average_reports(const std::vector<IterationReport>& reports) {
   // Recovery counters stay *totals* across the averaged window: recoveries
   // are rare discrete events, and "0.33 recoveries per iteration" would
   // round to zero and hide them.
+  // Tenant slices stay totals too (accumulate_counters merged them by id):
+  // SLO hit rates and p99s are computed from whole windows, and averaging
+  // per-tenant iteration *counts* across reports would double-divide them.
   return avg;
 }
 

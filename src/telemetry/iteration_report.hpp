@@ -46,6 +46,29 @@ struct SubgroupTrace {
   }
 };
 
+/// Per-tenant slice of a multi-job iteration window: which job the counters
+/// belong to and how its own iteration cadence tracked its SLO. Slices are
+/// carried through every merge (accumulate_counters matches by tenant id),
+/// so cluster- and fleet-level reports keep per-job accountability instead
+/// of blending the tenants together.
+struct TenantSlice {
+  u32 tenant = 0;
+  u32 iterations = 0;           ///< iterations the slice covers
+  f64 iteration_seconds = 0;    ///< summed iteration wall (virtual)
+  f64 max_iteration_seconds = 0;  ///< slowest single iteration (merge: max)
+  u32 deadline_hits = 0;    ///< iterations within the job's deadline
+  u32 deadline_misses = 0;  ///< iterations past it (0/0 when no deadline)
+
+  f64 mean_iteration_seconds() const {
+    return iterations > 0 ? iteration_seconds / static_cast<f64>(iterations)
+                          : 0;
+  }
+  f64 deadline_hit_rate() const {
+    const u32 n = deadline_hits + deadline_misses;
+    return n > 0 ? static_cast<f64>(deadline_hits) / static_cast<f64>(n) : 1.0;
+  }
+};
+
 struct IterationReport {
   u64 iteration = 0;
   f64 forward_seconds = 0;
@@ -86,6 +109,13 @@ struct IterationReport {
   u64 io_cancelled_on_failure = 0;  ///< queued requests dropped at node loss
 
   std::vector<SubgroupTrace> traces;
+
+  /// Per-tenant slices (empty on single-job runs). Merged by tenant id:
+  /// additive fields sum, max_iteration_seconds takes the max.
+  std::vector<TenantSlice> tenants;
+
+  /// The slice for `tenant`, or nullptr when the report carries none.
+  const TenantSlice* tenant_slice(u32 tenant) const;
 
   /// Fold another report's additive counters (and traces) into this one.
   /// This is the single merge used by the node- and cluster-level report

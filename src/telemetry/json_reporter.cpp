@@ -69,6 +69,7 @@ void JsonReporter::add(const std::string& bench,
     if (inserted) {
       probe.unit = m.unit;
       probe.better = m.better;
+      probe.threshold_pct = m.threshold_pct;
       series_.push_back(std::move(probe));
     }
     series_[it->second].values.push_back(m.value);
@@ -86,7 +87,7 @@ json::Value JsonReporter::to_json() const {
       if (s.bench != bench.name) continue;
       json::Array values;
       for (const f64 v : s.values) values.emplace_back(v);
-      metrics.push_back(json::Object{
+      json::Object row{
           {"name", s.name},
           {"unit", s.unit},
           {"better", to_string(s.better)},
@@ -96,7 +97,11 @@ json::Value JsonReporter::to_json() const {
           {"min", s.min()},
           {"max", s.max()},
           {"values", std::move(values)},
-      });
+      };
+      // Serialized only when set: documents without overrides stay
+      // byte-identical to the pre-override schema.
+      if (s.threshold_pct > 0) row["threshold_pct"] = s.threshold_pct;
+      metrics.push_back(std::move(row));
     }
     benchmarks.push_back(json::Object{
         {"name", bench.name},
@@ -142,6 +147,7 @@ std::vector<MetricSeries> JsonReporter::from_json(const json::Value& doc) {
       s.name = metric.at("name").as_string();
       s.unit = metric.string_or("unit", "");
       s.better = better_from_string(metric.string_or("better", "neither"));
+      s.threshold_pct = metric.number_or("threshold_pct", 0);
       if (metric.contains("params")) s.params = metric.at("params").as_object();
       for (const json::Value& v : metric.at("values").as_array()) {
         s.values.push_back(v.as_number());
@@ -221,8 +227,13 @@ BaselineReport compare_to_baseline(const std::vector<MetricSeries>& current,
         delta.kind = BaselineDelta::Kind::kDirectionChanged;
         ++report.direction_changes;
       } else {
+        // Per-metric override: the current run's (it tracks the source
+        // that emitted the metric), else the baseline's, else run-wide.
+        const f64 effective = cur.threshold_pct > 0 ? cur.threshold_pct
+                              : base.threshold_pct > 0 ? base.threshold_pct
+                                                       : threshold_pct;
         delta.kind = classify(cur.better, delta.baseline_median,
-                              delta.current_median, threshold_pct);
+                              delta.current_median, effective);
         switch (delta.kind) {
           case BaselineDelta::Kind::kRegression: ++report.regressions; break;
           case BaselineDelta::Kind::kImprovement: ++report.improvements; break;

@@ -32,6 +32,11 @@ struct Metric {
   json::Object params;  ///< scenario coordinates, e.g. {"model":"40B"}
   f64 value = 0;
   Better better = Better::kNeither;
+  /// Per-metric gate threshold override (percent). 0 uses the run-wide
+  /// threshold passed to compare_to_baseline. Lets a noisy-but-gated
+  /// metric (e.g. calibration divergence) carry a wide band of its own
+  /// without loosening the gate on everything else.
+  f64 threshold_pct = 0;
 };
 
 /// A metric aggregated across the repeats of one run (or parsed back from a
@@ -42,6 +47,7 @@ struct MetricSeries {
   std::string unit;
   json::Object params;
   Better better = Better::kNeither;
+  f64 threshold_pct = 0;  ///< per-metric gate override; 0 = run-wide value
   std::vector<f64> values;  ///< one entry per repeat
 
   f64 median() const;
@@ -131,6 +137,9 @@ struct BaselineReport {
 /// Compare current series against a baseline run. A gated metric regresses
 /// when its median moves more than `threshold_pct` percent in its bad
 /// direction; kNeither metrics always pass. Matching is by MetricSeries::key.
+/// A series-level threshold_pct (> 0) overrides the run-wide value for that
+/// metric — the current run's override wins, falling back to the
+/// baseline's, then to `threshold_pct`.
 BaselineReport compare_to_baseline(const std::vector<MetricSeries>& current,
                                    const std::vector<MetricSeries>& baseline,
                                    f64 threshold_pct);

@@ -229,6 +229,54 @@ TEST(BaselineCompare, ZeroBaselineHandledWithoutDivide) {
   EXPECT_TRUE(same.ok());
 }
 
+TEST(JsonReporter, ThresholdOverrideRoundTrips) {
+  JsonReporter reporter;
+  reporter.set_context(100.0, 1);
+  Metric wide = make("divergence", 12.0, Better::kLower);
+  wide.threshold_pct = 50;
+  reporter.add("bench_a", {}, {wide, make("tight", 1.0, Better::kLower)});
+
+  // Serialized only when set; absent rows parse back as 0 (= run-wide).
+  const auto doc = reporter.to_json();
+  const auto parsed = JsonReporter::from_json(doc);
+  ASSERT_EQ(parsed.size(), 2u);
+  EXPECT_DOUBLE_EQ(parsed[0].threshold_pct, 50.0);
+  EXPECT_DOUBLE_EQ(parsed[1].threshold_pct, 0.0);
+  const auto& rows = doc.at("benchmarks").as_array()[0]
+                         .at("metrics").as_array();
+  EXPECT_TRUE(rows[0].contains("threshold_pct"));
+  EXPECT_FALSE(rows[1].contains("threshold_pct"));
+}
+
+TEST(BaselineCompare, PerMetricThresholdOverridesRunWide) {
+  // +40% move: the run-wide 25% gate would call it a regression, but the
+  // series carries its own 50% band.
+  auto cur = series_of("b", "m", {1.4}, Better::kLower);
+  cur.threshold_pct = 50;
+  const auto baseline = {series_of("b", "m", {1.0}, Better::kLower)};
+  EXPECT_TRUE(compare_to_baseline({cur}, baseline, 25.0).ok());
+
+  // +60% bursts through the override too.
+  cur.values = {1.6};
+  const auto report = compare_to_baseline({cur}, baseline, 25.0);
+  EXPECT_FALSE(report.ok());
+  EXPECT_EQ(report.regressions, 1u);
+
+  // The baseline's stored override applies when the current run carries
+  // none (comparing an old document against a refreshed baseline).
+  auto base_override = series_of("b", "m", {1.0}, Better::kLower);
+  base_override.threshold_pct = 50;
+  EXPECT_TRUE(compare_to_baseline({series_of("b", "m", {1.4}, Better::kLower)},
+                                  {base_override}, 25.0)
+                  .ok());
+
+  // An un-overridden sibling metric still gates at the run-wide value.
+  EXPECT_FALSE(compare_to_baseline({series_of("b", "n", {1.4}, Better::kLower)},
+                                   {series_of("b", "n", {1.0}, Better::kLower)},
+                                   25.0)
+                   .ok());
+}
+
 TEST(BaselineCompare, MedianOfRepeatsDecides) {
   // Median 2.0 vs baseline 2.0: one outlier repeat must not trip the gate.
   const auto current = {series_of("b", "m", {2.0, 9.0, 1.9}, Better::kLower)};

@@ -25,6 +25,11 @@ Checked invariants:
      config parser accepts) is exercised by the storage-labelled tests:
      a new kind added to src/runtime/storage_config.cpp without test
      coverage fails here, not silently in production configs.
+  6. The multi-tenancy suites stay wired end to end: some test carries
+     the "tenancy" ctest label, ci.yml has a step selecting `-L tenancy`,
+     and at least one smoke bench case carries the "tenancy" label (so
+     the fair-share sweep and its starvation assertion ride the smoke
+     gate).
 
 Zero third-party dependencies; regex-level parsing is deliberate — the
 source of truth is the checked-in text, not a build artifact, so the check
@@ -143,6 +148,31 @@ def check_graph_suites(cases: dict[str, dict]) -> None:
         )
 
 
+def check_tenancy_suites(cases: dict[str, dict]) -> None:
+    if "tenancy" not in ctest_labels_defined():
+        fail(
+            "no ctest registration carries the \"tenancy\" label — the "
+            "tenancy CI step and `ctest -L tenancy` would select zero tests"
+        )
+    ci = REPO / ".github" / "workflows" / "ci.yml"
+    if ci.exists() and not re.search(r"ctest[^\n]*\s-L\s+tenancy\b",
+                                     ci.read_text()):
+        fail(
+            "ci.yml has no step selecting `ctest -L tenancy` — the "
+            "multi-job suites would not run as their own CI gate"
+        )
+    tenancy_smoke = {
+        n for n, c in cases.items()
+        if {"tenancy", "smoke"} <= c["labels"]
+    }
+    if not tenancy_smoke:
+        fail(
+            "no bench case carries both the \"tenancy\" and \"smoke\" "
+            "labels — the fair-share sweep and its starvation assertion "
+            "are not gated against the smoke baselines"
+        )
+
+
 def storage_backend_kinds() -> set[str]:
     """Backend kinds the config parser accepts, from storage_config.cpp."""
     src = REPO / "src" / "runtime" / "storage_config.cpp"
@@ -233,6 +263,7 @@ def main() -> int:
     check_ci_labels()
     check_register_all(cases)
     check_graph_suites(cases)
+    check_tenancy_suites(cases)
     check_storage_backend_coverage()
 
     if FAILURES:
